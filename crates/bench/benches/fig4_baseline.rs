@@ -1,0 +1,35 @@
+//! **Figure 4**: IPC, memory traps and false memory dependencies of every
+//! workload on the baseline (no ME, no SMB) Table 1 machine.
+//!
+//! Paper shape: IPC spread roughly 0.5–3.5; trap counts spanning orders of
+//! magnitude (log scale); false dependencies up to ~1M per 100M µ-ops in
+//! the worst benchmarks.
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::CoreConfig;
+use regshare_types::stats::geomean;
+use regshare_workloads::suite;
+
+fn main() {
+    let window = RunWindow::from_env();
+    let mut t = Table::new(vec![
+        "bench", "class", "ipc", "mem_traps", "false_deps", "branch_mpki", "bypassable_loads",
+    ]);
+    let mut ipcs = Vec::new();
+    for wl in suite() {
+        let m = measure(&wl, CoreConfig::hpca16(), window);
+        ipcs.push(m.ipc());
+        t.row(vec![
+            wl.name.to_string(),
+            format!("{:?}", wl.class),
+            format!("{:.3}", m.ipc()),
+            format!("{}", m.stats.memory_traps),
+            format!("{}", m.stats.false_dependencies),
+            format!("{:.2}", m.stats.branch_mpki()),
+            format!("{}", m.stats.loads),
+        ]);
+    }
+    println!("# Figure 4: baseline characterization ({} µ-ops measured/bench)\n", window.measure);
+    t.print();
+    println!("geomean IPC: {:.3}", geomean(&ipcs).unwrap_or(0.0));
+}

@@ -1,0 +1,45 @@
+//! **Figure 5**: move elimination.
+//!
+//! (a) Speedup over baseline as a function of ISRB entries (8/16/32/∞).
+//! (b) Percentage of renamed µ-ops eliminated with an unlimited ISRB.
+//!
+//! Paper shape: a handful of entries suffice (8 reasonable, 16 generally
+//! enough, 32 ≈ unlimited); gains are limited (~1% gmean, up to ~5%);
+//! elimination rate does not correlate strongly with speedup.
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::CoreConfig;
+use regshare_types::stats::{geomean, speedup_pct};
+use regshare_workloads::suite;
+
+fn main() {
+    let window = RunWindow::from_env();
+    let sizes = [8usize, 16, 32, 0];
+    let mut t = Table::new(vec![
+        "bench", "base_ipc", "me8%", "me16%", "me32%", "meUnl%", "pct_renamed_elim",
+    ]);
+    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
+    for wl in suite() {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut cells = vec![wl.name.to_string(), format!("{:.3}", base.ipc())];
+        let mut elim_pct = 0.0;
+        for (i, &n) in sizes.iter().enumerate() {
+            let m = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(n), window);
+            let sp = speedup_pct(base.ipc(), m.ipc());
+            per_size[i].push(1.0 + sp / 100.0);
+            cells.push(format!("{sp:+.2}"));
+            if n == 0 {
+                elim_pct = m.stats.pct_renamed_eliminated();
+            }
+        }
+        cells.push(format!("{elim_pct:.2}%"));
+        t.row(cells);
+    }
+    println!("# Figure 5(a)+(b): move elimination vs ISRB size\n");
+    t.print();
+    for (i, &n) in sizes.iter().enumerate() {
+        let g = (geomean(&per_size[i]).unwrap_or(1.0) - 1.0) * 100.0;
+        let label = if n == 0 { "unlimited".into() } else { n.to_string() };
+        println!("geomean speedup, ISRB {label}: {g:+.2}%");
+    }
+}

@@ -1,0 +1,98 @@
+//! **Figure 7** + §6.3: ME and SMB combined, as a function of ISRB size,
+//! plus the counter-width study and the ISRB traffic statistics.
+//!
+//! Paper shape: with 32 entries combined performance is often higher than
+//! either mechanism alone and ≈ unlimited (5.5% vs 5.6% geomean in the
+//! paper); 24 entries is a good tradeoff; 16 entries often loses to the
+//! best single mechanism because ME and SMB compete for entries. 3-bit
+//! counters are within ~0.1% gmean of 32-bit. Mean µ-op distance between
+//! ISRB allocations ≈ 20; between reclaim CAM checks ≈ 3-4.
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::CoreConfig;
+use regshare_refcount::IsrbConfig;
+use regshare_core::TrackerKind;
+use regshare_types::stats::{geomean, speedup_pct};
+use regshare_workloads::suite;
+
+fn main() {
+    let window = RunWindow::from_env();
+    let mut t = Table::new(vec![
+        "bench", "both16%", "both24%", "both32%", "bothUnl%", "me_only%", "smb_only%",
+    ]);
+    let sizes = [16usize, 24, 32, 0];
+    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 6];
+    let mut share_dist = Vec::new();
+    let mut cam_dist = Vec::new();
+    for wl in suite() {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut cells = vec![wl.name.to_string()];
+        for (i, &n) in sizes.iter().enumerate() {
+            let m = measure(
+                &wl,
+                CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(n),
+                window,
+            );
+            let sp = speedup_pct(base.ipc(), m.ipc());
+            geo[i].push(1.0 + sp / 100.0);
+            cells.push(format!("{sp:+.2}"));
+            if n == 32 {
+                if let Some(d) = m.stats.share_distance.mean() {
+                    share_dist.push(d);
+                }
+                if let Some(d) = m.stats.reclaim_check_distance.mean() {
+                    cam_dist.push(d);
+                }
+            }
+        }
+        let me = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(0), window);
+        let smb = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
+        let me_sp = speedup_pct(base.ipc(), me.ipc());
+        let smb_sp = speedup_pct(base.ipc(), smb.ipc());
+        geo[4].push(1.0 + me_sp / 100.0);
+        geo[5].push(1.0 + smb_sp / 100.0);
+        cells.push(format!("{me_sp:+.2}"));
+        cells.push(format!("{smb_sp:+.2}"));
+        t.row(cells);
+    }
+    println!("# Figure 7: ME + SMB combined vs ISRB size\n");
+    t.print();
+    for (i, l) in ["both-16", "both-24", "both-32", "both-unl", "me-only-unl", "smb-only-unl"]
+        .iter()
+        .enumerate()
+    {
+        let g = (geomean(&geo[i]).unwrap_or(1.0) - 1.0) * 100.0;
+        println!("geomean speedup, {l}: {g:+.2}%");
+    }
+
+    // §6.3 counter width study on a representative subset.
+    println!("\n# §6.3: counter width (32-entry ISRB, ME+SMB)\n");
+    let mut tw = Table::new(vec!["bench", "1bit%", "2bit%", "3bit%", "4bit%", "31bit%"]);
+    for wl in suite() {
+        if !["crafty", "hmmer", "astar", "applu", "namd", "bzip"].contains(&wl.name) {
+            continue;
+        }
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut cells = vec![wl.name.to_string()];
+        for bits in [1u32, 2, 3, 4, 31] {
+            let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(
+                TrackerKind::Isrb(IsrbConfig { entries: 32, counter_bits: bits, ..IsrbConfig::hpca16() }),
+            );
+            let m = measure(&wl, cfg, window);
+            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
+        }
+        tw.row(cells);
+    }
+    tw.print();
+
+    // §6.3 ISRB traffic.
+    println!("\n# §6.3: ISRB traffic (32-entry, ME+SMB)");
+    println!(
+        "mean µ-op distance between ISRB allocations:   {:.1} (paper: 19.7, min 3.8)",
+        share_dist.iter().sum::<f64>() / share_dist.len().max(1) as f64
+    );
+    println!(
+        "mean µ-op distance between reclaim CAM checks: {:.1} (paper: 3.4, min 2.3)",
+        cam_dist.iter().sum::<f64>() / cam_dist.len().max(1) as f64
+    );
+}

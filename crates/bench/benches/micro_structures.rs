@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the core structures: ISRB operations, TAGE
+//! prediction, cache probes, and end-to-end simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use regshare_core::{CoreConfig, Simulator};
+use regshare_mem::{Cache, CacheConfig};
+use regshare_predictors::{Tage, TageConfig};
+use regshare_refcount::{
+    Isrb, IsrbConfig, ReclaimRequest, ShareKind, ShareRequest, SharingTracker,
+};
+use regshare_types::{ArchReg, PhysReg, RegClass};
+use regshare_workloads::mini;
+use std::hint::black_box;
+
+fn bench_isrb(c: &mut Criterion) {
+    c.bench_function("isrb_share_reclaim_cycle", |b| {
+        let mut isrb = Isrb::new(IsrbConfig::hpca16());
+        let share = ShareRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(42),
+            kind: ShareKind::Bypass { arch_dst: ArchReg::int(1) },
+        };
+        let reclaim = ReclaimRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(42),
+            arch: ArchReg::int(1),
+            renews: false,
+        };
+        b.iter(|| {
+            black_box(isrb.try_share(black_box(&share)));
+            black_box(isrb.on_reclaim(black_box(&reclaim)));
+            black_box(isrb.on_reclaim(black_box(&reclaim)));
+        });
+    });
+    c.bench_function("isrb_checkpoint_restore", |b| {
+        let mut isrb = Isrb::new(IsrbConfig::hpca16());
+        let share = ShareRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(7),
+            kind: ShareKind::Bypass { arch_dst: ArchReg::int(2) },
+        };
+        let mut freed = Vec::new();
+        b.iter(|| {
+            let ck = isrb.checkpoint();
+            isrb.try_share(black_box(&share));
+            isrb.restore(ck, &mut freed);
+            freed.clear();
+        });
+    });
+}
+
+fn bench_tage(c: &mut Criterion) {
+    c.bench_function("tage_predict_train", |b| {
+        let mut tage = Tage::new(TageConfig::hpca16());
+        let mut pc = 0x400000u64;
+        b.iter(|| {
+            pc = pc.wrapping_add(4) & 0x40ffff;
+            let p = tage.predict(black_box(pc));
+            tage.train(pc, &p, pc & 8 == 0);
+            tage.update_history(pc & 8 == 0, pc);
+            black_box(p.taken)
+        });
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("l1d_probe", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            latency: 4,
+        });
+        for i in 0..512 {
+            cache.fill(i * 64, false);
+        }
+        let mut a = 0u64;
+        b.iter(|| {
+            a = (a + 64) & 0xffff;
+            black_box(cache.probe(black_box(a)))
+        });
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.bench_function("throughput_10k_uops", |b| {
+        let program = mini().build();
+        b.iter(|| {
+            let mut sim = Simulator::new(&program, CoreConfig::hpca16().with_me().with_smb());
+            black_box(sim.run(10_000).committed)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_isrb, bench_tage, bench_cache, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,176 @@
+//! Ablations and §4 comparisons that the paper argues qualitatively:
+//!
+//! 1. **Reference-counting schemes** (§4.2): IPC with each tracker under
+//!    ME+SMB, its storage, per-checkpoint storage, recovery stalls, and
+//!    commit-time checkpoint writes (the RDA's burden). The MIT cannot track
+//!    SMB, so its SMB gains vanish; per-register counters pay a sequential
+//!    walk on every squash.
+//! 2. **DDT sizing** (§3.1): unlimited vs 16K vs 1K entries.
+//! 3. **Load-load bypassing** (§6.2): SMB with and without load-load pairs
+//!    ("bypassing only from stores was particularly detrimental" in astar,
+//!    wupwise, applu, bzip, hmmer).
+//! 4. **ISRB ports** (§4.3.4): rename/reclaim CAM port sweeps and the flag
+//!    filter's effectiveness.
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::{CoreConfig, TrackerKind};
+use regshare_distance::DdtConfig;
+use regshare_refcount::IsrbConfig;
+use regshare_types::stats::{geomean, speedup_pct};
+use regshare_workloads::suite;
+
+fn subset() -> Vec<regshare_workloads::Workload> {
+    suite()
+        .into_iter()
+        .filter(|w| {
+            ["crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd", "gamess"]
+                .contains(&w.name)
+        })
+        .collect()
+}
+
+/// Long redundant chains whose original producer drifts beyond the 8-bit
+/// instruction distance: only load-load bypassing can keep propagating the
+/// register (§6.2), and the many distinct spill slots overflow a 1K DDT.
+fn stress_workloads() -> Vec<regshare_workloads::Workload> {
+    use regshare_workloads::{custom, WorkloadClass, WorkloadProfile};
+    let ll = custom(
+        "ll-stress",
+        WorkloadClass::Int,
+        WorkloadProfile {
+            redundant_blocks: 2,
+            redundant_chain: 5,
+            redundant_gap: 70,
+            redundant_value_chained: true,
+            spill_blocks: 0,
+            alias_blocks: 0,
+            move_blocks: 0,
+            branchy_blocks: 0,
+            call_blocks: 0,
+            trips: 6,
+            ..WorkloadProfile::default()
+        },
+    );
+    let ddt = custom(
+        "ddt-stress",
+        WorkloadClass::Int,
+        WorkloadProfile {
+            spill_blocks: 4,
+            spill_slots: 2048,
+            spill_work: 6,
+            redundant_blocks: 0,
+            alias_blocks: 0,
+            move_blocks: 0,
+            branchy_blocks: 0,
+            call_blocks: 0,
+            trips: 16,
+            ..WorkloadProfile::default()
+        },
+    );
+    vec![ll, ddt]
+}
+
+fn main() {
+    let window = RunWindow::from_env();
+
+    // --- 1. Trackers ---
+    println!("# §4.2 ablation: reference-counting schemes (ME+SMB)\n");
+    let trackers: Vec<(&str, TrackerKind)> = vec![
+        ("isrb-32", TrackerKind::Isrb(IsrbConfig::hpca16())),
+        ("unlimited", TrackerKind::Unlimited),
+        ("counters-walk8", TrackerKind::PerRegCounters { walk_width: 8 }),
+        ("roth-matrix", TrackerKind::RothMatrix),
+        ("mit-8", TrackerKind::Mit { entries: 8 }),
+        ("rda-32", TrackerKind::Rda { entries: 32, counter_bits: 3 }),
+    ];
+    let mut t = Table::new(vec![
+        "scheme", "gmean_speedup%", "storage_bits", "bits_per_ckpt", "recovery_stalls", "ckpt_writes_at_commit",
+    ]);
+    for (name, kind) in &trackers {
+        let mut speedups = Vec::new();
+        let mut stalls = 0u64;
+        let mut ckpt_writes = 0u64;
+        let mut storage = (0usize, 0usize);
+        for wl in subset() {
+            let base = measure(&wl, CoreConfig::hpca16(), window);
+            let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(kind.clone());
+            let m = measure(&wl, cfg, window);
+            speedups.push(1.0 + speedup_pct(base.ipc(), m.ipc()) / 100.0);
+            stalls += m.stats.tracker_recovery_stalls;
+            ckpt_writes += m.stats.tracker.commit_checkpoint_writes;
+            let kindc = kind.clone();
+            let tr = kindc.build(256, 192);
+            storage = (tr.storage().main_bits, tr.storage().per_checkpoint_bits);
+        }
+        let g = (geomean(&speedups).unwrap_or(1.0) - 1.0) * 100.0;
+        t.row(vec![
+            name.to_string(),
+            format!("{g:+.2}"),
+            format!("{}", storage.0),
+            format!("{}", storage.1),
+            format!("{stalls}"),
+            format!("{ckpt_writes}"),
+        ]);
+    }
+    t.print();
+
+    // --- 2. DDT sizing ---
+    println!("\n# §3.1: DDT sizing (SMB, unlimited ISRB)\n");
+    let mut t = Table::new(vec!["bench", "ddt_unlimited%", "ddt_16k%", "ddt_1k%"]);
+    for wl in subset().into_iter().chain(stress_workloads()) {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut cells = vec![wl.name.to_string()];
+        for ddt in [DdtConfig::unlimited(), DdtConfig::base16k(), DdtConfig::opt1k()] {
+            let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
+            cfg.ddt = ddt;
+            let m = measure(&wl, cfg, window);
+            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
+        }
+        t.row(cells);
+    }
+    t.print();
+
+    // --- 3. Load-load bypassing ---
+    println!("\n# §6.2: store-load only vs + load-load\n");
+    let mut t = Table::new(vec!["bench", "store_load_only%", "with_load_load%"]);
+    for wl in subset().into_iter().chain(stress_workloads()) {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut only = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
+        only.smb_load_load = false;
+        let a = measure(&wl, only, window);
+        let b = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
+        t.row(vec![
+            wl.name.to_string(),
+            format!("{:+.2}", speedup_pct(base.ipc(), a.ipc())),
+            format!("{:+.2}", speedup_pct(base.ipc(), b.ipc())),
+        ]);
+    }
+    t.print();
+
+    // --- 4. ISRB ports + flag filter ---
+    println!("\n# §4.3.4: ISRB CAM ports and the reclaim flag filter\n");
+    let mut t = Table::new(vec![
+        "bench", "ports_unl%", "ports_2r_6c%", "ports_1r_2c%", "flag_filtered", "cam_checked",
+    ]);
+    for wl in subset() {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let mut cells = vec![wl.name.to_string()];
+        let mut filtered = 0;
+        let mut checked = 0;
+        for (rp, cp) in [(0usize, 0usize), (2, 6), (1, 2)] {
+            let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+            cfg.tracker_rename_ports = rp;
+            cfg.tracker_reclaim_ports = cp;
+            let m = measure(&wl, cfg, window);
+            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
+            if rp == 0 {
+                filtered = m.stats.reclaims_flag_filtered;
+                checked = m.stats.reclaims_cam_checked;
+            }
+        }
+        cells.push(format!("{filtered}"));
+        cells.push(format!("{checked}"));
+        t.row(cells);
+    }
+    t.print();
+}

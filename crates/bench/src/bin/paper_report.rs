@@ -1,0 +1,49 @@
+//! Generates a compact paper-vs-measured report (the source material for
+//! EXPERIMENTS.md) across the headline experiments, using reduced windows.
+//!
+//! ```sh
+//! REGSHARE_MEASURE=120000 cargo run --release -p regshare-bench --bin paper_report
+//! ```
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::CoreConfig;
+use regshare_types::stats::{geomean, speedup_pct};
+use regshare_workloads::suite;
+
+fn main() {
+    let window = RunWindow::from_env();
+    println!("# Paper-vs-measured headline summary\n");
+    println!("window: {} warmup + {} measured µ-ops per run\n", window.warmup, window.measure);
+
+    let mut both32 = Vec::new();
+    let mut both_unl = Vec::new();
+    let mut max32: (f64, &str) = (0.0, "-");
+    let mut t = Table::new(vec!["bench", "base_ipc", "me_unl%", "smb_unl%", "both32%", "both_unl%"]);
+    for wl in suite() {
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let me = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(0), window);
+        let smb = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
+        let b32 = measure(&wl, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(32), window);
+        let bun = measure(&wl, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(0), window);
+        let s32 = speedup_pct(base.ipc(), b32.ipc());
+        let sun = speedup_pct(base.ipc(), bun.ipc());
+        both32.push(1.0 + s32 / 100.0);
+        both_unl.push(1.0 + sun / 100.0);
+        if s32 > max32.0 {
+            max32 = (s32, wl.name);
+        }
+        t.row(vec![
+            wl.name.to_string(),
+            format!("{:.3}", base.ipc()),
+            format!("{:+.2}", speedup_pct(base.ipc(), me.ipc())),
+            format!("{:+.2}", speedup_pct(base.ipc(), smb.ipc())),
+            format!("{s32:+.2}"),
+            format!("{sun:+.2}"),
+        ]);
+    }
+    t.print();
+    let g32 = (geomean(&both32).unwrap_or(1.0) - 1.0) * 100.0;
+    let gun = (geomean(&both_unl).unwrap_or(1.0) - 1.0) * 100.0;
+    println!("combined ME+SMB, 32-entry ISRB: geomean {g32:+.2}% (paper: +5.5%), max {:+.2}% on {} (paper: up to +39.6%)", max32.0, max32.1);
+    println!("combined ME+SMB, unlimited:     geomean {gun:+.2}% (paper: +5.6%)");
+}

@@ -1,0 +1,38 @@
+//! Quick shape check: ME / SMB / combined speedups on a few workloads.
+
+use regshare_bench::{measure, RunWindow, Table};
+use regshare_core::CoreConfig;
+use regshare_types::stats::speedup_pct;
+use regshare_workloads::suite;
+
+fn main() {
+    let window = RunWindow::from_env();
+    let mut t = Table::new(vec![
+        "bench", "base_ipc", "me%", "smb%", "both%", "elim", "bypassed", "traps_b", "traps_s", "fdep_b", "fdep_s",
+    ]);
+    for wl in suite() {
+        if !["crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf"]
+            .contains(&wl.name)
+        {
+            continue;
+        }
+        let base = measure(&wl, CoreConfig::hpca16(), window);
+        let me = measure(&wl, CoreConfig::hpca16().with_me(), window);
+        let smb = measure(&wl, CoreConfig::hpca16().with_smb(), window);
+        let both = measure(&wl, CoreConfig::hpca16().with_me().with_smb(), window);
+        t.row(vec![
+            wl.name.to_string(),
+            format!("{:.3}", base.ipc()),
+            format!("{:+.2}", speedup_pct(base.ipc(), me.ipc())),
+            format!("{:+.2}", speedup_pct(base.ipc(), smb.ipc())),
+            format!("{:+.2}", speedup_pct(base.ipc(), both.ipc())),
+            format!("{:.2}%", me.stats.pct_renamed_eliminated()),
+            format!("{:.1}%", smb.stats.pct_loads_bypassed()),
+            format!("{}", base.stats.memory_traps),
+            format!("{}", smb.stats.memory_traps),
+            format!("{}", base.stats.false_dependencies),
+            format!("{}", smb.stats.false_dependencies),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,69 @@
+//! Run-window plumbing shared by all experiments.
+
+use regshare_core::{CoreConfig, SimStats, Simulator};
+use regshare_workloads::Workload;
+
+/// Warmup/measurement window (µ-ops).
+#[derive(Debug, Clone, Copy)]
+pub struct RunWindow {
+    /// µ-ops run before measurement starts (caches/predictors warm up).
+    pub warmup: u64,
+    /// µ-ops measured.
+    pub measure: u64,
+}
+
+impl RunWindow {
+    /// Default window, overridable via `REGSHARE_WARMUP`/`REGSHARE_MEASURE`.
+    pub fn from_env() -> RunWindow {
+        let get = |k: &str, d: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+        };
+        RunWindow {
+            warmup: get("REGSHARE_WARMUP", 60_000),
+            measure: get("REGSHARE_MEASURE", 240_000),
+        }
+    }
+
+    /// A fast window for smoke tests.
+    pub fn quick() -> RunWindow {
+        RunWindow { warmup: 10_000, measure: 40_000 }
+    }
+}
+
+/// Result of one measured run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: &'static str,
+    /// Stats over the measured window only.
+    pub stats: SimStats,
+}
+
+impl Measurement {
+    /// IPC over the measured window.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+/// Runs `workload` under `cfg` with the given window and returns
+/// measured-window statistics.
+pub fn measure(workload: &Workload, cfg: CoreConfig, window: RunWindow) -> Measurement {
+    measure_with(workload, cfg, window, |_| {})
+}
+
+/// Like [`measure`], with a post-run hook receiving the simulator (for
+/// digests, audits or extra probes).
+pub fn measure_with(
+    workload: &Workload,
+    cfg: CoreConfig,
+    window: RunWindow,
+    inspect: impl FnOnce(&Simulator),
+) -> Measurement {
+    let program = workload.build();
+    let mut sim = Simulator::new(&program, cfg);
+    let warm = sim.run(window.warmup);
+    let end = sim.run(window.measure);
+    inspect(&sim);
+    Measurement { name: workload.name, stats: end.delta_since(&warm) }
+}

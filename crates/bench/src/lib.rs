@@ -1,0 +1,16 @@
+//! Experiment harness: workload × configuration sweeps reproducing every
+//! table and figure of the paper's evaluation.
+//!
+//! Each bench target (`cargo bench --bench fig…`) runs the relevant sweep
+//! and prints the same rows/series the paper reports, plus a CSV block for
+//! plotting. Window sizes default to quick-but-stable values and can be
+//! scaled with the `REGSHARE_WARMUP` / `REGSHARE_MEASURE` environment
+//! variables (µ-ops per run).
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod table;
+
+pub use harness::{measure, measure_with, Measurement, RunWindow};
+pub use table::Table;

@@ -1,0 +1,268 @@
+//! Core configuration: Table 1 defaults plus the feature toggles the
+//! paper's experiments sweep.
+
+use regshare_distance::{DdtConfig, NosqConfig, TageDistanceConfig};
+use regshare_mem::MemConfig;
+use regshare_predictors::{StoreSetsConfig, TageConfig};
+use regshare_refcount::{
+    Isrb, IsrbConfig, Mit, PerRegCounters, Rda, RothMatrix, SharingTracker, UnlimitedTracker,
+};
+
+/// Which register reference-counting scheme backs sharing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrackerKind {
+    /// The paper's ISRB (§4.3).
+    Isrb(IsrbConfig),
+    /// Ideal unbounded dual counters.
+    Unlimited,
+    /// Conventional per-register counters with sequential rollback; the
+    /// field is the squash-walk width (µ-ops undone per stall cycle).
+    PerRegCounters {
+        /// µ-ops whose tracker state can be repaired per recovery cycle.
+        walk_width: usize,
+    },
+    /// Roth's ROB×PRF bit-matrix.
+    RothMatrix,
+    /// Intel's MIT (move elimination only).
+    Mit {
+        /// Fully-associative entries.
+        entries: usize,
+    },
+    /// Apple's RDA.
+    Rda {
+        /// Fully-associative entries.
+        entries: usize,
+        /// Duplicate-counter width.
+        counter_bits: u32,
+    },
+}
+
+impl TrackerKind {
+    /// Instantiates the tracker.
+    pub fn build(&self, pregs_per_class: usize, rob_entries: usize) -> Box<dyn SharingTracker> {
+        match self {
+            TrackerKind::Isrb(cfg) => Box::new(Isrb::new(IsrbConfig {
+                pregs_per_class,
+                ..*cfg
+            })),
+            TrackerKind::Unlimited => Box::new(UnlimitedTracker::new()),
+            TrackerKind::PerRegCounters { walk_width } => {
+                Box::new(PerRegCounters::new(pregs_per_class, *walk_width))
+            }
+            TrackerKind::RothMatrix => Box::new(RothMatrix::new(pregs_per_class, rob_entries)),
+            TrackerKind::Mit { entries } => Box::new(Mit::new(*entries)),
+            TrackerKind::Rda { entries, counter_bits } => {
+                Box::new(Rda::new(*entries, *counter_bits))
+            }
+        }
+    }
+}
+
+/// Which Instruction Distance predictor drives SMB.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistancePredictorKind {
+    /// The paper's TAGE-like predictor (§3.1).
+    TageLike(TageDistanceConfig),
+    /// The NoSQ-style two-table predictor.
+    Nosq(NosqConfig),
+}
+
+impl Default for DistancePredictorKind {
+    fn default() -> Self {
+        DistancePredictorKind::TageLike(TageDistanceConfig::hpca16())
+    }
+}
+
+/// Full core configuration. [`CoreConfig::hpca16`] reproduces Table 1.
+#[derive(Debug, Clone)]
+pub struct CoreConfig {
+    // --- widths & depths (Table 1) ---
+    /// Fetch/decode/rename width (µ-ops per cycle).
+    pub frontend_width: usize,
+    /// Issue width.
+    pub issue_width: usize,
+    /// Retire width.
+    pub commit_width: usize,
+    /// ROB entries.
+    pub rob_entries: usize,
+    /// Unified IQ entries.
+    pub iq_entries: usize,
+    /// Load queue entries.
+    pub lq_entries: usize,
+    /// Store queue entries.
+    pub sq_entries: usize,
+    /// Physical registers per class (INT and FP each).
+    pub pregs_per_class: usize,
+    /// Fetch-to-rename depth in cycles (deep front-end: the misprediction
+    /// penalty is dominated by this refill).
+    pub frontend_depth: u64,
+    /// Store-to-load forwarding latency (Table 1: 4 cycles = L1 latency).
+    pub stlf_latency: u64,
+    /// Fetch bubble charged when a taken-path transfer misses the BTB.
+    pub btb_miss_bubble: u64,
+    /// Functional units: ALU count (1-cycle; also branches/moves).
+    pub alu_units: usize,
+    /// Integer multiply/divide unit count (3c mul, 25c unpipelined div).
+    pub muldiv_units: usize,
+    /// FP add units (3c).
+    pub fp_units: usize,
+    /// FP mul/div units (5c mul, 10c unpipelined div).
+    pub fpmuldiv_units: usize,
+    /// Shared load/store AGU ports.
+    pub mem_ports: usize,
+    /// Additional store-only port.
+    pub store_ports: usize,
+
+    // --- predictors & memory ---
+    /// TAGE branch predictor geometry.
+    pub tage: TageConfig,
+    /// BTB entries / ways.
+    pub btb_entries: usize,
+    /// BTB associativity.
+    pub btb_ways: usize,
+    /// Return address stack entries.
+    pub ras_entries: usize,
+    /// Store Sets geometry.
+    pub store_sets: StoreSetsConfig,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+
+    // --- the paper's features ---
+    /// Enable move elimination (§2).
+    pub move_elimination: bool,
+    /// Also eliminate FP-to-FP moves (recent Intel cores do; the paper's
+    /// Figure 5 is integer-only, so this defaults to off).
+    pub me_fp_moves: bool,
+    /// Enable speculative memory bypassing (§3).
+    pub smb: bool,
+    /// Generalize SMB to load-load pairs (§3: on by default; §6.2 ablates).
+    pub smb_load_load: bool,
+    /// Bypass from committed-but-unreleased ROB entries via lazy reclaim
+    /// (§3.3; Figure 6(c)).
+    pub smb_from_committed: bool,
+    /// Distance predictor choice.
+    pub distance_predictor: DistancePredictorKind,
+    /// DDT geometry.
+    pub ddt: DdtConfig,
+    /// Reference-counting scheme.
+    pub tracker: TrackerKind,
+    /// ISRB CAM ports available to rename per cycle (0 = unlimited);
+    /// bypasses beyond this abort (§4.3.4).
+    pub tracker_rename_ports: usize,
+    /// ISRB CAM ports for reclaim per cycle (0 = unlimited); reclaims
+    /// beyond this stall commit (§4.3.4).
+    pub tracker_reclaim_ports: usize,
+}
+
+impl CoreConfig {
+    /// The paper's Table 1 machine with all sharing optimizations off.
+    pub fn hpca16() -> CoreConfig {
+        CoreConfig {
+            frontend_width: 8,
+            issue_width: 6,
+            commit_width: 8,
+            rob_entries: 192,
+            iq_entries: 60,
+            lq_entries: 72,
+            sq_entries: 48,
+            pregs_per_class: 256,
+            frontend_depth: 13,
+            stlf_latency: 4,
+            btb_miss_bubble: 3,
+            alu_units: 4,
+            muldiv_units: 1,
+            fp_units: 2,
+            fpmuldiv_units: 2,
+            mem_ports: 2,
+            store_ports: 1,
+            tage: TageConfig::hpca16(),
+            btb_entries: 4096,
+            btb_ways: 2,
+            ras_entries: 32,
+            store_sets: StoreSetsConfig::hpca16(),
+            mem: MemConfig::hpca16(),
+            move_elimination: false,
+            me_fp_moves: false,
+            smb: false,
+            smb_load_load: true,
+            smb_from_committed: false,
+            distance_predictor: DistancePredictorKind::default(),
+            ddt: DdtConfig::base16k(),
+            tracker: TrackerKind::Isrb(IsrbConfig::hpca16()),
+            tracker_rename_ports: 0,
+            tracker_reclaim_ports: 0,
+        }
+    }
+
+    /// Table 1 machine with ME enabled.
+    pub fn with_me(mut self) -> CoreConfig {
+        self.move_elimination = true;
+        self
+    }
+
+    /// Table 1 machine with SMB enabled.
+    pub fn with_smb(mut self) -> CoreConfig {
+        self.smb = true;
+        self
+    }
+
+    /// Replaces the tracker.
+    pub fn with_tracker(mut self, tracker: TrackerKind) -> CoreConfig {
+        self.tracker = tracker;
+        self
+    }
+
+    /// Replaces the ISRB entry count (shorthand for the figures' sweeps;
+    /// 0 = unlimited).
+    pub fn with_isrb_entries(mut self, entries: usize) -> CoreConfig {
+        let cfg = match &self.tracker {
+            TrackerKind::Isrb(c) => IsrbConfig { entries, ..*c },
+            _ => IsrbConfig { entries, ..IsrbConfig::hpca16() },
+        };
+        self.tracker = TrackerKind::Isrb(cfg);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults() {
+        let c = CoreConfig::hpca16();
+        assert_eq!(c.rob_entries, 192);
+        assert_eq!(c.iq_entries, 60);
+        assert_eq!((c.lq_entries, c.sq_entries), (72, 48));
+        assert_eq!(c.pregs_per_class, 256);
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.commit_width, 8);
+        assert_eq!(c.stlf_latency, 4);
+        assert!(!c.move_elimination && !c.smb);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(24);
+        assert!(c.move_elimination && c.smb);
+        match c.tracker {
+            TrackerKind::Isrb(i) => assert_eq!(i.entries, 24),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn all_trackers_instantiate() {
+        for kind in [
+            TrackerKind::Isrb(IsrbConfig::hpca16()),
+            TrackerKind::Unlimited,
+            TrackerKind::PerRegCounters { walk_width: 8 },
+            TrackerKind::RothMatrix,
+            TrackerKind::Mit { entries: 8 },
+            TrackerKind::Rda { entries: 8, counter_bits: 3 },
+        ] {
+            let t = kind.build(256, 192);
+            assert!(!t.name().is_empty());
+        }
+    }
+}

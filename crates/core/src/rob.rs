@@ -1,0 +1,436 @@
+//! The reorder buffer, including the paper's third `release_head` pointer
+//! for lazy register reclaiming (§3.3).
+//!
+//! Entries are addressed by sequence number (`slot = seq % capacity`), which
+//! is exact because sequence numbers stay dense across squashes (squashed
+//! numbers are re-used by the re-fetched path). Three pointers delimit
+//! regions, oldest to youngest:
+//!
+//! ```text
+//!   release_seq ──► committed, data still valid (lazy mode only)
+//!   head_seq    ──► oldest in-flight (next to commit)
+//!   tail_seq    ──► next sequence number to allocate
+//! ```
+//!
+//! In eager mode `release_seq == head_seq` at all times. Occupancy is
+//! `tail_seq - release_seq`, so keeping committed state reachable (for SMB
+//! from committed instructions) genuinely consumes ROB space, as in the
+//! paper.
+
+use regshare_isa::op::{BranchKind, MemRef, UopKind};
+use regshare_predictors::tage::TagePrediction;
+use regshare_refcount::ShareRequest;
+use regshare_types::{Addr, ArchReg, HistorySnapshot, PhysReg, RegClass, SeqNum};
+
+/// Why a commit-time flush was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrapKind {
+    /// Memory-order violation (load executed before an older overlapping
+    /// store computed its address).
+    MemOrder,
+    /// SMB validation failure: the bypassed register's value did not match
+    /// the memory data at writeback.
+    BypassMispredict,
+}
+
+/// Destination bookkeeping of a µ-op.
+#[derive(Debug, Clone, Copy)]
+pub struct DstInfo {
+    /// Architectural destination.
+    pub arch: ArchReg,
+    /// Newly mapped physical register (fresh, or shared for ME/SMB).
+    pub new_preg: PhysReg,
+    /// Previous mapping (reclaimed at/after commit).
+    pub old_preg: PhysReg,
+    /// Whether `new_preg` came from the free list.
+    pub fresh_alloc: bool,
+    /// §4.3.4 flag filter: the overwritten mapping was marked
+    /// possibly-shared, so reclaiming must CAM the tracker. (Kept as a
+    /// statistic; the simulator always CAMs for correctness.)
+    pub needs_cam: bool,
+}
+
+/// SMB bypass bookkeeping of a load.
+#[derive(Debug, Clone, Copy)]
+pub struct BypassInfo {
+    /// The shared (producer's) physical register.
+    pub preg: PhysReg,
+    /// Its class.
+    pub class: RegClass,
+    /// Whether validation will succeed (oracle values compared at rename;
+    /// *detected* at writeback).
+    pub correct: bool,
+    /// Whether the producer was already committed (lazy-reclaim bypass).
+    pub from_committed: bool,
+}
+
+/// Control-flow bookkeeping of a branch µ-op. The predictor-side checkpoint
+/// payloads live in the simulator (type-erased here via the `ckpt` index).
+#[derive(Debug, Clone)]
+pub struct BranchInfo {
+    /// Branch kind.
+    pub kind: BranchKind,
+    /// Predicted next static index.
+    pub pred_next: u32,
+    /// Architectural next static index.
+    pub actual_next: u32,
+    /// Architectural direction (conditional branches).
+    pub taken: bool,
+    /// Predicted direction.
+    pub pred_taken: bool,
+    /// Set at fetch when the prediction is known wrong; resolution at
+    /// execute triggers recovery.
+    pub mispredicted: bool,
+    /// Simulator-side checkpoint handle (index into its checkpoint table).
+    pub ckpt: Option<u64>,
+}
+
+/// One reorder buffer entry.
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Sequence number (identity).
+    pub seq: SeqNum,
+    /// PC.
+    pub pc: Addr,
+    /// Static index.
+    pub sidx: u32,
+    /// µ-op kind.
+    pub kind: UopKind,
+    /// Fetched on a mispredicted path.
+    pub wrong_path: bool,
+    /// Execution finished (or µ-op needs no execution).
+    pub completed: bool,
+    /// Architecturally committed (awaiting release in lazy mode).
+    pub committed: bool,
+    /// Destination bookkeeping.
+    pub dst: Option<DstInfo>,
+    /// Accepted sharing request (ME or SMB), for sharer-commit and
+    /// squash-walk tracker events.
+    pub share: Option<ShareRequest>,
+    /// The µ-op was an eliminated move (never issues).
+    pub eliminated: bool,
+    /// SMB bypass state (loads).
+    pub bypass: Option<BypassInfo>,
+    /// Memory reference (loads/stores).
+    pub mem: Option<MemRef>,
+    /// Load queue index.
+    pub lq: Option<usize>,
+    /// Store queue index.
+    pub sq: Option<usize>,
+    /// Store data architectural register (DDT training).
+    pub store_data: Option<ArchReg>,
+    /// Branch bookkeeping.
+    pub branch: Option<BranchInfo>,
+    /// Pending commit-time flush.
+    pub trap: Option<TrapKind>,
+    /// Fetch-time history (distance predictor indexing/training).
+    pub history: HistorySnapshot,
+    /// Oracle result value.
+    pub result: u64,
+    /// Unique incarnation id: distinguishes re-fetched µ-ops that reuse a
+    /// squashed sequence number, so stale execution events are ignored.
+    pub uid: u64,
+    /// TAGE prediction captured at fetch (trained at commit).
+    pub tage_pred: Option<TagePrediction>,
+    /// Loads/stores: address generation finished.
+    pub agu_done: bool,
+    /// Loads: a completion has been scheduled (stop pump retries).
+    pub read_scheduled: bool,
+}
+
+/// The reorder buffer. See the module docs for the pointer discipline.
+#[derive(Debug)]
+pub struct Rob {
+    slots: Vec<Option<RobEntry>>,
+    capacity: usize,
+    release_seq: u64,
+    head_seq: u64,
+    tail_seq: u64,
+}
+
+impl Rob {
+    /// Creates an empty ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Rob {
+        Rob {
+            slots: vec![None; capacity],
+            capacity,
+            release_seq: 0,
+            head_seq: 0,
+            tail_seq: 0,
+        }
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Occupied entries (including committed-but-unreleased).
+    pub fn occupancy(&self) -> usize {
+        (self.tail_seq - self.release_seq) as usize
+    }
+
+    /// In-flight (un-committed) entries.
+    pub fn in_flight(&self) -> usize {
+        (self.tail_seq - self.head_seq) as usize
+    }
+
+    /// Whether an entry can be allocated.
+    pub fn has_space(&self) -> bool {
+        self.occupancy() < self.capacity
+    }
+
+    /// Sequence number the next allocation must carry.
+    pub fn next_seq(&self) -> SeqNum {
+        SeqNum(self.tail_seq)
+    }
+
+    /// Oldest in-flight sequence number (commit head).
+    pub fn head_seq(&self) -> SeqNum {
+        SeqNum(self.head_seq)
+    }
+
+    /// Oldest unreleased sequence number.
+    pub fn release_seq(&self) -> SeqNum {
+        SeqNum(self.release_seq)
+    }
+
+    #[inline]
+    fn slot_of(&self, seq: SeqNum) -> usize {
+        (seq.0 % self.capacity as u64) as usize
+    }
+
+    /// Allocates the entry for `entry.seq` (which must equal
+    /// [`Rob::next_seq`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ROB is full or the sequence number is out of order.
+    pub fn alloc(&mut self, entry: RobEntry) -> usize {
+        assert!(self.has_space(), "ROB overflow");
+        assert_eq!(entry.seq.0, self.tail_seq, "out-of-order ROB allocation");
+        let slot = self.slot_of(entry.seq);
+        debug_assert!(self.slots[slot].is_none(), "ROB slot still occupied");
+        self.slots[slot] = Some(entry);
+        self.tail_seq += 1;
+        slot
+    }
+
+    /// The entry holding `seq`, if still present (in-flight or
+    /// committed-but-unreleased).
+    pub fn get(&self, seq: SeqNum) -> Option<&RobEntry> {
+        let slot = self.slot_of(seq);
+        self.slots[slot].as_ref().filter(|e| e.seq == seq)
+    }
+
+    /// Mutable variant of [`Rob::get`].
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut RobEntry> {
+        let slot = self.slot_of(seq);
+        self.slots[slot].as_mut().filter(|e| e.seq == seq)
+    }
+
+    /// The oldest in-flight entry, if any.
+    pub fn head(&self) -> Option<&RobEntry> {
+        if self.head_seq == self.tail_seq {
+            None
+        } else {
+            self.get(SeqNum(self.head_seq))
+        }
+    }
+
+    /// Marks the head committed and advances the commit pointer. In eager
+    /// mode the caller immediately follows with [`Rob::release_next`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no in-flight head.
+    pub fn commit_head(&mut self) -> &mut RobEntry {
+        assert!(self.head_seq < self.tail_seq);
+        let seq = SeqNum(self.head_seq);
+        self.head_seq += 1;
+        let e = self.get_mut(seq).expect("head entry present");
+        e.committed = true;
+        e
+    }
+
+    /// Releases (drops) the oldest committed entry, returning it for
+    /// reclaim processing. Returns `None` when release has caught up with
+    /// the commit head.
+    pub fn release_next(&mut self) -> Option<RobEntry> {
+        if self.release_seq == self.head_seq {
+            return None;
+        }
+        let seq = SeqNum(self.release_seq);
+        let slot = self.slot_of(seq);
+        let e = self.slots[slot].take().expect("released entry present");
+        debug_assert_eq!(e.seq, seq);
+        debug_assert!(e.committed);
+        self.release_seq += 1;
+        Some(e)
+    }
+
+    /// Squashes every entry younger than `after`, invoking `f` on each
+    /// (youngest-first order is *not* guaranteed), and resets the tail.
+    pub fn squash_younger(&mut self, after: SeqNum, mut f: impl FnMut(&RobEntry)) -> usize {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Some(e) if e.seq > after && !e.committed) {
+                let e = slot.take().expect("checked above");
+                f(&e);
+                n += 1;
+            }
+        }
+        self.tail_seq = (after.0 + 1).max(self.head_seq);
+        n
+    }
+
+    /// Squashes *all* in-flight entries (commit-time flush), invoking `f`
+    /// on each, and resets the tail to the commit head.
+    pub fn squash_all_inflight(&mut self, mut f: impl FnMut(&RobEntry)) -> usize {
+        let mut n = 0;
+        for slot in &mut self.slots {
+            if matches!(slot, Some(e) if !e.committed) {
+                let e = slot.take().expect("checked above");
+                f(&e);
+                n += 1;
+            }
+        }
+        self.tail_seq = self.head_seq;
+        n
+    }
+
+    /// Iterates over present (in-flight or unreleased) entries.
+    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
+        self.slots.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(seq: u64) -> RobEntry {
+        RobEntry {
+            seq: SeqNum(seq),
+            pc: 0x400000 + seq * 4,
+            sidx: seq as u32,
+            kind: UopKind::IntAlu,
+            wrong_path: false,
+            completed: false,
+            committed: false,
+            dst: None,
+            share: None,
+            eliminated: false,
+            bypass: None,
+            mem: None,
+            lq: None,
+            sq: None,
+            store_data: None,
+            branch: None,
+            trap: None,
+            history: HistorySnapshot::default(),
+            result: 0,
+            uid: seq,
+            tage_pred: None,
+            agu_done: false,
+            read_scheduled: false,
+        }
+    }
+
+    #[test]
+    fn alloc_get_commit_release_cycle() {
+        let mut rob = Rob::new(4);
+        for i in 0..3 {
+            rob.alloc(entry(i));
+        }
+        assert_eq!(rob.occupancy(), 3);
+        assert_eq!(rob.head().unwrap().seq, SeqNum(0));
+        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.commit_head();
+        assert_eq!(rob.in_flight(), 2);
+        assert_eq!(rob.occupancy(), 3, "lazy: entry retained until release");
+        let released = rob.release_next().unwrap();
+        assert_eq!(released.seq, SeqNum(0));
+        assert_eq!(rob.occupancy(), 2);
+        assert!(rob.release_next().is_none());
+    }
+
+    #[test]
+    fn committed_entries_remain_reachable_until_release() {
+        let mut rob = Rob::new(4);
+        rob.alloc(entry(0));
+        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.commit_head();
+        // Still reachable for SMB-from-committed.
+        assert!(rob.get(SeqNum(0)).is_some());
+        assert!(rob.get(SeqNum(0)).unwrap().committed);
+        rob.release_next();
+        assert!(rob.get(SeqNum(0)).is_none());
+    }
+
+    #[test]
+    fn capacity_counts_unreleased() {
+        let mut rob = Rob::new(2);
+        rob.alloc(entry(0));
+        rob.alloc(entry(1));
+        assert!(!rob.has_space());
+        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.commit_head();
+        // Committed but unreleased: still no space (the paper's trade-off).
+        assert!(!rob.has_space());
+        rob.release_next();
+        assert!(rob.has_space());
+        rob.alloc(entry(2));
+    }
+
+    #[test]
+    fn squash_younger_resets_tail() {
+        let mut rob = Rob::new(8);
+        for i in 0..6 {
+            rob.alloc(entry(i));
+        }
+        let mut squashed = Vec::new();
+        let n = rob.squash_younger(SeqNum(2), |e| squashed.push(e.seq.0));
+        assert_eq!(n, 3);
+        squashed.sort();
+        assert_eq!(squashed, vec![3, 4, 5]);
+        assert_eq!(rob.next_seq(), SeqNum(3));
+        // Re-allocate the squashed range.
+        rob.alloc(entry(3));
+        assert!(rob.get(SeqNum(3)).is_some());
+    }
+
+    #[test]
+    fn squash_all_inflight_spares_committed() {
+        let mut rob = Rob::new(8);
+        for i in 0..4 {
+            rob.alloc(entry(i));
+        }
+        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.commit_head();
+        let n = rob.squash_all_inflight(|_| {});
+        assert_eq!(n, 3);
+        assert_eq!(rob.next_seq(), SeqNum(1));
+        assert!(rob.get(SeqNum(0)).is_some(), "committed entry kept for release");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_order_alloc_panics() {
+        let mut rob = Rob::new(4);
+        rob.alloc(entry(5));
+    }
+
+    #[test]
+    fn seq_reuse_after_wraparound() {
+        let mut rob = Rob::new(2);
+        for i in 0..10u64 {
+            rob.alloc(entry(i));
+            rob.get_mut(SeqNum(i)).unwrap().completed = true;
+            rob.commit_head();
+            rob.release_next();
+        }
+        assert_eq!(rob.next_seq(), SeqNum(10));
+        assert_eq!(rob.occupancy(), 0);
+    }
+}

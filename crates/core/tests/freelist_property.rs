@@ -1,0 +1,107 @@
+//! Model-based property test for the checkpointable circular free list:
+//! pops, pushes, branch restores and commit-flush restores must agree with a
+//! straightforward reference implementation.
+
+use proptest::prelude::*;
+use regshare_core::rename::FreeList;
+use regshare_types::PhysReg;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pop,
+    CommitPop,
+    PushFreed,
+    Checkpoint,
+    Restore,
+    FlushToCommitted,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => Just(Op::Pop),
+        3 => Just(Op::CommitPop),
+        3 => Just(Op::PushFreed),
+        1 => Just(Op::Checkpoint),
+        1 => Just(Op::Restore),
+        1 => Just(Op::FlushToCommitted),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn freelist_matches_reference(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut fl = FreeList::new(16, 4);
+        // Reference: explicit queues.
+        let mut free: Vec<PhysReg> = (4..16).map(PhysReg::new).collect();
+        // Speculative pops not yet committed, oldest first.
+        let mut spec: Vec<PhysReg> = Vec::new();
+        // Committed pops whose registers are "live" until pushed back.
+        let mut committed_live: Vec<PhysReg> = Vec::new();
+        // Checkpoints: head tokens. A checkpoint is restorable only while no
+        // pop it covers has committed (in a pipeline, the owning branch is
+        // still in flight), i.e. while total commits ≤ its head token.
+        let mut ckpts: Vec<u64> = Vec::new();
+        let mut commits: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::Pop => {
+                    let got = fl.pop();
+                    if free.is_empty() {
+                        prop_assert_eq!(got, None);
+                    } else {
+                        let want = free.remove(0);
+                        prop_assert_eq!(got, Some(want));
+                        spec.push(want);
+                    }
+                }
+                Op::CommitPop => {
+                    if !spec.is_empty() {
+                        fl.commit_pop();
+                        commits += 1;
+                        let r = spec.remove(0);
+                        committed_live.push(r);
+                        // Drop checkpoints the commit point has passed.
+                        ckpts.retain(|&h| commits <= h);
+                    }
+                }
+                Op::PushFreed => {
+                    if !committed_live.is_empty() {
+                        let r = committed_live.remove(0);
+                        fl.push(r);
+                        free.push(r);
+                    }
+                }
+                Op::Checkpoint => {
+                    ckpts.push(fl.head());
+                }
+                Op::Restore => {
+                    if let Some(head) = ckpts.pop() {
+                        // Spec pops to keep after restoring: head - commits.
+                        let keep = (head - commits) as usize;
+                        prop_assert!(keep <= spec.len(), "model bookkeeping broke");
+                        let undone = spec.split_off(keep);
+                        fl.restore_head(head);
+                        // Un-popped registers return ahead of the current
+                        // free queue (they sit at the restored head).
+                        let mut restored = undone;
+                        restored.extend(free.drain(..));
+                        free = restored;
+                    }
+                }
+                Op::FlushToCommitted => {
+                    fl.restore_to_committed();
+                    let mut restored: Vec<PhysReg> = spec.drain(..).collect();
+                    restored.extend(free.drain(..));
+                    free = restored;
+                    ckpts.clear();
+                }
+            }
+            prop_assert_eq!(fl.free_count(), free.len(), "free count diverged");
+            let have: Vec<PhysReg> = fl.iter_free().collect();
+            prop_assert_eq!(&have, &free, "free order diverged");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Resource-pressure stress tests: shrink every structure far below Table 1
+//! sizes and make sure the pipeline still runs correctly (every stall path
+//! exercised) with sharing enabled.
+
+use regshare_core::{CoreConfig, Simulator, TrackerKind};
+use regshare_refcount::IsrbConfig;
+use regshare_workloads::{mini, suite};
+
+fn tiny_machine() -> CoreConfig {
+    let mut cfg = CoreConfig::hpca16();
+    cfg.rob_entries = 24;
+    cfg.iq_entries = 8;
+    cfg.lq_entries = 6;
+    cfg.sq_entries = 4;
+    cfg.pregs_per_class = 48; // 16 architectural + 32 free
+    cfg.frontend_width = 2;
+    cfg.issue_width = 2;
+    cfg.commit_width = 2;
+    cfg
+}
+
+#[test]
+fn tiny_machine_baseline_runs() {
+    let program = mini().build();
+    let mut sim = Simulator::new(&program, tiny_machine());
+    let s = sim.run(30_000);
+    assert!(s.ipc() > 0.05, "tiny machine IPC {}", s.ipc());
+    sim.audit_registers().expect("audit");
+}
+
+#[test]
+fn tiny_machine_with_sharing_matches_architecture() {
+    let program = mini().build();
+    let mut a = Simulator::new(&program, tiny_machine());
+    a.run(30_000);
+    let mut cfg = tiny_machine().with_me().with_smb();
+    cfg.tracker = TrackerKind::Isrb(IsrbConfig { entries: 4, ..IsrbConfig::hpca16() });
+    let mut b = Simulator::new(&program, cfg);
+    b.run(30_000);
+    assert_eq!(a.arch_digest(), b.arch_digest());
+    b.audit_registers().expect("audit");
+}
+
+#[test]
+fn tiny_prf_forces_stalls_but_stays_sound() {
+    // 4 free registers per class: rename stalls constantly; with sharing the
+    // free list pressure interacts with Keep decisions.
+    let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+    cfg.pregs_per_class = 20;
+    let program = mini().build();
+    let mut sim = Simulator::new(&program, cfg);
+    let s = sim.run(20_000);
+    assert!(s.committed >= 20_000);
+    sim.audit_registers().expect("audit");
+}
+
+#[test]
+fn lazy_reclaim_under_rob_pressure() {
+    // Lazy reclaiming keeps committed entries in a small ROB: the release
+    // scan must kick in or the machine deadlocks.
+    let mut cfg = CoreConfig::hpca16().with_smb();
+    cfg.smb_from_committed = true;
+    cfg.rob_entries = 32;
+    cfg.pregs_per_class = 40;
+    let program = mini().build();
+    let mut sim = Simulator::new(&program, cfg);
+    let s = sim.run(30_000);
+    assert!(s.committed >= 30_000);
+    sim.audit_registers().expect("audit");
+}
+
+#[test]
+fn single_entry_everything() {
+    // The most hostile configuration that can still make progress.
+    let mut cfg = tiny_machine().with_me().with_smb();
+    cfg.iq_entries = 2;
+    cfg.lq_entries = 2;
+    cfg.sq_entries = 2;
+    cfg.tracker = TrackerKind::Isrb(IsrbConfig { entries: 1, ..IsrbConfig::hpca16() });
+    cfg.tracker_rename_ports = 1;
+    cfg.tracker_reclaim_ports = 1;
+    let program = mini().build();
+    let mut sim = Simulator::new(&program, cfg);
+    let s = sim.run(10_000);
+    assert!(s.committed >= 10_000);
+    sim.audit_registers().expect("audit");
+}
+
+#[test]
+fn memory_bound_workload_with_sharing_on_small_machine() {
+    let wl = suite().into_iter().find(|w| w.name == "mcf").unwrap();
+    let program = wl.build();
+    let mut cfg = tiny_machine().with_me().with_smb();
+    cfg.mem.l1d_mshrs = 2; // heavy MSHR pressure → Retry paths
+    let mut sim = Simulator::new(&program, cfg);
+    let s = sim.run(5_000);
+    assert!(s.committed >= 5_000);
+    sim.audit_registers().expect("audit");
+}

@@ -1,0 +1,206 @@
+//! The Data Dependency Table (DDT, §3.1 / Figure 1).
+//!
+//! A commit-side table indexed by data virtual address. A committing store
+//! writes the CSN of the instruction that produced its data; a committing
+//! load reads the entry to discover its producer and compute the
+//! Instruction Distance, then (for load-load bypassing) writes its *own*
+//! CSN back so later redundant loads can bypass from it.
+
+use regshare_types::hasher::{mix64, FastMap};
+use regshare_types::{Addr, SeqNum};
+
+/// DDT geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdtConfig {
+    /// Number of entries; 0 = unlimited (exact, address-keyed map).
+    pub entries: usize,
+    /// Tag bits for finite configurations.
+    pub tag_bits: u32,
+}
+
+impl DdtConfig {
+    /// The paper's large first design point: 16K entries, 14-bit tags
+    /// (~156KB with full VAs; our storage report uses the tagged layout).
+    pub fn base16k() -> DdtConfig {
+        DdtConfig { entries: 16 * 1024, tag_bits: 14 }
+    }
+
+    /// The paper's cost-optimized point: 1K entries, 5-bit tags (~8.6KB).
+    pub fn opt1k() -> DdtConfig {
+        DdtConfig { entries: 1024, tag_bits: 5 }
+    }
+
+    /// Unlimited oracle DDT.
+    pub fn unlimited() -> DdtConfig {
+        DdtConfig { entries: 0, tag_bits: 0 }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DdtEntry {
+    valid: bool,
+    tag: u32,
+    csn: SeqNum,
+}
+
+/// The Data Dependency Table. See the module docs and [`DdtConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use regshare_distance::{Ddt, DdtConfig};
+/// use regshare_types::SeqNum;
+///
+/// let mut ddt = Ddt::new(DdtConfig::opt1k());
+/// ddt.store_commit(0x8000, SeqNum(3)); // store of data produced by #3
+/// assert_eq!(ddt.load_lookup(0x8000), Some(SeqNum(3)));
+/// ```
+#[derive(Debug)]
+pub struct Ddt {
+    cfg: DdtConfig,
+    table: Vec<DdtEntry>,
+    exact: FastMap<Addr, SeqNum>,
+    stores_recorded: u64,
+    load_hits: u64,
+    load_misses: u64,
+}
+
+impl Ddt {
+    /// Builds a DDT.
+    pub fn new(cfg: DdtConfig) -> Ddt {
+        Ddt {
+            table: vec![DdtEntry::default(); cfg.entries],
+            exact: FastMap::default(),
+            cfg,
+            stores_recorded: 0,
+            load_hits: 0,
+            load_misses: 0,
+        }
+    }
+
+    #[inline]
+    fn index_and_tag(&self, addr: Addr) -> (usize, u32) {
+        // Word-granular address key: accesses to the same 8-byte word pair up.
+        let h = mix64(addr >> 3);
+        (
+            (h as usize) % self.table.len(),
+            ((h >> 32) as u32) & ((1 << self.cfg.tag_bits) - 1),
+        )
+    }
+
+    /// A committing store (or, for load-load pairs, a committing load)
+    /// deposits its producer CSN for address `addr`.
+    pub fn store_commit(&mut self, addr: Addr, producer_csn: SeqNum) {
+        self.stores_recorded += 1;
+        if self.cfg.entries == 0 {
+            self.exact.insert(addr >> 3, producer_csn);
+            return;
+        }
+        let (idx, tag) = self.index_and_tag(addr);
+        self.table[idx] = DdtEntry { valid: true, tag, csn: producer_csn };
+    }
+
+    /// A committing load reads the producer CSN for address `addr`.
+    pub fn load_lookup(&mut self, addr: Addr) -> Option<SeqNum> {
+        let res = if self.cfg.entries == 0 {
+            self.exact.get(&(addr >> 3)).copied()
+        } else {
+            let (idx, tag) = self.index_and_tag(addr);
+            let e = self.table[idx];
+            if e.valid && e.tag == tag {
+                Some(e.csn)
+            } else {
+                None
+            }
+        };
+        if res.is_some() {
+            self.load_hits += 1;
+        } else {
+            self.load_misses += 1;
+        }
+        res
+    }
+
+    /// (stores recorded, load hits, load misses).
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.stores_recorded, self.load_hits, self.load_misses)
+    }
+
+    /// Storage bits (finite configurations; the unlimited DDT reports 0 as
+    /// it is an oracle).
+    pub fn storage_bits(&self) -> usize {
+        // Tagged layout: valid + tag + 8-bit distance-source CSN field.
+        self.cfg.entries * (1 + self.cfg.tag_bits as usize + 64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliasing_pointers_find_last_producer() {
+        // Figure 1: two stores to the same VA through different pointers;
+        // the load finds the CSN of the *second* store's producer.
+        let mut ddt = Ddt::new(DdtConfig::base16k());
+        ddt.store_commit(0x9000, SeqNum(0)); // store3's producer add1
+        ddt.store_commit(0x9000, SeqNum(1)); // store4's producer sub2
+        assert_eq!(ddt.load_lookup(0x9000), Some(SeqNum(1)));
+    }
+
+    #[test]
+    fn load_load_chaining() {
+        let mut ddt = Ddt::new(DdtConfig::base16k());
+        ddt.store_commit(0xa000, SeqNum(5));
+        // load commits: reads 5, then deposits its own CSN 9.
+        assert_eq!(ddt.load_lookup(0xa000), Some(SeqNum(5)));
+        ddt.store_commit(0xa000, SeqNum(9));
+        assert_eq!(ddt.load_lookup(0xa000), Some(SeqNum(9)));
+    }
+
+    #[test]
+    fn unlimited_has_no_aliasing() {
+        let mut ddt = Ddt::new(DdtConfig::unlimited());
+        for i in 0..10_000u64 {
+            ddt.store_commit(0x10000 + i * 8, SeqNum(i));
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(ddt.load_lookup(0x10000 + i * 8), Some(SeqNum(i)));
+        }
+    }
+
+    #[test]
+    fn finite_table_can_alias_but_tags_filter() {
+        let mut ddt = Ddt::new(DdtConfig { entries: 4, tag_bits: 8 });
+        ddt.store_commit(0x1000, SeqNum(1));
+        // A lookup at a different address either misses (tag filter) or, on
+        // an unlucky index+tag collision, returns a wrong CSN — that is the
+        // nature of the finite DDT. With 8-bit tags and 4 entries, check a
+        // specific non-colliding address misses.
+        let mut missed = false;
+        for probe in [0x2000u64, 0x3000, 0x4000, 0x5000] {
+            if ddt.load_lookup(probe).is_none() {
+                missed = true;
+            }
+        }
+        assert!(missed, "tag filtering never rejected any probe");
+    }
+
+    #[test]
+    fn word_granularity_pairs_subword_accesses() {
+        let mut ddt = Ddt::new(DdtConfig::base16k());
+        ddt.store_commit(0xb000, SeqNum(3));
+        // A 4-byte load of the same word still finds the pair.
+        assert_eq!(ddt.load_lookup(0xb004 & !7), Some(SeqNum(3)));
+    }
+
+    #[test]
+    fn storage_scale_matches_paper_order() {
+        // 16K entries ≈ 156KB with full VAs in the paper; our tagged layout
+        // is of the same order.
+        let big = Ddt::new(DdtConfig::base16k()).storage_bits() / 8 / 1024;
+        assert!(big >= 100, "16K DDT too small: {big}KB");
+        let small = Ddt::new(DdtConfig::opt1k()).storage_bits() / 8 / 1024;
+        assert!(small <= 10, "1K DDT too big: {small}KB");
+    }
+}

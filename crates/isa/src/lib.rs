@@ -1,0 +1,48 @@
+//! The `regshare` micro-op ISA, static programs and their interpreter.
+//!
+//! The paper evaluates on x86_64/gem5; this crate provides the equivalent
+//! substrate: a compact, renamable micro-op ISA with 16 INT + 16 FP
+//! architectural registers, x86-style move semantics (32/64-bit moves are
+//! *true* moves and eliminable, 8/16-bit moves are *merge* µ-ops that also
+//! read their destination and are not eliminable), loads/stores of 1–8
+//! bytes, and control flow (conditional branches, jumps, calls, returns).
+//!
+//! Programs are real control-flow graphs executed by [`interp::Machine`];
+//! the [`stream::FetchStream`] wrapper is what the out-of-order core
+//! consumes: it serves correct-path micro-ops from an *oracle* in-order
+//! interpreter, genuinely executes wrong paths after branch mispredictions
+//! (forked register state + copy-on-write memory overlay), and supports
+//! redirect/replay for pipeline flushes.
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_isa::program::{Program, ProgramBuilder};
+//! use regshare_isa::interp::Machine;
+//! use regshare_isa::op::{Op, Operand, AluOp};
+//! use regshare_types::ArchReg;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let r0 = ArchReg::int(0);
+//! b.push(Op::LoadImm { dst: r0, imm: 5 });
+//! b.push(Op::IntAlu { op: AluOp::Add, dst: r0, src1: r0, src2: Operand::Imm(1) });
+//! b.push(Op::Halt);
+//! let program = b.build();
+//! let mut m = Machine::new(std::sync::Arc::new(program));
+//! let _ = m.step(); // LoadImm
+//! let uop = m.step(); // Add
+//! assert_eq!(uop.result, 6);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod interp;
+pub mod mem;
+pub mod op;
+pub mod program;
+pub mod stream;
+
+pub use interp::Machine;
+pub use op::{AluOp, BranchOutcome, Cond, DynUop, ExecClass, MemRef, MoveWidth, Op, Operand, UopKind};
+pub use program::{Program, ProgramBuilder};
+pub use stream::FetchStream;

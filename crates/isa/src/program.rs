@@ -1,0 +1,381 @@
+//! Static programs: validated sequences of [`Op`]s with synthetic PCs.
+
+use crate::op::{Op, Operand};
+use regshare_types::{Addr, ArchReg, RegClass};
+use std::fmt;
+
+/// Base address of the synthetic code segment.
+pub const PC_BASE: Addr = 0x0040_0000;
+/// Bytes per (fixed-size) instruction; PCs advance by this amount.
+pub const INST_BYTES: Addr = 4;
+
+/// Error produced when validating a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateProgramError {
+    /// A branch/jump/call target is out of range.
+    TargetOutOfRange {
+        /// Index of the offending instruction.
+        at: u32,
+        /// The invalid target.
+        target: u32,
+    },
+    /// A register operand has the wrong class for its role.
+    WrongRegClass {
+        /// Index of the offending instruction.
+        at: u32,
+        /// Description of the role, e.g. `"load base"`.
+        role: &'static str,
+    },
+    /// A load/store size is not 1, 2, 4 or 8.
+    BadAccessSize {
+        /// Index of the offending instruction.
+        at: u32,
+        /// The invalid size.
+        size: u8,
+    },
+    /// The program is empty.
+    Empty,
+}
+
+impl fmt::Display for ValidateProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateProgramError::TargetOutOfRange { at, target } => {
+                write!(f, "instruction {at}: control-flow target {target} out of range")
+            }
+            ValidateProgramError::WrongRegClass { at, role } => {
+                write!(f, "instruction {at}: wrong register class for {role}")
+            }
+            ValidateProgramError::BadAccessSize { at, size } => {
+                write!(f, "instruction {at}: invalid memory access size {size}")
+            }
+            ValidateProgramError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateProgramError {}
+
+/// An immutable, validated program.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::program::ProgramBuilder;
+/// use regshare_isa::op::Op;
+/// use regshare_types::ArchReg;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.push(Op::LoadImm { dst: ArchReg::int(0), imm: 1 });
+/// b.push(Op::Halt);
+/// let p = b.build();
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.pc_of(1), p.pc_of(0) + 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Program {
+    insts: Vec<Op>,
+}
+
+impl Program {
+    /// Validates and wraps a raw instruction sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateProgramError`] describing the first problem found.
+    pub fn validated(insts: Vec<Op>) -> Result<Program, ValidateProgramError> {
+        if insts.is_empty() {
+            return Err(ValidateProgramError::Empty);
+        }
+        let n = insts.len() as u32;
+        let check_target = |at: u32, target: u32| {
+            if target >= n {
+                Err(ValidateProgramError::TargetOutOfRange { at, target })
+            } else {
+                Ok(())
+            }
+        };
+        let check_int = |at: u32, r: ArchReg, role: &'static str| {
+            if r.class() != RegClass::Int {
+                Err(ValidateProgramError::WrongRegClass { at, role })
+            } else {
+                Ok(())
+            }
+        };
+        let check_fp = |at: u32, r: ArchReg, role: &'static str| {
+            if r.class() != RegClass::Fp {
+                Err(ValidateProgramError::WrongRegClass { at, role })
+            } else {
+                Ok(())
+            }
+        };
+        let check_size = |at: u32, size: u8| {
+            if matches!(size, 1 | 2 | 4 | 8) {
+                Ok(())
+            } else {
+                Err(ValidateProgramError::BadAccessSize { at, size })
+            }
+        };
+        for (i, op) in insts.iter().enumerate() {
+            let at = i as u32;
+            match *op {
+                Op::IntAlu { dst, src1, src2, .. }
+                | Op::IntMul { dst, src1, src2 }
+                | Op::IntDiv { dst, src1, src2 } => {
+                    check_int(at, dst, "int dst")?;
+                    check_int(at, src1, "int src1")?;
+                    if let Operand::Reg(r) = src2 {
+                        check_int(at, r, "int src2")?;
+                    }
+                }
+                Op::FpAdd { dst, src1, src2 }
+                | Op::FpMul { dst, src1, src2 }
+                | Op::FpDiv { dst, src1, src2 } => {
+                    check_fp(at, dst, "fp dst")?;
+                    check_fp(at, src1, "fp src1")?;
+                    check_fp(at, src2, "fp src2")?;
+                }
+                Op::MovInt { dst, src, .. } => {
+                    check_int(at, dst, "move dst")?;
+                    check_int(at, src, "move src")?;
+                }
+                Op::MovFp { dst, src } => {
+                    check_fp(at, dst, "fp move dst")?;
+                    check_fp(at, src, "fp move src")?;
+                }
+                Op::LoadImm { .. } => {}
+                Op::Load { base, size, .. } => {
+                    check_int(at, base, "load base")?;
+                    check_size(at, size)?;
+                }
+                Op::Store { base, size, .. } => {
+                    check_int(at, base, "store base")?;
+                    check_size(at, size)?;
+                }
+                Op::CondBranch { src1, src2, target, .. } => {
+                    check_int(at, src1, "branch src1")?;
+                    if let Operand::Reg(r) = src2 {
+                        check_int(at, r, "branch src2")?;
+                    }
+                    check_target(at, target)?;
+                }
+                Op::Jump { target } | Op::Call { target } => check_target(at, target)?,
+                Op::Ret | Op::Nop | Op::Halt => {}
+            }
+        }
+        Ok(Program { insts })
+    }
+
+    /// Number of static instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program is empty (never true for validated programs).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The instruction at static index `sidx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sidx` is out of range.
+    #[inline]
+    pub fn op(&self, sidx: u32) -> &Op {
+        &self.insts[sidx as usize]
+    }
+
+    /// Program counter of static index `sidx`.
+    #[inline]
+    pub fn pc_of(&self, sidx: u32) -> Addr {
+        PC_BASE + sidx as Addr * INST_BYTES
+    }
+
+    /// Inverse of [`Program::pc_of`]; `None` if `pc` is not a valid PC.
+    pub fn sidx_of(&self, pc: Addr) -> Option<u32> {
+        if pc < PC_BASE || (pc - PC_BASE) % INST_BYTES != 0 {
+            return None;
+        }
+        let sidx = (pc - PC_BASE) / INST_BYTES;
+        if (sidx as usize) < self.insts.len() {
+            Some(sidx as u32)
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over the static instructions.
+    pub fn iter(&self) -> impl Iterator<Item = &Op> {
+        self.insts.iter()
+    }
+}
+
+/// Incremental builder for [`Program`]s with label support.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_isa::program::ProgramBuilder;
+/// use regshare_isa::op::{Op, Operand, AluOp, Cond};
+/// use regshare_types::ArchReg;
+///
+/// let mut b = ProgramBuilder::new();
+/// let r = ArchReg::int(0);
+/// b.push(Op::LoadImm { dst: r, imm: 10 });
+/// let top = b.here();
+/// b.push(Op::IntAlu { op: AluOp::Sub, dst: r, src1: r, src2: Operand::Imm(1) });
+/// b.push(Op::CondBranch { cond: Cond::Ne, src1: r, src2: Operand::Imm(0), target: top });
+/// b.push(Op::Halt);
+/// let p = b.build();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Op>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder::default()
+    }
+
+    /// Appends an instruction, returning its static index.
+    pub fn push(&mut self, op: Op) -> u32 {
+        let idx = self.insts.len() as u32;
+        self.insts.push(op);
+        idx
+    }
+
+    /// The static index the *next* pushed instruction will get — use as a
+    /// forward/backward branch label.
+    pub fn here(&self) -> u32 {
+        self.insts.len() as u32
+    }
+
+    /// Number of instructions pushed so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Patches the target of a previously pushed branch/jump/call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is out of range or the instruction has no target.
+    pub fn patch_target(&mut self, at: u32, new_target: u32) {
+        match &mut self.insts[at as usize] {
+            Op::CondBranch { target, .. } | Op::Jump { target } | Op::Call { target } => {
+                *target = new_target;
+            }
+            other => panic!("instruction {at} ({other:?}) has no target to patch"),
+        }
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation fails; use [`ProgramBuilder::try_build`] to
+    /// handle errors.
+    pub fn build(self) -> Program {
+        self.try_build().expect("invalid program")
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateProgramError`] describing the first problem found.
+    pub fn try_build(self) -> Result<Program, ValidateProgramError> {
+        Program::validated(self.insts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, Cond};
+
+    #[test]
+    fn empty_program_rejected() {
+        let err = Program::validated(vec![]).unwrap_err();
+        assert_eq!(err, ValidateProgramError::Empty);
+    }
+
+    #[test]
+    fn target_out_of_range_rejected() {
+        let err = Program::validated(vec![Op::Jump { target: 5 }]).unwrap_err();
+        assert_eq!(err, ValidateProgramError::TargetOutOfRange { at: 0, target: 5 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn wrong_class_rejected() {
+        let err = Program::validated(vec![Op::IntAlu {
+            op: AluOp::Add,
+            dst: ArchReg::fp(0),
+            src1: ArchReg::int(0),
+            src2: Operand::Imm(0),
+        }])
+        .unwrap_err();
+        assert!(matches!(err, ValidateProgramError::WrongRegClass { at: 0, .. }));
+    }
+
+    #[test]
+    fn bad_size_rejected() {
+        let err = Program::validated(vec![Op::Load {
+            dst: ArchReg::int(0),
+            base: ArchReg::int(1),
+            offset: 0,
+            size: 3,
+        }])
+        .unwrap_err();
+        assert_eq!(err, ValidateProgramError::BadAccessSize { at: 0, size: 3 });
+    }
+
+    #[test]
+    fn pc_round_trip() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..10 {
+            b.push(Op::Nop);
+        }
+        let p = b.build();
+        for i in 0..10u32 {
+            assert_eq!(p.sidx_of(p.pc_of(i)), Some(i));
+        }
+        assert_eq!(p.sidx_of(p.pc_of(0) + 1), None);
+        assert_eq!(p.sidx_of(p.pc_of(9) + INST_BYTES), None);
+        assert_eq!(p.sidx_of(0), None);
+    }
+
+    #[test]
+    fn patch_target_works() {
+        let mut b = ProgramBuilder::new();
+        let j = b.push(Op::Jump { target: 0 });
+        b.push(Op::Nop);
+        b.push(Op::CondBranch {
+            cond: Cond::Eq,
+            src1: ArchReg::int(0),
+            src2: Operand::Imm(0),
+            target: 0,
+        });
+        b.patch_target(j, 2);
+        let p = b.build();
+        assert!(matches!(p.op(0), Op::Jump { target: 2 }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn patch_non_branch_panics() {
+        let mut b = ProgramBuilder::new();
+        b.push(Op::Nop);
+        b.patch_target(0, 0);
+    }
+}

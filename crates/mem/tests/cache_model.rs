@@ -1,0 +1,68 @@
+//! Model-based property test: the set-associative LRU cache must agree with
+//! a straightforward reference implementation under random traffic.
+
+use proptest::prelude::*;
+use regshare_mem::{Cache, CacheConfig};
+use std::collections::VecDeque;
+
+/// Reference model: per-set LRU as an ordered list of line addresses.
+struct RefCache {
+    sets: Vec<VecDeque<u64>>,
+    ways: usize,
+    set_count: usize,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> RefCache {
+        RefCache { sets: (0..sets).map(|_| VecDeque::new()).collect(), ways, set_count: sets }
+    }
+    fn set_of(&self, addr: u64) -> usize {
+        ((addr >> 6) as usize) % self.set_count
+    }
+    fn probe(&mut self, addr: u64) -> bool {
+        let s = self.set_of(addr);
+        let line = addr >> 6;
+        if let Some(pos) = self.sets[s].iter().position(|&l| l == line) {
+            let l = self.sets[s].remove(pos).expect("present");
+            self.sets[s].push_back(l);
+            true
+        } else {
+            false
+        }
+    }
+    fn fill(&mut self, addr: u64) {
+        let s = self.set_of(addr);
+        let line = addr >> 6;
+        if let Some(pos) = self.sets[s].iter().position(|&l| l == line) {
+            let l = self.sets[s].remove(pos).expect("present");
+            self.sets[s].push_back(l);
+            return;
+        }
+        if self.sets[s].len() == self.ways {
+            self.sets[s].pop_front();
+        }
+        self.sets[s].push_back(line);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..400)) {
+        // 4 sets × 2 ways × 64B lines.
+        let mut cache = Cache::new(CacheConfig { size_bytes: 512, ways: 2, line_bytes: 64, latency: 1 });
+        let mut reference = RefCache::new(4, 2);
+        for (is_fill, line) in ops {
+            let addr = line * 64;
+            if is_fill {
+                cache.fill(addr, false);
+                reference.fill(addr);
+            } else {
+                let got = cache.probe(addr);
+                let want = reference.probe(addr);
+                prop_assert_eq!(got, want, "probe({:#x}) diverged", addr);
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Front-end predictors: TAGE branch direction predictor, BTB, return
+//! address stack, and the Store Sets memory dependence predictor.
+//!
+//! These reproduce the paper's Table 1 front-end: a TAGE predictor with one
+//! base and 12 tagged components (~15K entries total), a 2-way 4K-entry BTB,
+//! a 32-entry RAS, and a 4K-SSID/LFST Store Sets predictor that is *not*
+//! rolled back on squashes.
+//!
+//! All state that fetch speculates on (global history, folded histories,
+//! RAS) supports cheap snapshot/restore so the core can recover it on a
+//! branch misprediction in a single cycle, mirroring the checkpoint
+//! discipline the paper assumes for the renamer (§4.1).
+
+#![deny(missing_docs)]
+
+pub mod btb;
+pub mod history;
+pub mod ras;
+pub mod storesets;
+pub mod tage;
+
+pub use btb::{Btb, BtbEntry};
+pub use history::{FoldedHistory, GlobalHistory};
+pub use ras::ReturnAddressStack;
+pub use storesets::{StoreSets, StoreSetsConfig};
+pub use tage::{Tage, TageConfig, TagePrediction};

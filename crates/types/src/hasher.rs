@@ -1,0 +1,145 @@
+//! A small, fast, deterministic hasher for simulator tables.
+//!
+//! The simulator must be bit-reproducible across runs and platforms, so all
+//! hash maps and table-index hashes in the workspace use this FxHash-style
+//! mixer instead of `std`'s randomly-seeded SipHash.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit multiply-xor mixer (the rustc FxHash constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A deterministic, non-cryptographic [`Hasher`].
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::hasher::FastMap;
+/// let mut m: FastMap<u64, &str> = FastMap::default();
+/// m.insert(42, "line");
+/// assert_eq!(m.get(&42), Some(&"line"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl FastHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// A `HashMap` with the deterministic [`FastHasher`].
+pub type FastMap<K, V> = HashMap<K, V, BuildHasherDefault<FastHasher>>;
+
+/// A `HashSet` with the deterministic [`FastHasher`].
+pub type FastSet<K> = HashSet<K, BuildHasherDefault<FastHasher>>;
+
+/// Mixes a 64-bit value into a well-distributed 64-bit hash
+/// (splitmix64 finalizer). Used for table indexing from PCs/addresses.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::hasher::mix64;
+/// assert_ne!(mix64(1), mix64(2));
+/// assert_eq!(mix64(7), mix64(7));
+/// ```
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let h = |x: u64| {
+            let mut hh = FastHasher::default();
+            hh.write_u64(x);
+            hh.finish()
+        };
+        assert_eq!(h(1234), h(1234));
+        assert_ne!(h(1234), h(1235));
+    }
+
+    #[test]
+    fn byte_writes_match_padding_rules() {
+        let mut a = FastHasher::default();
+        a.write(&[1, 2, 3]);
+        let mut b = FastHasher::default();
+        b.write(&[1, 2, 3]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn mix64_spreads_low_bits() {
+        // Consecutive inputs should disagree in many output bits.
+        let d = (mix64(100) ^ mix64(101)).count_ones();
+        assert!(d > 16, "poor diffusion: {d} differing bits");
+    }
+
+    #[test]
+    fn fast_map_works() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+}

@@ -1,0 +1,168 @@
+//! Statistics plumbing: named counters, ratios and summary math shared by the
+//! simulator and the experiment harness.
+
+use std::fmt;
+
+/// A running mean over `u64` samples (used e.g. for the paper's §6.3
+/// "average distance between ISRB allocations" metric).
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::stats::RunningMean;
+/// let mut m = RunningMean::new();
+/// m.add(10);
+/// m.add(20);
+/// assert_eq!(m.mean(), Some(15.0));
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: u128,
+    count: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> RunningMean {
+        RunningMean::default()
+    }
+
+    /// Adds one sample.
+    #[inline]
+    pub fn add(&mut self, sample: u64) {
+        self.sum += sample as u128;
+        self.count += 1;
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+
+    /// Arithmetic mean, or `None` if no samples were added.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+}
+
+impl fmt::Display for RunningMean {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mean() {
+            Some(m) => write!(f, "{m:.2} (n={}, min={:?}, max={:?})", self.count, self.min, self.max),
+            None => write!(f, "n/a (no samples)"),
+        }
+    }
+}
+
+/// Geometric mean of positive values; ignores an empty slice by returning
+/// `None` and panics on non-positive entries in debug builds.
+///
+/// Speedup aggregation in the paper uses geometric means.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::stats::geomean;
+/// let g = geomean(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// ```
+pub fn geomean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            debug_assert!(v > 0.0, "geomean of non-positive value {v}");
+            v.ln()
+        })
+        .sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Percentage helper: `part / whole * 100`, `0` when `whole == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::stats::pct;
+/// assert_eq!(pct(1, 4), 25.0);
+/// assert_eq!(pct(1, 0), 0.0);
+/// ```
+#[inline]
+pub fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+/// Speedup of `new` IPC over `base` IPC expressed as a percentage
+/// (`5.0` means 5% faster). Returns `0` if the baseline is degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_types::stats::speedup_pct;
+/// assert!((speedup_pct(1.0, 1.05) - 5.0).abs() < 1e-9);
+/// ```
+#[inline]
+pub fn speedup_pct(base_ipc: f64, new_ipc: f64) -> f64 {
+    if base_ipc <= 0.0 {
+        0.0
+    } else {
+        (new_ipc / base_ipc - 1.0) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_tracks_extremes() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), None);
+        for v in [5, 1, 9] {
+            m.add(v);
+        }
+        assert_eq!(m.mean(), Some(5.0));
+        assert_eq!(m.min(), Some(1));
+        assert_eq!(m.max(), Some(9));
+        assert!(m.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), None);
+        let g = geomean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_pct() {
+        assert_eq!(pct(3, 12), 25.0);
+        assert!((speedup_pct(2.0, 2.2) - 10.0).abs() < 1e-9);
+        assert_eq!(speedup_pct(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Synthetic SPEC-like workload suite.
+//!
+//! The paper evaluates 18 SPEC INT + 18 SPEC FP Simpoint slices. Those
+//! binaries and inputs are not redistributable, so this crate synthesizes a
+//! suite of 36 named workloads from parameterized *program motifs* —
+//! spill/reload loops, streaming kernels, pointer chases, branchy reducers,
+//! x86-style move-heavy call glue, redundant-load chains — compiled into
+//! real control-flow graphs for the `regshare-isa` interpreter.
+//!
+//! What matters for the paper's experiments is workload *structure*:
+//!
+//! - density of eliminable (32/64-bit) and merge (8/16-bit) moves → ME;
+//! - spill/reload pairs at stable distances, redundant load chains, and
+//!   history-correlated path lengths → SMB and the distance predictors;
+//! - pointer aliasing invisible to PC-indexed predictors → memory traps and
+//!   Store Sets false dependencies;
+//! - branch predictability and working-set size → baseline IPC spread.
+//!
+//! Each named profile ([`suite`]) fixes a deterministic seed, so every run
+//! of a given workload reproduces the same dynamic stream.
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_workloads::{suite, WorkloadClass};
+//!
+//! let all = suite();
+//! assert_eq!(all.len(), 36);
+//! let crafty = all.iter().find(|w| w.name == "crafty").unwrap();
+//! assert_eq!(crafty.class, WorkloadClass::Int);
+//! let program = crafty.build();
+//! assert!(program.len() > 50);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod motifs;
+pub mod profile;
+pub mod rng;
+
+pub use profile::{custom, mini, suite, Workload, WorkloadClass, WorkloadProfile};

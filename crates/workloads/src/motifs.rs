@@ -1,0 +1,868 @@
+//! Program motifs: parameterized code patterns that reproduce the workload
+//! structure the paper's experiments depend on.
+//!
+//! Each motif emits a small loop into a [`ProgramBuilder`]:
+//!
+//! - [`move_glue`] — x86-style destructive-op glue: eliminable 32/64-bit
+//!   moves (with a configurable fraction of 8/16-bit merge moves that ME
+//!   must skip), feeding dependent work so elimination shortens the chain.
+//! - [`spill_reload`] — compiler spill/reload pairs at stable distances;
+//!   optionally with history-correlated path lengths between store and load
+//!   so only history-indexed distance predictors can learn the distance.
+//! - [`redundant_loads`] — the same slot loaded repeatedly in-window
+//!   (load-load SMB pairs).
+//! - [`pointer_alias`] — stores through a slowly-computed pointer that
+//!   sometimes aliases a later load: memory-order violations at first, Store
+//!   Sets false dependencies afterwards.
+//! - [`streaming`] — strided FP streaming over configurable working sets.
+//! - [`pointer_chase`] — dependent pseudo-random walks (cache-miss bound).
+//! - [`branchy`] — data-dependent branches with configurable bias.
+//! - [`call_leaf`] — call/return to move-heavy leaf functions (RAS + ME).
+
+use crate::rng::Xorshift;
+use regshare_isa::op::{AluOp, Cond, MoveWidth, Op, Operand};
+use regshare_isa::program::ProgramBuilder;
+use regshare_types::ArchReg;
+
+/// Shared emission context.
+#[derive(Debug)]
+pub struct EmitCtx<'a> {
+    /// Builder receiving the code.
+    pub b: &'a mut ProgramBuilder,
+    /// Deterministic randomness for structure choices.
+    pub rng: &'a mut Xorshift,
+    /// Base address of this motif's private memory region.
+    pub region: u64,
+    /// Fraction (0..1) of integer work replaced by FP work.
+    pub fp_mix: f64,
+}
+
+// Register conventions (integer class):
+//   r1  induction variable
+//   r2  scratch address
+//   r3  inner loop counter
+//   r4..r6 region base pointers
+//   r8..r13 data values
+//   r14 pseudo-random data
+//   r15 accumulator
+fn r(i: usize) -> ArchReg {
+    ArchReg::int(i)
+}
+fn f(i: usize) -> ArchReg {
+    ArchReg::fp(i)
+}
+
+/// Emits `trips`-iteration counted loop around `body` (r3 is the counter).
+#[allow(dead_code)] // exercised by tests; motifs use counted_loop_ctx
+fn counted_loop(b: &mut ProgramBuilder, trips: u64, body: impl FnOnce(&mut ProgramBuilder)) {
+    b.push(Op::LoadImm { dst: r(3), imm: trips });
+    let top = b.here();
+    body(b);
+    b.push(Op::IntAlu { op: AluOp::Sub, dst: r(3), src1: r(3), src2: Operand::Imm(1) });
+    b.push(Op::CondBranch { cond: Cond::Ne, src1: r(3), src2: Operand::Imm(0), target: top });
+}
+
+/// Emits one unit of "work": an ALU/FP op over the data registers.
+fn work_uop(ctx: &mut EmitCtx<'_>) {
+    if ctx.rng.chance(ctx.fp_mix * 100.0) {
+        let (d, s1, s2) = (
+            f(8 + ctx.rng.below(4) as usize),
+            f(8 + ctx.rng.below(4) as usize),
+            f(12 + ctx.rng.below(4) as usize),
+        );
+        match ctx.rng.below(10) {
+            0 => ctx.b.push(Op::FpMul { dst: d, src1: s1, src2: s2 }),
+            1 => ctx.b.push(Op::FpDiv { dst: d, src1: s1, src2: s2 }),
+            _ => ctx.b.push(Op::FpAdd { dst: d, src1: s1, src2: s2 }),
+        };
+    } else if ctx.rng.chance(25.0) {
+        // Serial dependency chain through the accumulator: keeps ILP at
+        // realistic levels so the machine is not purely issue-bound.
+        let s2 = Operand::Reg(r(8 + ctx.rng.below(5) as usize));
+        let op = *ctx.rng.pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor]);
+        ctx.b.push(Op::IntAlu { op, dst: r(15), src1: r(15), src2: s2 });
+    } else {
+        let d = r(8 + ctx.rng.below(5) as usize);
+        let s1 = r(8 + ctx.rng.below(5) as usize);
+        let s2 = if ctx.rng.chance(50.0) {
+            Operand::Reg(r(8 + ctx.rng.below(5) as usize))
+        } else {
+            Operand::Imm(ctx.rng.below(1 << 16) | 1)
+        };
+        let op = *ctx.rng.pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or]);
+        match ctx.rng.below(24) {
+            0 => ctx.b.push(Op::IntMul { dst: d, src1: s1, src2: s2 }),
+            1 => ctx.b.push(Op::IntDiv { dst: d, src1: s1, src2: s2 }),
+            _ => ctx.b.push(Op::IntAlu { op, dst: d, src1: s1, src2: s2 }),
+        };
+    }
+}
+
+/// Move-heavy glue block: `density` percent of the ~30 emitted µ-ops are
+/// register moves; `merge_pct` percent of those are 8/16-bit merge moves
+/// (not eliminable). Moves feed dependent work so eliminating them pays.
+pub fn move_glue(ctx: &mut EmitCtx<'_>, trips: u64, density: f64, merge_pct: f64, fp_moves: bool) {
+    let density = density.clamp(0.0, 95.0);
+    let mut plan: Vec<bool> = Vec::new();
+    for _ in 0..30 {
+        plan.push(ctx.rng.chance(density));
+    }
+    let merges: Vec<bool> = (0..30).map(|_| ctx.rng.chance(merge_pct)).collect();
+    let seeds: Vec<u64> = (0..4).map(|_| ctx.rng.next_u64()).collect();
+    let region = ctx.region;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    for (i, s) in seeds.iter().enumerate() {
+        ctx.b.push(Op::LoadImm { dst: r(8 + i), imm: *s });
+    }
+    let rng_choices: Vec<(usize, usize, bool)> = (0..30)
+        .map(|_| {
+            (
+                8 + ctx.rng.below(5) as usize,
+                8 + ctx.rng.below(5) as usize,
+                ctx.rng.chance(ctx.fp_mix * 100.0) && fp_moves,
+            )
+        })
+        .collect();
+    let mut mk_work: Vec<bool> = Vec::new();
+    for _ in 0..30 {
+        mk_work.push(ctx.rng.chance(50.0));
+    }
+    counted_loop_ctx(ctx, trips, |ctx| {
+        for i in 0..30 {
+            if plan[i] {
+                let (a, b_, use_fp) = rng_choices[i];
+                if use_fp {
+                    ctx.b.push(Op::MovFp { dst: f(a), src: f(b_) });
+                } else if merges[i] {
+                    let width = if i % 2 == 0 { MoveWidth::W8 } else { MoveWidth::W16 };
+                    ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width });
+                } else {
+                    let width = if i % 3 == 0 { MoveWidth::W32 } else { MoveWidth::W64 };
+                    ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width });
+                    // A minority of moves sit on the critical path (feed the
+                    // serial accumulator); most are glue whose elimination
+                    // only saves issue slots — the reason the paper sees
+                    // elimination rate and speedup decorrelated (§6.1).
+                    if i % 3 == 1 {
+                        ctx.b.push(Op::IntAlu {
+                            op: AluOp::Add,
+                            dst: r(15),
+                            src1: r(a),
+                            src2: Operand::Reg(r(15)),
+                        });
+                    }
+                }
+            } else if mk_work[i] {
+                work_uop(ctx);
+            }
+        }
+    });
+}
+
+/// Wrapper running `body(ctx)` under a counted loop (r3).
+fn counted_loop_ctx(ctx: &mut EmitCtx<'_>, trips: u64, body: impl FnOnce(&mut EmitCtx<'_>)) {
+    ctx.b.push(Op::LoadImm { dst: r(3), imm: trips });
+    let top = ctx.b.here();
+    body(ctx);
+    ctx.b
+        .push(Op::IntAlu { op: AluOp::Sub, dst: r(3), src1: r(3), src2: Operand::Imm(1) });
+    ctx.b.push(Op::CondBranch {
+        cond: Cond::Ne,
+        src1: r(3),
+        src2: Operand::Imm(0),
+        target: top,
+    });
+}
+
+/// Spill/reload pairs: a producer defines a value, it is stored to a fixed
+/// slot, `work` µ-ops later it is reloaded and used. `slots` distinct slots
+/// rotate. With `variable_paths`, a data-dependent branch inserts extra work
+/// between store and load, making the distance *history-correlated* (only
+/// history-indexed predictors capture it).
+pub fn spill_reload(
+    ctx: &mut EmitCtx<'_>,
+    trips: u64,
+    slots: u64,
+    work: usize,
+    variable_paths: bool,
+) {
+    let slots = slots.max(1);
+    let region = ctx.region;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region }); // slot base
+    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + 0x10000 }); // random data
+    ctx.b.push(Op::LoadImm { dst: r(1), imm: 0 }); // induction
+    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    let extra: usize = 1 + ctx.rng.below(6) as usize;
+    let pre_work: Vec<()> = vec![(); work];
+    counted_loop_ctx(ctx, trips, |ctx| {
+        // Rotate the slot: r2 = base + (i % slots)*8.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(1),
+            src2: Operand::Imm(slots.next_power_of_two() - 1),
+        });
+        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(2), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+        // Producer of the spilled value.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(8),
+            src1: r(8),
+            src2: Operand::Imm(0x9e37),
+        });
+        // Spill.
+        ctx.b.push(Op::Store { data: r(8), base: r(2), offset: 0, size: 8 });
+        // Fixed work between spill and reload.
+        for _ in &pre_work {
+            work_uop(ctx);
+        }
+        if variable_paths {
+            // Data-dependent detour: extra µ-ops on one side, so the
+            // store→load distance depends on branch history.
+            ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(14), src1: r(1), src2: Operand::Imm(3) });
+            ctx.b.push(Op::IntAlu {
+                op: AluOp::And,
+                dst: r(14),
+                src1: r(14),
+                src2: Operand::Imm(0x3f8),
+            });
+            ctx.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(14),
+                src1: r(14),
+                src2: Operand::Reg(r(5)),
+            });
+            ctx.b.push(Op::Load { dst: r(14), base: r(14), offset: 0, size: 8 });
+            let br = ctx.b.push(Op::CondBranch {
+                cond: Cond::BitSet,
+                src1: r(14),
+                src2: Operand::Imm(0),
+                target: 0, // patched
+            });
+            for _ in 0..extra {
+                work_uop(ctx);
+            }
+            let join = ctx.b.here();
+            ctx.b.patch_target(br, join);
+        }
+        // Reload and use: the reloaded value feeds the *next* iteration's
+        // producer, so the loop-carried dependency passes through memory —
+        // exactly the spill-induced load-to-use delay the paper's
+        // introduction motivates, and what SMB collapses back into a
+        // register dependency.
+        ctx.b.push(Op::Load { dst: r(9), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(8),
+            src1: r(9),
+            src2: Operand::Imm(0x5a5a),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(9)),
+        });
+        // Advance induction.
+        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+    });
+}
+
+/// Redundant loads: one store then several loads of the same slot inside
+/// the window, separated by `gap` work µ-ops (load-load SMB pairs).
+/// With `value_chained`, each load's address computation consumes the
+/// previous load's value (it always resolves to the same slot), so the
+/// chain serializes on load latency — the case where load-load bypassing
+/// collapses the whole chain into register dependencies (§6.2).
+pub fn redundant_loads_ext(
+    ctx: &mut EmitCtx<'_>,
+    trips: u64,
+    chain: usize,
+    gap: usize,
+    value_chained: bool,
+) {
+    let region = ctx.region;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    let chain = chain.max(2);
+    counted_loop_ctx(ctx, trips, |ctx| {
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(8),
+            src1: r(8),
+            src2: Operand::Imm(0x5bd1),
+        });
+        ctx.b.push(Op::Store { data: r(8), base: r(4), offset: 0, size: 8 });
+        let mut last = r(8);
+        for k in 0..chain {
+            for _ in 0..gap {
+                work_uop(ctx);
+            }
+            let dst = r(9 + (k % 3));
+            if value_chained {
+                // addr = slot + (last & 0): value-dependent but constant.
+                ctx.b.push(Op::IntAlu {
+                    op: AluOp::And,
+                    dst: r(2),
+                    src1: last,
+                    src2: Operand::Imm(0),
+                });
+                ctx.b.push(Op::IntAlu {
+                    op: AluOp::Add,
+                    dst: r(2),
+                    src1: r(2),
+                    src2: Operand::Reg(r(4)),
+                });
+                ctx.b.push(Op::Load { dst, base: r(2), offset: 0, size: 8 });
+            } else {
+                ctx.b.push(Op::Load { dst, base: r(4), offset: 0, size: 8 });
+            }
+            ctx.b.push(Op::IntAlu {
+                op: AluOp::Xor,
+                dst: r(15),
+                src1: r(15),
+                src2: Operand::Reg(dst),
+            });
+            last = dst;
+        }
+        // Loop-carried through the redundant loads: the next store's data
+        // descends from the last reload (what load-load bypassing shortens).
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(8),
+            src1: r(8),
+            src2: Operand::Reg(last),
+        });
+    });
+}
+
+/// Redundant loads with the default (address-independent) chaining.
+pub fn redundant_loads(ctx: &mut EmitCtx<'_>, trips: u64, chain: usize, gap: usize) {
+    redundant_loads_ext(ctx, trips, chain, gap, false);
+}
+
+/// Pointer aliasing: every iteration a *fast* store F writes a slot and a
+/// load L reads it back at a stable distance; a second store S through a
+/// *slowly computed* pointer (its index passes through a divide) writes the
+/// same slot in `alias_pct` percent of iterations — between F and L in
+/// program order.
+///
+/// First encounters raise memory-order violations (L reads before S's
+/// address resolves). Store Sets then chains L behind S, which is a *false*
+/// dependency in the other `100-alias_pct` percent of iterations: L stalls
+/// ~30 cycles for nothing. Because L's true producer (F's data) sits at a
+/// stable instruction distance, the TAGE-like predictor can bypass L and
+/// drop the false dependency — the §3.1/Figure 6(b) effect.
+pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u64) {
+    let region = ctx.region;
+    let threshold = ((alias_pct.clamp(0.0, 100.0) / 100.0) * u64::MAX as f64) as u64;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region }); // slot array
+    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + 0x40000 }); // random data
+    ctx.b.push(Op::LoadImm { dst: r(6), imm: region + 0x80000 }); // non-alias side
+    ctx.b.push(Op::LoadImm { dst: r(1), imm: 0 });
+    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    let span_mask = span.next_power_of_two() - 1;
+    counted_loop_ctx(ctx, trips, |ctx| {
+        // Slot for this iteration.
+        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(span_mask << 3),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+        // F: fast store of chained data.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(8),
+            src1: r(8),
+            src2: Operand::Imm(0x9e37),
+        });
+        ctx.b.push(Op::Store { data: r(8), base: r(2), offset: 0, size: 8 });
+        // Random value for the aliasing decision.
+        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(14), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(14),
+            src1: r(14),
+            src2: Operand::Imm(0x7f8),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(14),
+            src1: r(14),
+            src2: Operand::Reg(r(5)),
+        });
+        ctx.b.push(Op::Load { dst: r(14), base: r(14), offset: 0, size: 8 });
+        // Slow pointer: the index passes through an unpipelined divide, so
+        // S's address resolves ~25+ cycles later than L's.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Or,
+            dst: r(12),
+            src1: r(14),
+            src2: Operand::Imm(1),
+        });
+        ctx.b.push(Op::IntDiv { dst: r(13), src1: r(12), src2: Operand::Reg(r(12)) });
+        ctx.b.push(Op::IntMul { dst: r(10), src1: r(2), src2: Operand::Reg(r(13)) });
+        // alias? S writes the same slot : S writes a private region.
+        let br = ctx.b.push(Op::CondBranch {
+            cond: Cond::Lt,
+            src1: r(14),
+            src2: Operand::Imm(threshold),
+            target: 0, // patched → alias path (S already points at the slot)
+        });
+        // Non-alias side: redirect S to the private region.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Sub,
+            dst: r(10),
+            src1: r(10),
+            src2: Operand::Reg(r(4)),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(10),
+            src1: r(10),
+            src2: Operand::Reg(r(6)),
+        });
+        let join = ctx.b.here();
+        ctx.b.patch_target(br, join);
+        // S: the slow store.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(9),
+            src1: r(14),
+            src2: Operand::Imm(0xf00d),
+        });
+        ctx.b.push(Op::Store { data: r(9), base: r(10), offset: 0, size: 8 });
+        // L: reads the slot back; true producer is F's data (stable
+        // distance) except on alias iterations (S's data).
+        ctx.b.push(Op::Load { dst: r(11), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(11)),
+        });
+        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+    });
+}
+
+/// Strided FP streaming kernel over a `ws_kb`-KB working set.
+pub fn streaming(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
+    let region = ctx.region;
+    let mask = ((ws_kb.max(1) * 1024) as u64).next_power_of_two() - 1;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + mask + 1 });
+    // Start each visit at a different (accumulator-derived) offset so the
+    // stream eventually covers the whole working set instead of re-touching
+    // the same few lines every outer iteration.
+    ctx.b.push(Op::IntAlu {
+        op: AluOp::And,
+        dst: r(1),
+        src1: r(15),
+        src2: Operand::Imm(mask & !63),
+    });
+    counted_loop_ctx(ctx, trips, |ctx| {
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(1),
+            src2: Operand::Imm(mask & !7),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+        ctx.b.push(Op::Load { dst: f(8), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Load { dst: f(9), base: r(2), offset: 8, size: 8 });
+        ctx.b.push(Op::FpAdd { dst: f(10), src1: f(8), src2: f(9) });
+        ctx.b.push(Op::FpMul { dst: f(11), src1: f(10), src2: f(8) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(1),
+            src2: Operand::Imm(mask & !7),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(5)),
+        });
+        ctx.b.push(Op::Store { data: f(11), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(64),
+        });
+    });
+}
+
+/// Dependent pseudo-random pointer chase within a `ws_kb`-KB region.
+///
+/// The next address mixes the loaded value with an induction counter so the
+/// walk never collapses into the ~√N-node cycle of a fixed random mapping
+/// (which would fit in cache and defeat the motif's purpose).
+pub fn pointer_chase(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
+    let region = ctx.region;
+    let mask = ((ws_kb.max(1) * 1024) as u64).next_power_of_two() - 1;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm { dst: r(8), imm: 0 });
+    // The walk phase carries over across outer iterations (seeded from the
+    // persistent accumulator), so the chase keeps exploring new lines.
+    ctx.b.push(Op::IntAlu {
+        op: AluOp::Xor,
+        dst: r(1),
+        src1: r(15),
+        src2: Operand::Imm(0x1234_5678_9abc_def1),
+    });
+    counted_loop_ctx(ctx, trips, |ctx| {
+        // addr = base + ((value + i)*PHI & mask & ~7): serially dependent,
+        // non-cyclic walk.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(0x632b_e5ab),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(8),
+            src2: Operand::Reg(r(1)),
+        });
+        ctx.b.push(Op::IntMul {
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(mask & !7),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+        ctx.b.push(Op::Load { dst: r(8), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(8)),
+        });
+    });
+}
+
+/// Data-dependent branches with `taken_bias_pct` percent taken probability.
+pub fn branchy(ctx: &mut EmitCtx<'_>, trips: u64, taken_bias_pct: f64) {
+    let region = ctx.region;
+    let threshold = ((taken_bias_pct.clamp(0.0, 100.0) / 100.0) * u64::MAX as f64) as u64;
+    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    // Wander through the data region across outer iterations so branch
+    // outcomes stay data-dependent instead of becoming a memorizable
+    // repeating pattern.
+    ctx.b.push(Op::IntAlu {
+        op: AluOp::Xor,
+        dst: r(1),
+        src1: r(15),
+        src2: Operand::Imm(0x9e37_79b9),
+    });
+    counted_loop_ctx(ctx, trips, |ctx| {
+        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(0x3_fff8),
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+        ctx.b.push(Op::Load { dst: r(14), base: r(2), offset: 0, size: 8 });
+        let br = ctx.b.push(Op::CondBranch {
+            cond: Cond::Lt,
+            src1: r(14),
+            src2: Operand::Imm(threshold),
+            target: 0,
+        });
+        // Not-taken side.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Sub,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(14)),
+        });
+        let jmp = ctx.b.push(Op::Jump { target: 0 });
+        let taken_side = ctx.b.here();
+        ctx.b.patch_target(br, taken_side);
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(14)),
+        });
+        let join = ctx.b.here();
+        ctx.b.patch_target(jmp, join);
+        // Write evolving data back so outcomes change across outer
+        // iterations: without this the whole run is outer-loop periodic and
+        // a long-history predictor memorizes every "random" branch.
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(14),
+            src1: r(14),
+            src2: Operand::Reg(r(15)),
+        });
+        ctx.b.push(Op::IntMul {
+            dst: r(14),
+            src1: r(14),
+            src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
+        });
+        ctx.b.push(Op::Store { data: r(14), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+    });
+}
+
+/// Calls to a move-heavy leaf function (argument-passing glue): exercises
+/// the RAS and produces ME candidates around calls.
+pub fn call_leaf(ctx: &mut EmitCtx<'_>, trips: u64, moves_in_leaf: usize) {
+    // Lay out the leaf first, jumped over by straight-line code.
+    let skip = ctx.b.push(Op::Jump { target: 0 });
+    let leaf = ctx.b.here();
+    for k in 0..moves_in_leaf {
+        let a = 8 + (k % 5);
+        let b_ = 8 + ((k + 2) % 5);
+        ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width: MoveWidth::W64 });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Reg(r(a)),
+        });
+    }
+    ctx.b.push(Op::Ret);
+    let entry = ctx.b.here();
+    ctx.b.patch_target(skip, entry);
+    counted_loop_ctx(ctx, trips, |ctx| {
+        // Argument setup: eliminable moves.
+        ctx.b.push(Op::MovInt { dst: r(9), src: r(15), width: MoveWidth::W64 });
+        ctx.b.push(Op::MovInt { dst: r(10), src: r(9), width: MoveWidth::W64 });
+        ctx.b.push(Op::Call { target: leaf });
+        work_uop(ctx);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::interp::Machine;
+    use regshare_isa::op::UopKind;
+    use regshare_isa::program::Program;
+    use std::sync::Arc;
+
+    fn run_motif(emit: impl FnOnce(&mut EmitCtx<'_>)) -> Vec<regshare_isa::op::DynUop> {
+        let mut b = ProgramBuilder::new();
+        let mut rng = Xorshift::new(99);
+        {
+            let mut ctx = EmitCtx { b: &mut b, rng: &mut rng, region: 0x1000_0000, fp_mix: 0.3 };
+            emit(&mut ctx);
+        }
+        b.push(Op::Halt);
+        let p: Arc<Program> = Arc::new(b.build());
+        let mut m = Machine::new(p);
+        let mut uops = Vec::new();
+        let mut guard = 0;
+        while !m.is_halted() && guard < 200_000 {
+            uops.push(m.step());
+            guard += 1;
+        }
+        assert!(m.is_halted(), "motif did not terminate");
+        uops
+    }
+
+    #[test]
+    fn move_glue_emits_eliminable_and_merge_moves() {
+        let uops = run_motif(|ctx| move_glue(ctx, 8, 60.0, 20.0, true));
+        let elim = uops.iter().filter(|u| u.kind.eliminable_move()).count();
+        let merge = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Move { width, .. } if width.is_merge()))
+            .count();
+        assert!(elim > 20, "too few eliminable moves: {elim}");
+        assert!(merge > 0, "no merge moves emitted");
+    }
+
+    #[test]
+    fn spill_reload_has_stable_store_load_distance() {
+        let uops = run_motif(|ctx| spill_reload(ctx, 16, 1, 6, false));
+        // Find (store addr → seq of data producer) and check loads' distance.
+        let mut dist = Vec::new();
+        let mut last_store: Option<(u64, u64)> = None; // (addr, producer seq)
+        for u in &uops {
+            if let Some(m) = u.mem {
+                if m.is_store {
+                    // producer is the most recent def of the data register
+                    last_store = Some((m.addr, u.seq.0));
+                } else if let Some((sa, ss)) = last_store {
+                    if m.addr == sa {
+                        dist.push(u.seq.0 - ss);
+                    }
+                }
+            }
+        }
+        assert!(dist.len() >= 10);
+        let first = dist[2];
+        assert!(
+            dist[2..].iter().all(|&d| d == first),
+            "spill distance unstable: {dist:?}"
+        );
+    }
+
+    #[test]
+    fn variable_paths_make_distance_bimodal() {
+        let uops = run_motif(|ctx| spill_reload(ctx, 64, 1, 4, true));
+        let mut dists = std::collections::BTreeSet::new();
+        let mut last_store: Option<(u64, u64)> = None;
+        for u in &uops {
+            if let Some(m) = u.mem {
+                if m.is_store && m.addr == 0x1000_0000 {
+                    last_store = Some((m.addr, u.seq.0));
+                } else if !m.is_store {
+                    if let Some((sa, ss)) = last_store {
+                        if m.addr == sa {
+                            dists.insert(u.seq.0 - ss);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(dists.len() >= 2, "expected multiple distances, got {dists:?}");
+    }
+
+    #[test]
+    fn redundant_loads_reload_same_slot() {
+        let uops = run_motif(|ctx| redundant_loads(ctx, 8, 3, 2));
+        let loads = uops
+            .iter()
+            .filter(|u| u.is_load() && u.mem.unwrap().addr == 0x1000_0000)
+            .count();
+        assert!(loads >= 24, "expected ≥24 redundant loads, got {loads}");
+    }
+
+    #[test]
+    fn pointer_alias_actually_aliases_sometimes() {
+        let uops = run_motif(|ctx| pointer_alias(ctx, 64, 40.0, 64));
+        // The slow store S immediately precedes the final load L of each
+        // iteration; count how often they alias.
+        let mut alias = 0;
+        let mut non_alias = 0;
+        let mut last_store: Option<u64> = None;
+        for u in &uops {
+            if let Some(m) = u.mem {
+                if m.is_store {
+                    last_store = Some(m.addr);
+                } else if m.size == 8 {
+                    if let Some(sa) = last_store {
+                        if sa == m.addr {
+                            alias += 1;
+                        } else {
+                            non_alias += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(alias > 5, "no aliasing happened: {alias}");
+        assert!(non_alias > 5, "always aliasing: {non_alias}");
+    }
+
+    #[test]
+    fn call_leaf_balances_calls_and_rets() {
+        let uops = run_motif(|ctx| call_leaf(ctx, 10, 3));
+        let calls = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Branch(regshare_isa::op::BranchKind::Call)))
+            .count();
+        let rets = uops
+            .iter()
+            .filter(|u| matches!(u.kind, UopKind::Branch(regshare_isa::op::BranchKind::Return)))
+            .count();
+        assert_eq!(calls, 10);
+        assert_eq!(rets, 10);
+    }
+
+    #[test]
+    fn branchy_bias_is_respected() {
+        let uops = run_motif(|ctx| branchy(ctx, 300, 80.0));
+        let (mut taken, mut total) = (0usize, 0usize);
+        for u in &uops {
+            if let Some(b) = u.branch {
+                if b.kind == regshare_isa::op::BranchKind::Conditional && u.sidx > 2 {
+                    // Skip loop back-edges: they are Ne-conditioned; the
+                    // biased branch uses Lt.
+                    if matches!(
+                        uops.iter().find(|x| x.sidx == u.sidx).map(|_| ()),
+                        Some(())
+                    ) {
+                        total += 1;
+                        if b.taken {
+                            taken += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // Loop branches are ~always taken; the data branch is 80%: overall
+        // taken rate must sit well above 50%.
+        assert!(total > 0);
+        assert!(taken * 100 / total > 60, "bias not visible: {taken}/{total}");
+    }
+
+    #[test]
+    fn streaming_and_chase_terminate() {
+        let s = run_motif(|ctx| streaming(ctx, 32, 256));
+        assert!(s.iter().any(|u| u.is_store()));
+        let c = run_motif(|ctx| pointer_chase(ctx, 32, 1024));
+        assert!(c.iter().filter(|u| u.is_load()).count() >= 32);
+    }
+
+    #[test]
+    fn unused_counted_loop_helper_compiles() {
+        // Exercise the standalone counted_loop helper too.
+        let mut b = ProgramBuilder::new();
+        counted_loop(&mut b, 3, |b| {
+            b.push(Op::Nop);
+        });
+        b.push(Op::Halt);
+        let p = Arc::new(b.build());
+        let mut m = Machine::new(p);
+        let mut n = 0;
+        while !m.is_halted() && n < 100 {
+            m.step();
+            n += 1;
+        }
+        assert!(m.is_halted());
+    }
+}

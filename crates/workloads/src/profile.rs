@@ -1,0 +1,572 @@
+//! The 36-workload suite: named profiles mixing motifs with per-benchmark
+//! parameters.
+//!
+//! Names follow the SPEC CPU2000/2006 programs the paper evaluates; each
+//! profile's parameters are chosen to reproduce the *behavioural role* that
+//! benchmark plays in the paper's figures (e.g. `crafty` is the ME standout,
+//! `hmmer` is spill-heavy and DDT-capacity-sensitive, `astar` is
+//! STLF-latency-bound with quiet Store Sets, `applu`/`wupwise` lean on
+//! load-load bypassing). They are synthetic workloads, not the SPEC
+//! programs — see DESIGN.md for the substitution rationale.
+
+use crate::motifs::{
+    branchy, call_leaf, move_glue, pointer_alias, pointer_chase, spill_reload, streaming, EmitCtx,
+};
+use crate::rng::Xorshift;
+use regshare_isa::op::Op;
+use regshare_isa::program::{Program, ProgramBuilder};
+
+/// INT-flavoured or FP-flavoured workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// Integer-dominated.
+    Int,
+    /// Floating-point-dominated.
+    Fp,
+}
+
+/// Motif weights and parameters for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadProfile {
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Move-glue blocks per outer iteration.
+    pub move_blocks: u32,
+    /// Percent of µ-ops in a glue block that are moves.
+    pub move_density: f64,
+    /// Percent of those moves that are 8/16-bit merges (not eliminable).
+    pub merge_pct: f64,
+    /// Whether FP moves appear in glue blocks.
+    pub fp_moves: bool,
+    /// Spill/reload blocks per outer iteration.
+    pub spill_blocks: u32,
+    /// Distinct spill slots (large values stress the DDT).
+    pub spill_slots: u64,
+    /// Work µ-ops between spill and reload.
+    pub spill_work: usize,
+    /// History-correlated path lengths between spill and reload.
+    pub variable_paths: bool,
+    /// Redundant-load blocks (load-load SMB) per outer iteration.
+    pub redundant_blocks: u32,
+    /// Loads per redundant chain.
+    pub redundant_chain: usize,
+    /// Work µ-ops between the loads of a redundant chain. Large values push
+    /// the original producer beyond the 8-bit instruction distance / out of
+    /// the window, which is what makes load-load bypassing matter (§6.2).
+    pub redundant_gap: usize,
+    /// Each redundant load's address consumes the previous load's value, so
+    /// the chain serializes on load latency (load-load bypassing collapses
+    /// it).
+    pub redundant_value_chained: bool,
+    /// Pointer-alias blocks per outer iteration.
+    pub alias_blocks: u32,
+    /// Percent of alias-block iterations that actually alias.
+    pub alias_pct: f64,
+    /// Streaming blocks per outer iteration.
+    pub stream_blocks: u32,
+    /// Pointer-chase blocks per outer iteration.
+    pub chase_blocks: u32,
+    /// Branchy blocks per outer iteration.
+    pub branchy_blocks: u32,
+    /// Taken bias of data-dependent branches (50 = unpredictable).
+    pub branch_bias: f64,
+    /// Call/leaf blocks per outer iteration.
+    pub call_blocks: u32,
+    /// Working-set size in KB (streaming / chase regions).
+    pub ws_kb: usize,
+    /// Fraction (0..1) of generic work that is FP.
+    pub fp_mix: f64,
+    /// Inner-loop trip count per block.
+    pub trips: u64,
+}
+
+impl Default for WorkloadProfile {
+    fn default() -> WorkloadProfile {
+        WorkloadProfile {
+            seed: 1,
+            move_blocks: 1,
+            move_density: 12.0,
+            merge_pct: 10.0,
+            fp_moves: false,
+            spill_blocks: 1,
+            spill_slots: 4,
+            spill_work: 6,
+            variable_paths: false,
+            redundant_blocks: 1,
+            redundant_chain: 2,
+            redundant_gap: 3,
+            redundant_value_chained: false,
+            alias_blocks: 1,
+            alias_pct: 10.0,
+            stream_blocks: 0,
+            chase_blocks: 0,
+            branchy_blocks: 1,
+            branch_bias: 85.0,
+            call_blocks: 1,
+            ws_kb: 64,
+            fp_mix: 0.1,
+            trips: 8,
+        }
+    }
+}
+
+/// A named workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// SPEC-style name.
+    pub name: &'static str,
+    /// INT or FP flavour.
+    pub class: WorkloadClass,
+    /// Motif parameters.
+    pub profile: WorkloadProfile,
+}
+
+impl Workload {
+    /// Compiles the workload into an executable [`Program`] (an infinite
+    /// outer loop over its motif blocks).
+    pub fn build(&self) -> Program {
+        let p = &self.profile;
+        let mut b = ProgramBuilder::new();
+        let mut rng = Xorshift::new(p.seed);
+        let mut region = 0x1000_0000u64;
+        let mut next_region = || {
+            let r_ = region;
+            region += 0x100_0000; // 16MB apart
+            r_
+        };
+        let outer_top = b.here();
+        // Interleave block kinds in a deterministic shuffled order.
+        let mut blocks: Vec<u8> = Vec::new();
+        blocks.extend(std::iter::repeat(0u8).take(p.move_blocks as usize));
+        blocks.extend(std::iter::repeat(1u8).take(p.spill_blocks as usize));
+        blocks.extend(std::iter::repeat(2u8).take(p.redundant_blocks as usize));
+        blocks.extend(std::iter::repeat(3u8).take(p.alias_blocks as usize));
+        blocks.extend(std::iter::repeat(4u8).take(p.stream_blocks as usize));
+        blocks.extend(std::iter::repeat(5u8).take(p.chase_blocks as usize));
+        blocks.extend(std::iter::repeat(6u8).take(p.branchy_blocks as usize));
+        blocks.extend(std::iter::repeat(7u8).take(p.call_blocks as usize));
+        // Deterministic shuffle.
+        for i in (1..blocks.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            blocks.swap(i, j);
+        }
+        for kind in blocks {
+            let reg = next_region();
+            let mut ctx = EmitCtx { b: &mut b, rng: &mut rng, region: reg, fp_mix: p.fp_mix };
+            match kind {
+                0 => move_glue(&mut ctx, p.trips, p.move_density, p.merge_pct, p.fp_moves),
+                1 => spill_reload(&mut ctx, p.trips, p.spill_slots, p.spill_work, p.variable_paths),
+                2 => crate::motifs::redundant_loads_ext(
+                    &mut ctx,
+                    p.trips,
+                    p.redundant_chain,
+                    p.redundant_gap,
+                    p.redundant_value_chained,
+                ),
+                3 => pointer_alias(&mut ctx, p.trips, p.alias_pct, 64),
+                4 => streaming(&mut ctx, p.trips, p.ws_kb),
+                5 => pointer_chase(&mut ctx, p.trips, p.ws_kb),
+                6 => branchy(&mut ctx, p.trips, p.branch_bias),
+                _ => call_leaf(&mut ctx, p.trips, 3),
+            }
+        }
+        b.push(Op::Jump { target: outer_top });
+        b.build()
+    }
+}
+
+fn w(name: &'static str, class: WorkloadClass, f: impl FnOnce(&mut WorkloadProfile)) -> Workload {
+    let mut profile = WorkloadProfile {
+        seed: name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+            (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
+        }),
+        ..WorkloadProfile::default()
+    };
+    if class == WorkloadClass::Fp {
+        profile.fp_mix = 0.55;
+        profile.fp_moves = true;
+    }
+    f(&mut profile);
+    Workload { name, class, profile }
+}
+
+/// The full 36-workload suite (18 INT + 18 FP), in a stable order.
+pub fn suite() -> Vec<Workload> {
+    use WorkloadClass::{Fp, Int};
+    vec![
+        // ---------------- 18 INT ----------------
+        // The ME standout: dense move glue on the critical path, branchy.
+        w("crafty", Int, |p| {
+            p.move_blocks = 2;
+            p.move_density = 14.0;
+            p.merge_pct = 8.0;
+            p.branchy_blocks = 2;
+            p.branch_bias = 78.0;
+            p.call_blocks = 2;
+        }),
+        // Very move-rich but with many merges and off-path moves: high
+        // elimination rate, modest gain.
+        w("vortex", Int, |p| {
+            p.move_blocks = 3;
+            p.move_density = 22.0;
+            p.merge_pct = 30.0;
+            p.spill_blocks = 0;
+            p.branchy_blocks = 1;
+        }),
+        // Spill-heavy, DDT-capacity-sensitive, alias traps: the SMB star.
+        w("hmmer", Int, |p| {
+            p.spill_blocks = 3;
+            p.spill_slots = 512;
+            p.spill_work = 8;
+            p.variable_paths = true;
+            p.alias_blocks = 1;
+            p.alias_pct = 25.0;
+            p.redundant_blocks = 2;
+            p.trips = 12;
+        }),
+        // STLF-latency bound: stable short spill distances + redundant load
+        // chains, quiet Store Sets.
+        w("astar", Int, |p| {
+            p.spill_blocks = 2;
+            p.spill_slots = 2;
+            p.spill_work = 4;
+            p.redundant_blocks = 3;
+            p.redundant_chain = 4;
+            p.alias_blocks = 0;
+            p.branch_bias = 92.0;
+        }),
+        // Alias/trap heavy with load-load chains.
+        w("bzip", Int, |p| {
+            p.alias_blocks = 2;
+            p.alias_pct = 30.0;
+            p.redundant_blocks = 2;
+            p.redundant_chain = 3;
+            p.spill_blocks = 1;
+        }),
+        w("gzip", Int, |p| {
+            p.alias_blocks = 1;
+            p.alias_pct = 15.0;
+            p.branchy_blocks = 2;
+            p.branch_bias = 70.0;
+        }),
+        w("vpr", Int, |p| {
+            p.branchy_blocks = 3;
+            p.branch_bias = 60.0;
+            p.spill_blocks = 1;
+            p.spill_work = 10;
+        }),
+        w("gcc", Int, |p| {
+            p.move_blocks = 2;
+            p.move_density = 16.0;
+            p.spill_blocks = 2;
+            p.spill_slots = 64;
+            p.call_blocks = 3;
+            p.branchy_blocks = 2;
+            p.branch_bias = 75.0;
+        }),
+        // Memory-bound pointer chaser: low IPC.
+        w("mcf", Int, |p| {
+            p.chase_blocks = 4;
+            p.ws_kb = 8192;
+            p.spill_blocks = 0;
+            p.move_blocks = 0;
+            p.redundant_blocks = 0;
+            p.alias_blocks = 0;
+            p.call_blocks = 0;
+            p.branchy_blocks = 1;
+            p.branch_bias = 65.0;
+            p.trips = 24;
+        }),
+        w("parser", Int, |p| {
+            p.branchy_blocks = 2;
+            p.branch_bias = 72.0;
+            p.move_blocks = 2;
+            p.move_density = 18.0;
+            p.call_blocks = 2;
+        }),
+        w("eon", Int, |p| {
+            p.fp_mix = 0.35;
+            p.move_blocks = 2;
+            p.move_density = 24.0;
+            p.spill_blocks = 1;
+        }),
+        w("perlbmk", Int, |p| {
+            p.call_blocks = 4;
+            p.move_blocks = 2;
+            p.move_density = 20.0;
+            p.branchy_blocks = 2;
+            p.branch_bias = 80.0;
+        }),
+        w("gap", Int, |p| {
+            p.spill_blocks = 2;
+            p.spill_slots = 16;
+            p.spill_work = 12;
+            p.redundant_blocks = 1;
+        }),
+        w("bzip2", Int, |p| {
+            p.alias_blocks = 2;
+            p.alias_pct = 20.0;
+            p.branchy_blocks = 1;
+            p.branch_bias = 68.0;
+            p.spill_blocks = 1;
+            p.spill_work = 5;
+        }),
+        w("twolf", Int, |p| {
+            p.branchy_blocks = 2;
+            p.branch_bias = 64.0;
+            p.spill_blocks = 2;
+            p.spill_slots = 8;
+            p.variable_paths = true;
+        }),
+        w("gobmk", Int, |p| {
+            p.branchy_blocks = 3;
+            p.branch_bias = 58.0;
+            p.move_blocks = 1;
+            p.call_blocks = 2;
+        }),
+        w("sjeng", Int, |p| {
+            p.branchy_blocks = 2;
+            p.branch_bias = 62.0;
+            p.move_blocks = 2;
+            p.move_density = 18.0;
+            p.spill_blocks = 1;
+            p.variable_paths = true;
+        }),
+        w("libquantum", Int, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 4096;
+            p.move_blocks = 0;
+            p.alias_blocks = 0;
+            p.branch_bias = 95.0;
+        }),
+        // ---------------- 18 FP ----------------
+        // Load-load star: long redundant chains + spills.
+        w("wupwise", Fp, |p| {
+            p.spill_blocks = 2;
+            p.spill_work = 6;
+            p.redundant_blocks = 3;
+            p.redundant_chain = 4;
+            p.alias_blocks = 1;
+            p.alias_pct = 18.0;
+        }),
+        // The biggest SMB gain in the paper: spills + redundant loads +
+        // aliasing traps.
+        w("applu", Fp, |p| {
+            p.spill_blocks = 3;
+            p.spill_work = 5;
+            p.redundant_blocks = 3;
+            p.redundant_chain = 5;
+            p.alias_blocks = 1;
+            p.alias_pct = 25.0;
+            p.trips = 10;
+        }),
+        // Few moves but squarely on the critical path.
+        w("namd", Fp, |p| {
+            p.move_blocks = 1;
+            p.move_density = 15.0;
+            p.merge_pct = 0.0;
+            p.spill_blocks = 1;
+            p.stream_blocks = 1;
+            p.ws_kb = 128;
+        }),
+        // False-dependency reduction cases.
+        w("gamess", Fp, |p| {
+            p.alias_blocks = 2;
+            p.alias_pct = 35.0;
+            p.spill_blocks = 1;
+            p.stream_blocks = 1;
+        }),
+        w("gromacs", Fp, |p| {
+            p.alias_blocks = 2;
+            p.alias_pct = 30.0;
+            p.redundant_blocks = 1;
+            p.stream_blocks = 1;
+        }),
+        // Noisy distances: limited ISRB filtering helps slightly.
+        w("mgrid", Fp, |p| {
+            p.spill_blocks = 2;
+            p.variable_paths = true;
+            p.branch_bias = 55.0;
+            p.stream_blocks = 2;
+            p.ws_kb = 512;
+        }),
+        w("swim", Fp, |p| {
+            p.stream_blocks = 3;
+            p.ws_kb = 4096;
+            p.move_blocks = 0;
+            p.spill_blocks = 1;
+        }),
+        w("mesa", Fp, |p| {
+            p.move_blocks = 2;
+            p.move_density = 18.0;
+            p.fp_moves = true;
+            p.spill_blocks = 1;
+            p.call_blocks = 2;
+        }),
+        w("art", Fp, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 2048;
+            p.branchy_blocks = 2;
+            p.branch_bias = 66.0;
+        }),
+        w("equake", Fp, |p| {
+            p.chase_blocks = 1;
+            p.ws_kb = 1024;
+            p.spill_blocks = 2;
+            p.spill_work = 7;
+        }),
+        w("facerec", Fp, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 256;
+            p.redundant_blocks = 2;
+        }),
+        w("ammp", Fp, |p| {
+            p.chase_blocks = 2;
+            p.ws_kb = 2048;
+            p.spill_blocks = 1;
+            p.branch_bias = 75.0;
+        }),
+        w("lucas", Fp, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 1024;
+            p.spill_blocks = 1;
+            p.spill_work = 9;
+        }),
+        w("milc", Fp, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 8192;
+            p.redundant_blocks = 1;
+            p.move_blocks = 0;
+        }),
+        w("zeusmp", Fp, |p| {
+            p.stream_blocks = 2;
+            p.ws_kb = 512;
+            p.spill_blocks = 2;
+            p.variable_paths = true;
+        }),
+        w("cactusADM", Fp, |p| {
+            p.spill_blocks = 3;
+            p.spill_slots = 32;
+            p.spill_work = 10;
+            p.stream_blocks = 1;
+        }),
+        w("soplex", Fp, |p| {
+            p.branchy_blocks = 2;
+            p.branch_bias = 70.0;
+            p.spill_blocks = 2;
+            p.alias_blocks = 1;
+            p.alias_pct = 15.0;
+        }),
+        w("lbm", Fp, |p| {
+            p.stream_blocks = 3;
+            p.ws_kb = 8192;
+            p.move_blocks = 0;
+            p.branchy_blocks = 0;
+            p.branch_bias = 98.0;
+        }),
+    ]
+}
+
+/// Builds a custom named workload from an explicit profile (for studies
+/// that need structure outside the 36-entry suite, e.g. the load-load
+/// ablation's long redundant chains).
+pub fn custom(name: &'static str, class: WorkloadClass, profile: WorkloadProfile) -> Workload {
+    Workload { name, class, profile }
+}
+
+/// A small, fast workload for tests and examples.
+pub fn mini() -> Workload {
+    w("mini", WorkloadClass::Int, |p| {
+        p.move_blocks = 1;
+        p.spill_blocks = 1;
+        p.redundant_blocks = 1;
+        p.alias_blocks = 1;
+        p.branchy_blocks = 1;
+        p.call_blocks = 1;
+        p.trips = 4;
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::interp::Machine;
+    use std::sync::Arc;
+
+    #[test]
+    fn suite_has_36_unique_names() {
+        let s = suite();
+        assert_eq!(s.len(), 36);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 36, "duplicate workload names");
+        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Int).count(), 18);
+        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Fp).count(), 18);
+    }
+
+    #[test]
+    fn all_programs_build_and_run() {
+        for wl in suite() {
+            let p = Arc::new(wl.build());
+            assert!(p.len() > 30, "{} too small: {}", wl.name, p.len());
+            let mut m = Machine::new(p);
+            // Run 20K µ-ops: must not halt (infinite outer loop).
+            for _ in 0..20_000 {
+                m.step();
+            }
+            assert!(!m.is_halted(), "{} halted unexpectedly", wl.name);
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = suite()[0].build();
+        let b = suite()[0].build();
+        assert_eq!(a.len(), b.len());
+        let mut ma = Machine::new(Arc::new(a));
+        let mut mb = Machine::new(Arc::new(b));
+        for _ in 0..5_000 {
+            let ua = ma.step();
+            let ub = mb.step();
+            assert_eq!(ua.pc, ub.pc);
+            assert_eq!(ua.result, ub.result);
+        }
+    }
+
+    #[test]
+    fn workloads_differ_from_each_other() {
+        let s = suite();
+        let a = s[0].build();
+        let b = s[1].build();
+        assert_ne!(a.len(), b.len());
+    }
+
+    #[test]
+    fn move_star_has_more_moves_than_stream_star() {
+        let s = suite();
+        let count_moves = |wl: &Workload| {
+            let p = Arc::new(wl.build());
+            let mut m = Machine::new(p);
+            let mut moves = 0;
+            for _ in 0..30_000 {
+                if m.step().kind.eliminable_move() {
+                    moves += 1;
+                }
+            }
+            moves
+        };
+        let vortex = count_moves(s.iter().find(|w| w.name == "vortex").unwrap());
+        let lbm = count_moves(s.iter().find(|w| w.name == "lbm").unwrap());
+        assert!(
+            vortex > lbm * 2,
+            "vortex ({vortex}) should be far more move-dense than lbm ({lbm})"
+        );
+    }
+
+    #[test]
+    fn mini_is_small_and_fast() {
+        let p = Arc::new(mini().build());
+        assert!(p.len() < 400);
+    }
+}

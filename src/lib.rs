@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the whole `regshare` workspace.
+pub use regshare_core as core;
+pub use regshare_distance as distance;
+pub use regshare_isa as isa;
+pub use regshare_mem as mem;
+pub use regshare_predictors as predictors;
+pub use regshare_refcount as refcount;
+pub use regshare_types as types;
+pub use regshare_workloads as workloads;

@@ -1,0 +1,201 @@
+//! Property tests: the ISRB (with unlimited entries and wide counters) must
+//! make exactly the same free/keep decisions as the independently
+//! implemented ideal tracker, under arbitrary interleavings of shares,
+//! reclaims, sharer-commits, checkpoints, restores and commit flushes.
+
+use proptest::prelude::*;
+use regshare::refcount::{
+    Isrb, IsrbConfig, ReclaimRequest, ShareKind, ShareRequest, SharingTracker, UnlimitedTracker,
+};
+use regshare::types::{ArchReg, PhysReg, RegClass};
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Share(u8),
+    SharerCommit(u8),
+    Reclaim(u8),
+    Checkpoint,
+    Restore,
+    CommitFlush,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => (0u8..12).prop_map(Ev::Share),
+        2 => (0u8..12).prop_map(Ev::SharerCommit),
+        4 => (0u8..12).prop_map(Ev::Reclaim),
+        1 => Just(Ev::Checkpoint),
+        1 => Just(Ev::Restore),
+        1 => Just(Ev::CommitFlush),
+    ]
+}
+
+fn share(p: u8) -> ShareRequest {
+    ShareRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p as usize),
+        kind: ShareKind::Bypass { arch_dst: ArchReg::int((p % 16) as usize) },
+    }
+}
+
+fn reclaim(p: u8) -> ReclaimRequest {
+    ReclaimRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p as usize),
+        arch: ArchReg::int((p % 16) as usize),
+        renews: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unlimited_isrb_matches_ideal_tracker(events in proptest::collection::vec(ev_strategy(), 1..200)) {
+        let mut isrb = Isrb::new(IsrbConfig::unlimited());
+        let mut ideal = UnlimitedTracker::new();
+        // Live checkpoint stacks (ids of both trackers, kept in lockstep).
+        let mut ckpts: Vec<(u64, u64)> = Vec::new();
+        // Track how many live (unreclaimed) references each preg has so we
+        // only emit reclaims that can occur in a real pipeline (one reclaim
+        // per mapping: sharers + the original allocation).
+        let mut mappings = [0i32; 12];
+
+        for ev in events {
+            match ev {
+                Ev::Share(p) => {
+                    if mappings[p as usize] == 0 {
+                        mappings[p as usize] = 1; // implicit original mapping
+                    }
+                    let a = isrb.try_share(&share(p));
+                    let b = ideal.try_share(&share(p));
+                    prop_assert_eq!(a, b);
+                    if a {
+                        mappings[p as usize] += 1;
+                    }
+                }
+                Ev::SharerCommit(p) => {
+                    if isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                        isrb.on_sharer_commit(&share(p));
+                        ideal.on_sharer_commit(&share(p));
+                    }
+                }
+                Ev::Reclaim(p) => {
+                    if mappings[p as usize] > 0 {
+                        let a = isrb.on_reclaim(&reclaim(p));
+                        let b = ideal.on_reclaim(&reclaim(p));
+                        prop_assert_eq!(a, b, "reclaim decision diverged for p{}", p);
+                        mappings[p as usize] -= 1;
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                            mappings[p as usize] = 0;
+                        }
+                    }
+                }
+                Ev::Checkpoint => {
+                    ckpts.push((isrb.checkpoint(), ideal.checkpoint()));
+                }
+                Ev::Restore => {
+                    if let Some((a, b)) = ckpts.pop() {
+                        let mut fa = Vec::new();
+                        let mut fb = Vec::new();
+                        isrb.restore(a, &mut fa);
+                        ideal.restore(b, &mut fb);
+                        fa.sort();
+                        fb.sort();
+                        prop_assert_eq!(&fa, &fb, "restore freed different registers");
+                        for (_, preg) in fa {
+                            mappings[preg.index()] = 0;
+                        }
+                        // Squashed shares: the mapping picture resets to the
+                        // trackers' view.
+                        for p in 0..12 {
+                            if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                                mappings[p] = mappings[p].min(1);
+                            }
+                        }
+                    }
+                }
+                Ev::CommitFlush => {
+                    let mut fa = Vec::new();
+                    let mut fb = Vec::new();
+                    isrb.restore_to_committed(&mut fa);
+                    ideal.restore_to_committed(&mut fb);
+                    fa.sort();
+                    fb.sort();
+                    prop_assert_eq!(&fa, &fb, "commit flush freed different registers");
+                    ckpts.clear();
+                    for (_, preg) in fa {
+                        mappings[preg.index()] = 0;
+                    }
+                    for p in 0..12 {
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                            mappings[p] = mappings[p].min(1);
+                        }
+                    }
+                }
+            }
+            // Shared-set equality at every step.
+            for p in 0..12u8 {
+                prop_assert_eq!(
+                    isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)),
+                    ideal.is_shared(RegClass::Int, PhysReg::new(p as usize)),
+                    "shared-set diverged for p{}", p
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn finite_isrb_never_leaks_entries(events in proptest::collection::vec(ev_strategy(), 1..300)) {
+        // A 4-entry ISRB under arbitrary traffic: occupancy stays ≤ 4 and
+        // every reclaim of an untracked register frees.
+        let mut isrb = Isrb::new(IsrbConfig { entries: 4, counter_bits: 3, ..IsrbConfig::default() });
+        let mut ckpts: Vec<u64> = Vec::new();
+        let mut live = [0i32; 12];
+        for ev in events {
+            match ev {
+                Ev::Share(p) => {
+                    if isrb.try_share(&share(p)) {
+                        if live[p as usize] == 0 { live[p as usize] = 1; }
+                        live[p as usize] += 1;
+                    }
+                }
+                Ev::SharerCommit(p) => isrb.on_sharer_commit(&share(p)),
+                Ev::Reclaim(p) => {
+                    if live[p as usize] > 0 {
+                        isrb.on_reclaim(&reclaim(p));
+                        live[p as usize] -= 1;
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                            live[p as usize] = 0;
+                        }
+                    }
+                }
+                Ev::Checkpoint => ckpts.push(isrb.checkpoint()),
+                Ev::Restore => {
+                    if let Some(id) = ckpts.pop() {
+                        let mut freed = Vec::new();
+                        isrb.restore(id, &mut freed);
+                        for (_, preg) in freed { live[preg.index()] = 0; }
+                        for p in 0..12 {
+                            if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                                live[p] = live[p].min(1);
+                            }
+                        }
+                    }
+                }
+                Ev::CommitFlush => {
+                    let mut freed = Vec::new();
+                    isrb.restore_to_committed(&mut freed);
+                    ckpts.clear();
+                    for (_, preg) in freed { live[preg.index()] = 0; }
+                    for p in 0..12 {
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                            live[p] = live[p].min(1);
+                        }
+                    }
+                }
+            }
+            prop_assert!(isrb.shared_count() <= 4, "occupancy exceeded capacity");
+        }
+    }
+}
