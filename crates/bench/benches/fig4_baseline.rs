@@ -13,7 +13,13 @@ use regshare_workloads::suite;
 fn main() {
     let window = RunWindow::from_env();
     let mut t = Table::new(vec![
-        "bench", "class", "ipc", "mem_traps", "false_deps", "branch_mpki", "bypassable_loads",
+        "bench",
+        "class",
+        "ipc",
+        "mem_traps",
+        "false_deps",
+        "branch_mpki",
+        "bypassable_loads",
     ]);
     let mut ipcs = Vec::new();
     for wl in suite() {
@@ -29,7 +35,10 @@ fn main() {
             format!("{}", m.stats.loads),
         ]);
     }
-    println!("# Figure 4: baseline characterization ({} µ-ops measured/bench)\n", window.measure);
+    println!(
+        "# Figure 4: baseline characterization ({} µ-ops measured/bench)\n",
+        window.measure
+    );
     t.print();
     println!("geomean IPC: {:.3}", geomean(&ipcs).unwrap_or(0.0));
 }

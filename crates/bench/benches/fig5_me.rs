@@ -16,7 +16,13 @@ fn main() {
     let window = RunWindow::from_env();
     let sizes = [8usize, 16, 32, 0];
     let mut t = Table::new(vec![
-        "bench", "base_ipc", "me8%", "me16%", "me32%", "meUnl%", "pct_renamed_elim",
+        "bench",
+        "base_ipc",
+        "me8%",
+        "me16%",
+        "me32%",
+        "meUnl%",
+        "pct_renamed_elim",
     ]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
     for wl in suite() {
@@ -24,7 +30,11 @@ fn main() {
         let mut cells = vec![wl.name.to_string(), format!("{:.3}", base.ipc())];
         let mut elim_pct = 0.0;
         for (i, &n) in sizes.iter().enumerate() {
-            let m = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(n), window);
+            let m = measure(
+                &wl,
+                CoreConfig::hpca16().with_me().with_isrb_entries(n),
+                window,
+            );
             let sp = speedup_pct(base.ipc(), m.ipc());
             per_size[i].push(1.0 + sp / 100.0);
             cells.push(format!("{sp:+.2}"));
@@ -39,7 +49,11 @@ fn main() {
     t.print();
     for (i, &n) in sizes.iter().enumerate() {
         let g = (geomean(&per_size[i]).unwrap_or(1.0) - 1.0) * 100.0;
-        let label = if n == 0 { "unlimited".into() } else { n.to_string() };
+        let label = if n == 0 {
+            "unlimited".into()
+        } else {
+            n.to_string()
+        };
         println!("geomean speedup, ISRB {label}: {g:+.2}%");
     }
 }

@@ -21,10 +21,22 @@ fn main() {
     let window = RunWindow::from_env();
     let sizes = [16usize, 24, 32, 0];
     let mut t = Table::new(vec![
-        "bench", "base_ipc", "smb16%", "smb24%", "smb32%", "smbUnl%", "nosqUnl%", "loads_byp%",
+        "bench",
+        "base_ipc",
+        "smb16%",
+        "smb24%",
+        "smb32%",
+        "smbUnl%",
+        "nosqUnl%",
+        "loads_byp%",
     ]);
     let mut t2 = Table::new(vec![
-        "bench", "traps_base", "traps_smb", "fdeps_base", "fdeps_smb", "speedup%",
+        "bench",
+        "traps_base",
+        "traps_smb",
+        "fdeps_base",
+        "fdeps_smb",
+        "speedup%",
     ]);
     let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len() + 1];
     for wl in suite() {
@@ -32,7 +44,11 @@ fn main() {
         let mut cells = vec![wl.name.to_string(), format!("{:.3}", base.ipc())];
         let mut unl_stats = None;
         for (i, &n) in sizes.iter().enumerate() {
-            let m = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(n), window);
+            let m = measure(
+                &wl,
+                CoreConfig::hpca16().with_smb().with_isrb_entries(n),
+                window,
+            );
             let sp = speedup_pct(base.ipc(), m.ipc());
             per_size[i].push(1.0 + sp / 100.0);
             cells.push(format!("{sp:+.2}"));

@@ -15,7 +15,12 @@ use regshare_workloads::suite;
 fn main() {
     let window = RunWindow::from_env();
     let mut t = Table::new(vec![
-        "bench", "eagerUnl%", "lazyUnl%", "eager24%", "lazy24%", "byp_from_committed",
+        "bench",
+        "eagerUnl%",
+        "lazyUnl%",
+        "eager24%",
+        "lazy24%",
+        "byp_from_committed",
     ]);
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 4];
     for wl in suite() {
@@ -41,7 +46,10 @@ fn main() {
     }
     println!("# Figure 6(c): eager vs lazy reclaim (bypass from committed)\n");
     t.print();
-    for (i, l) in ["eager-unl", "lazy-unl", "eager-24", "lazy-24"].iter().enumerate() {
+    for (i, l) in ["eager-unl", "lazy-unl", "eager-24", "lazy-24"]
+        .iter()
+        .enumerate()
+    {
         let g = (geomean(&geo[i]).unwrap_or(1.0) - 1.0) * 100.0;
         println!("geomean speedup, {l}: {g:+.2}%");
     }

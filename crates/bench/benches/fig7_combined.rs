@@ -10,15 +10,21 @@
 
 use regshare_bench::{measure, RunWindow, Table};
 use regshare_core::CoreConfig;
-use regshare_refcount::IsrbConfig;
 use regshare_core::TrackerKind;
+use regshare_refcount::IsrbConfig;
 use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::suite;
 
 fn main() {
     let window = RunWindow::from_env();
     let mut t = Table::new(vec![
-        "bench", "both16%", "both24%", "both32%", "bothUnl%", "me_only%", "smb_only%",
+        "bench",
+        "both16%",
+        "both24%",
+        "both32%",
+        "bothUnl%",
+        "me_only%",
+        "smb_only%",
     ]);
     let sizes = [16usize, 24, 32, 0];
     let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 6];
@@ -30,7 +36,10 @@ fn main() {
         for (i, &n) in sizes.iter().enumerate() {
             let m = measure(
                 &wl,
-                CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(n),
+                CoreConfig::hpca16()
+                    .with_me()
+                    .with_smb()
+                    .with_isrb_entries(n),
                 window,
             );
             let sp = speedup_pct(base.ipc(), m.ipc());
@@ -45,8 +54,16 @@ fn main() {
                 }
             }
         }
-        let me = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(0), window);
-        let smb = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
+        let me = measure(
+            &wl,
+            CoreConfig::hpca16().with_me().with_isrb_entries(0),
+            window,
+        );
+        let smb = measure(
+            &wl,
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+            window,
+        );
         let me_sp = speedup_pct(base.ipc(), me.ipc());
         let smb_sp = speedup_pct(base.ipc(), smb.ipc());
         geo[4].push(1.0 + me_sp / 100.0);
@@ -57,9 +74,16 @@ fn main() {
     }
     println!("# Figure 7: ME + SMB combined vs ISRB size\n");
     t.print();
-    for (i, l) in ["both-16", "both-24", "both-32", "both-unl", "me-only-unl", "smb-only-unl"]
-        .iter()
-        .enumerate()
+    for (i, l) in [
+        "both-16",
+        "both-24",
+        "both-32",
+        "both-unl",
+        "me-only-unl",
+        "smb-only-unl",
+    ]
+    .iter()
+    .enumerate()
     {
         let g = (geomean(&geo[i]).unwrap_or(1.0) - 1.0) * 100.0;
         println!("geomean speedup, {l}: {g:+.2}%");
@@ -75,9 +99,14 @@ fn main() {
         let base = measure(&wl, CoreConfig::hpca16(), window);
         let mut cells = vec![wl.name.to_string()];
         for bits in [1u32, 2, 3, 4, 31] {
-            let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(
-                TrackerKind::Isrb(IsrbConfig { entries: 32, counter_bits: bits, ..IsrbConfig::hpca16() }),
-            );
+            let cfg = CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_tracker(TrackerKind::Isrb(IsrbConfig {
+                    entries: 32,
+                    counter_bits: bits,
+                    ..IsrbConfig::hpca16()
+                }));
             let m = measure(&wl, cfg, window);
             cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
         }

@@ -18,7 +18,9 @@ fn bench_isrb(c: &mut Criterion) {
         let share = ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(42),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(1) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(1),
+            },
         };
         let reclaim = ReclaimRequest {
             class: RegClass::Int,
@@ -37,7 +39,9 @@ fn bench_isrb(c: &mut Criterion) {
         let share = ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(7),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(2) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(2),
+            },
         };
         let mut freed = Vec::new();
         b.iter(|| {
@@ -95,5 +99,11 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_isrb, bench_tage, bench_cache, bench_simulator);
+criterion_group!(
+    benches,
+    bench_isrb,
+    bench_tage,
+    bench_cache,
+    bench_simulator
+);
 criterion_main!(benches);

@@ -23,8 +23,11 @@ fn subset() -> Vec<regshare_workloads::Workload> {
     suite()
         .into_iter()
         .filter(|w| {
-            ["crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd", "gamess"]
-                .contains(&w.name)
+            [
+                "crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd",
+                "gamess",
+            ]
+            .contains(&w.name)
         })
         .collect()
 }
@@ -78,13 +81,27 @@ fn main() {
     let trackers: Vec<(&str, TrackerKind)> = vec![
         ("isrb-32", TrackerKind::Isrb(IsrbConfig::hpca16())),
         ("unlimited", TrackerKind::Unlimited),
-        ("counters-walk8", TrackerKind::PerRegCounters { walk_width: 8 }),
+        (
+            "counters-walk8",
+            TrackerKind::PerRegCounters { walk_width: 8 },
+        ),
         ("roth-matrix", TrackerKind::RothMatrix),
         ("mit-8", TrackerKind::Mit { entries: 8 }),
-        ("rda-32", TrackerKind::Rda { entries: 32, counter_bits: 3 }),
+        (
+            "rda-32",
+            TrackerKind::Rda {
+                entries: 32,
+                counter_bits: 3,
+            },
+        ),
     ];
     let mut t = Table::new(vec![
-        "scheme", "gmean_speedup%", "storage_bits", "bits_per_ckpt", "recovery_stalls", "ckpt_writes_at_commit",
+        "scheme",
+        "gmean_speedup%",
+        "storage_bits",
+        "bits_per_ckpt",
+        "recovery_stalls",
+        "ckpt_writes_at_commit",
     ]);
     for (name, kind) in &trackers {
         let mut speedups = Vec::new();
@@ -93,7 +110,10 @@ fn main() {
         let mut storage = (0usize, 0usize);
         for wl in subset() {
             let base = measure(&wl, CoreConfig::hpca16(), window);
-            let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(kind.clone());
+            let cfg = CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_tracker(kind.clone());
             let m = measure(&wl, cfg, window);
             speedups.push(1.0 + speedup_pct(base.ipc(), m.ipc()) / 100.0);
             stalls += m.stats.tracker_recovery_stalls;
@@ -120,7 +140,11 @@ fn main() {
     for wl in subset().into_iter().chain(stress_workloads()) {
         let base = measure(&wl, CoreConfig::hpca16(), window);
         let mut cells = vec![wl.name.to_string()];
-        for ddt in [DdtConfig::unlimited(), DdtConfig::base16k(), DdtConfig::opt1k()] {
+        for ddt in [
+            DdtConfig::unlimited(),
+            DdtConfig::base16k(),
+            DdtConfig::opt1k(),
+        ] {
             let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
             cfg.ddt = ddt;
             let m = measure(&wl, cfg, window);
@@ -138,7 +162,11 @@ fn main() {
         let mut only = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
         only.smb_load_load = false;
         let a = measure(&wl, only, window);
-        let b = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
+        let b = measure(
+            &wl,
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+            window,
+        );
         t.row(vec![
             wl.name.to_string(),
             format!("{:+.2}", speedup_pct(base.ipc(), a.ipc())),
@@ -150,7 +178,12 @@ fn main() {
     // --- 4. ISRB ports + flag filter ---
     println!("\n# §4.3.4: ISRB CAM ports and the reclaim flag filter\n");
     let mut t = Table::new(vec![
-        "bench", "ports_unl%", "ports_2r_6c%", "ports_1r_2c%", "flag_filtered", "cam_checked",
+        "bench",
+        "ports_unl%",
+        "ports_2r_6c%",
+        "ports_1r_2c%",
+        "flag_filtered",
+        "cam_checked",
     ]);
     for wl in subset() {
         let base = measure(&wl, CoreConfig::hpca16(), window);

@@ -13,18 +13,50 @@ use regshare_workloads::suite;
 fn main() {
     let window = RunWindow::from_env();
     println!("# Paper-vs-measured headline summary\n");
-    println!("window: {} warmup + {} measured µ-ops per run\n", window.warmup, window.measure);
+    println!(
+        "window: {} warmup + {} measured µ-ops per run\n",
+        window.warmup, window.measure
+    );
 
     let mut both32 = Vec::new();
     let mut both_unl = Vec::new();
     let mut max32: (f64, &str) = (0.0, "-");
-    let mut t = Table::new(vec!["bench", "base_ipc", "me_unl%", "smb_unl%", "both32%", "both_unl%"]);
+    let mut t = Table::new(vec![
+        "bench",
+        "base_ipc",
+        "me_unl%",
+        "smb_unl%",
+        "both32%",
+        "both_unl%",
+    ]);
     for wl in suite() {
         let base = measure(&wl, CoreConfig::hpca16(), window);
-        let me = measure(&wl, CoreConfig::hpca16().with_me().with_isrb_entries(0), window);
-        let smb = measure(&wl, CoreConfig::hpca16().with_smb().with_isrb_entries(0), window);
-        let b32 = measure(&wl, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(32), window);
-        let bun = measure(&wl, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(0), window);
+        let me = measure(
+            &wl,
+            CoreConfig::hpca16().with_me().with_isrb_entries(0),
+            window,
+        );
+        let smb = measure(
+            &wl,
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+            window,
+        );
+        let b32 = measure(
+            &wl,
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(32),
+            window,
+        );
+        let bun = measure(
+            &wl,
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(0),
+            window,
+        );
         let s32 = speedup_pct(base.ipc(), b32.ipc());
         let sun = speedup_pct(base.ipc(), bun.ipc());
         both32.push(1.0 + s32 / 100.0);

@@ -8,11 +8,14 @@ use regshare_workloads::suite;
 fn main() {
     let window = RunWindow::from_env();
     let mut t = Table::new(vec![
-        "bench", "base_ipc", "me%", "smb%", "both%", "elim", "bypassed", "traps_b", "traps_s", "fdep_b", "fdep_s",
+        "bench", "base_ipc", "me%", "smb%", "both%", "elim", "bypassed", "traps_b", "traps_s",
+        "fdep_b", "fdep_s",
     ]);
     for wl in suite() {
-        if !["crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf"]
-            .contains(&wl.name)
+        if ![
+            "crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf",
+        ]
+        .contains(&wl.name)
         {
             continue;
         }

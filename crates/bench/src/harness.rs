@@ -16,7 +16,10 @@ impl RunWindow {
     /// Default window, overridable via `REGSHARE_WARMUP`/`REGSHARE_MEASURE`.
     pub fn from_env() -> RunWindow {
         let get = |k: &str, d: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(d)
         };
         RunWindow {
             warmup: get("REGSHARE_WARMUP", 60_000),
@@ -26,7 +29,10 @@ impl RunWindow {
 
     /// A fast window for smoke tests.
     pub fn quick() -> RunWindow {
-        RunWindow { warmup: 10_000, measure: 40_000 }
+        RunWindow {
+            warmup: 10_000,
+            measure: 40_000,
+        }
     }
 }
 
@@ -65,5 +71,8 @@ pub fn measure_with(
     let warm = sim.run(window.warmup);
     let end = sim.run(window.measure);
     inspect(&sim);
-    Measurement { name: workload.name, stats: end.delta_since(&warm) }
+    Measurement {
+        name: workload.name,
+        stats: end.delta_since(&warm),
+    }
 }

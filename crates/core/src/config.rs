@@ -51,9 +51,10 @@ impl TrackerKind {
             }
             TrackerKind::RothMatrix => Box::new(RothMatrix::new(pregs_per_class, rob_entries)),
             TrackerKind::Mit { entries } => Box::new(Mit::new(*entries)),
-            TrackerKind::Rda { entries, counter_bits } => {
-                Box::new(Rda::new(*entries, *counter_bits))
-            }
+            TrackerKind::Rda {
+                entries,
+                counter_bits,
+            } => Box::new(Rda::new(*entries, *counter_bits)),
         }
     }
 }
@@ -217,7 +218,10 @@ impl CoreConfig {
     pub fn with_isrb_entries(mut self, entries: usize) -> CoreConfig {
         let cfg = match &self.tracker {
             TrackerKind::Isrb(c) => IsrbConfig { entries, ..*c },
-            _ => IsrbConfig { entries, ..IsrbConfig::hpca16() },
+            _ => IsrbConfig {
+                entries,
+                ..IsrbConfig::hpca16()
+            },
         };
         self.tracker = TrackerKind::Isrb(cfg);
         self
@@ -243,7 +247,10 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(24);
+        let c = CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(24);
         assert!(c.move_elimination && c.smb);
         match c.tracker {
             TrackerKind::Isrb(i) => assert_eq!(i.entries, 24),
@@ -259,7 +266,10 @@ mod tests {
             TrackerKind::PerRegCounters { walk_width: 8 },
             TrackerKind::RothMatrix,
             TrackerKind::Mit { entries: 8 },
-            TrackerKind::Rda { entries: 8, counter_bits: 3 },
+            TrackerKind::Rda {
+                entries: 8,
+                counter_bits: 3,
+            },
         ] {
             let t = kind.build(256, 192);
             assert!(!t.name().is_empty());

@@ -64,7 +64,10 @@ pub struct StoreQueue {
 impl StoreQueue {
     /// Creates a queue with `capacity` entries.
     pub fn new(capacity: usize) -> StoreQueue {
-        StoreQueue { entries: vec![None; capacity], count: 0 }
+        StoreQueue {
+            entries: vec![None; capacity],
+            count: 0,
+        }
     }
 
     /// Whether an entry can be allocated.
@@ -182,7 +185,10 @@ pub struct LoadQueue {
 impl LoadQueue {
     /// Creates a queue with `capacity` entries.
     pub fn new(capacity: usize) -> LoadQueue {
-        LoadQueue { entries: vec![None; capacity], count: 0 }
+        LoadQueue {
+            entries: vec![None; capacity],
+            count: 0,
+        }
     }
 
     /// Whether an entry can be allocated.
@@ -274,7 +280,11 @@ mod tests {
     use super::*;
 
     fn mref(addr: u64, size: u8, is_store: bool) -> MemRef {
-        MemRef { addr, size, is_store }
+        MemRef {
+            addr,
+            size,
+            is_store,
+        }
     }
 
     fn sq_with(stores: &[(u64, u64, u8, bool)]) -> StoreQueue {
@@ -295,10 +305,20 @@ mod tests {
     fn load_forwards_from_containing_executed_store() {
         let sq = sq_with(&[(5, 100, 8, true)]);
         let a = sq.load_action(SeqNum(9), &mref(100, 8, false));
-        assert_eq!(a, LoadAction::Forward { store_seq: SeqNum(5) });
+        assert_eq!(
+            a,
+            LoadAction::Forward {
+                store_seq: SeqNum(5)
+            }
+        );
         // Sub-word load contained in the store also forwards.
         let b = sq.load_action(SeqNum(9), &mref(104, 4, false));
-        assert_eq!(b, LoadAction::Forward { store_seq: SeqNum(5) });
+        assert_eq!(
+            b,
+            LoadAction::Forward {
+                store_seq: SeqNum(5)
+            }
+        );
     }
 
     #[test]
@@ -306,14 +326,24 @@ mod tests {
         let sq = sq_with(&[(5, 100, 4, true)]);
         // 8-byte load over a 4-byte store: overlap without containment.
         let a = sq.load_action(SeqNum(9), &mref(100, 8, false));
-        assert_eq!(a, LoadAction::WaitStoreCommit { store_seq: SeqNum(5) });
+        assert_eq!(
+            a,
+            LoadAction::WaitStoreCommit {
+                store_seq: SeqNum(5)
+            }
+        );
     }
 
     #[test]
     fn youngest_older_store_wins() {
         let sq = sq_with(&[(3, 100, 8, true), (6, 100, 8, true)]);
         let a = sq.load_action(SeqNum(9), &mref(100, 8, false));
-        assert_eq!(a, LoadAction::Forward { store_seq: SeqNum(6) });
+        assert_eq!(
+            a,
+            LoadAction::Forward {
+                store_seq: SeqNum(6)
+            }
+        );
     }
 
     #[test]
@@ -360,7 +390,10 @@ mod tests {
         });
         assert_eq!(lq.violation(SeqNum(5), &mref(100, 8, true)), None);
         // But a store younger than the forwarder still violates.
-        assert_eq!(lq.violation(SeqNum(8), &mref(100, 8, true)), Some(SeqNum(9)));
+        assert_eq!(
+            lq.violation(SeqNum(8), &mref(100, 8, true)),
+            Some(SeqNum(9))
+        );
     }
 
     #[test]
@@ -413,7 +446,12 @@ mod tests {
             mem: mref(0, 8, true),
             executed: false,
         });
-        sq.alloc(SqEntry { seq: SeqNum(2), rob_slot: 1, mem: mref(8, 8, true), executed: false });
+        sq.alloc(SqEntry {
+            seq: SeqNum(2),
+            rob_slot: 1,
+            mem: mref(8, 8, true),
+            executed: false,
+        });
         assert!(!sq.has_space());
         sq.free(a);
         assert!(sq.has_space());

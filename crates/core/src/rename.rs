@@ -19,7 +19,10 @@ impl RenameMap {
         for (i, m) in map.iter_mut().enumerate() {
             *m = PhysReg::new(i % ARCH_REGS_PER_CLASS);
         }
-        RenameMap { map, shared_flag: [false; ArchReg::COUNT] }
+        RenameMap {
+            map,
+            shared_flag: [false; ArchReg::COUNT],
+        }
     }
 
     /// Current physical register of `reg`.
@@ -193,7 +196,15 @@ mod tests {
         let mut fl = FreeList::new(8, 4);
         assert_eq!(fl.free_count(), 4);
         let regs: Vec<_> = (0..4).map(|_| fl.pop().unwrap()).collect();
-        assert_eq!(regs, vec![PhysReg::new(4), PhysReg::new(5), PhysReg::new(6), PhysReg::new(7)]);
+        assert_eq!(
+            regs,
+            vec![
+                PhysReg::new(4),
+                PhysReg::new(5),
+                PhysReg::new(6),
+                PhysReg::new(7)
+            ]
+        );
         assert_eq!(fl.pop(), None);
         for _ in 0..4 {
             fl.commit_pop();
@@ -235,6 +246,7 @@ mod tests {
         fl.commit_pop();
         fl.commit_pop();
         let ck = fl.head() - 2; // checkpoint right after the commits
+
         // Architectural frees arrive while speculation is outstanding.
         fl.push(PhysReg::new(4));
         fl.push(PhysReg::new(6));

@@ -411,7 +411,10 @@ mod tests {
         let n = rob.squash_all_inflight(|_| {});
         assert_eq!(n, 3);
         assert_eq!(rob.next_seq(), SeqNum(1));
-        assert!(rob.get(SeqNum(0)).is_some(), "committed entry kept for release");
+        assert!(
+            rob.get(SeqNum(0)).is_some(),
+            "committed entry kept for release"
+        );
     }
 
     #[test]

@@ -18,9 +18,7 @@ use regshare_isa::FetchStream;
 use regshare_mem::{MemResult, MemorySystem};
 use regshare_predictors::tage::{TageHistory, TagePrediction};
 use regshare_predictors::{Btb, ReturnAddressStack, StoreSets, Tage};
-use regshare_refcount::{
-    ReclaimDecision, ReclaimRequest, ShareKind, ShareRequest, SharingTracker,
-};
+use regshare_refcount::{ReclaimDecision, ReclaimRequest, ShareKind, ShareRequest, SharingTracker};
 use regshare_types::hasher::{mix64, FastMap};
 use regshare_types::{
     Addr, Cycle, HistorySnapshot, PhysReg, RegClass, SeqNum, ARCH_REGS_PER_CLASS,
@@ -184,15 +182,15 @@ impl Simulator {
         }
         let dist_pred: Box<dyn DistancePredictor> = match &cfg.distance_predictor {
             DistancePredictorKind::TageLike(c) => Box::new(TageDistance::new(c.clone())),
-            DistancePredictorKind::Nosq(c) => Box::new(NosqDistance::new(c.clone())),
+            DistancePredictorKind::Nosq(c) => Box::new(NosqDistance::new(*c)),
         };
         let tage = Tage::new(cfg.tage.clone());
         let arch_tage = tage.snapshot();
         let ras = ReturnAddressStack::new(cfg.ras_entries);
         let mut prf_ready = [vec![NOT_READY; pregs], vec![NOT_READY; pregs]];
-        for c in 0..2 {
-            for p in 0..ARCH_REGS_PER_CLASS {
-                prf_ready[c][p] = 0; // initial architectural mappings are ready
+        for class_ready in prf_ready.iter_mut() {
+            for slot in class_ready.iter_mut().take(ARCH_REGS_PER_CLASS) {
+                *slot = 0; // initial architectural mappings are ready
             }
         }
         Simulator {
@@ -352,7 +350,10 @@ impl Simulator {
     fn commit(&mut self) {
         let mut reclaim_cams = 0usize;
         for _ in 0..self.cfg.commit_width {
-            if self.commit_budget.is_some_and(|b| self.stats.committed >= b) {
+            if self
+                .commit_budget
+                .is_some_and(|b| self.stats.committed >= b)
+            {
                 break; // exact-measurement boundary for digest comparisons
             }
             let Some(head) = self.rob.head() else { break };
@@ -366,7 +367,7 @@ impl Simulator {
             }
             // Reclaim CAM port pressure (§4.3.4): a committing µ-op whose
             // reclaim must CAM the tracker consumes a port; stall when out.
-            let needs_cam = head.dst.map_or(false, |d| d.needs_cam);
+            let needs_cam = head.dst.is_some_and(|d| d.needs_cam);
             if self.cfg.tracker_reclaim_ports > 0
                 && needs_cam
                 && reclaim_cams >= self.cfg.tracker_reclaim_ports
@@ -384,8 +385,7 @@ impl Simulator {
         if self.cfg.smb_from_committed {
             let fl_low = self.fl[0].free_count() < 2 * self.cfg.frontend_width
                 || self.fl[1].free_count() < 2 * self.cfg.frontend_width;
-            let rob_high = self.rob.occupancy() + 2 * self.cfg.frontend_width
-                > self.rob.capacity();
+            let rob_high = self.rob.occupancy() + 2 * self.cfg.frontend_width > self.rob.capacity();
             if fl_low || rob_high {
                 for _ in 0..2 * self.cfg.commit_width {
                     if !self.release_one() {
@@ -406,7 +406,7 @@ impl Simulator {
         let pc = e.pc;
         let kind = e.kind;
         let dst = e.dst;
-        let share = e.share.clone();
+        let share = e.share;
         let mem = e.mem;
         let store_data = e.store_data;
         let history = e.history;
@@ -425,8 +425,7 @@ impl Simulator {
                 self.stats.branches += 1;
             }
             let taken = b.taken || b.kind != BranchKind::Conditional;
-            self.tage
-                .advance_snapshot(&mut self.arch_tage, taken, pc);
+            self.tage.advance_snapshot(&mut self.arch_tage, taken, pc);
             self.arch_hist = self.arch_hist.push(taken, pc);
             match b.kind {
                 BranchKind::Call => self.arch_ras.push(b.actual_next.saturating_sub(0)),
@@ -482,7 +481,7 @@ impl Simulator {
             }
             if bypass.is_some() {
                 self.stats.loads_bypassed += 1;
-                if bypass.map_or(false, |b| b.from_committed) {
+                if bypass.is_some_and(|b| b.from_committed) {
                     self.stats.bypass_from_committed += 1;
                 }
             }
@@ -533,7 +532,9 @@ impl Simulator {
     /// Releases one committed entry, processing its register reclaim.
     /// Returns false when release has caught up.
     fn release_one(&mut self) -> bool {
-        let Some(e) = self.rob.release_next() else { return false };
+        let Some(e) = self.rob.release_next() else {
+            return false;
+        };
         if let Some(d) = e.dst {
             self.reclaim(d, e.seq);
         }
@@ -547,7 +548,9 @@ impl Simulator {
         if d.needs_cam {
             self.stats.reclaims_cam_checked += 1;
             if let Some(last) = self.last_cam_commit {
-                self.stats.reclaim_check_distance.add(seq.0.saturating_sub(last));
+                self.stats
+                    .reclaim_check_distance
+                    .add(seq.0.saturating_sub(last));
             }
             self.last_cam_commit = Some(seq.0);
         } else {
@@ -561,7 +564,15 @@ impl Simulator {
             renews: d.new_preg == d.old_preg,
         };
         let decision = self.tracker.on_reclaim(&req);
-        self.trace_preg("reclaim", class, d.old_preg, &format!("{decision:?} seq={seq} arch={} renews={} new={}", d.arch, req.renews, d.new_preg));
+        self.trace_preg(
+            "reclaim",
+            class,
+            d.old_preg,
+            &format!(
+                "{decision:?} seq={seq} arch={} renews={} new={}",
+                d.arch, req.renews, d.new_preg
+            ),
+        );
         match decision {
             ReclaimDecision::Free => {
                 self.prf_ready[class.index()][d.old_preg.index()] = NOT_READY;
@@ -683,7 +694,7 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn schedule(&mut self, at: u64, ev: Event) {
-        debug_assert!(at > self.now || (at == self.now), "event in the past");
+        debug_assert!(at >= self.now, "event in the past");
         debug_assert!(at - self.now < WHEEL as u64, "event beyond wheel horizon");
         let slot = (at % WHEEL as u64) as usize;
         self.wheel[slot].push(ev);
@@ -701,7 +712,9 @@ impl Simulator {
     }
 
     fn on_agu(&mut self, seq: SeqNum, uid: u64) {
-        let Some(e) = self.rob.get_mut(seq) else { return };
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
         if e.committed || e.uid != uid {
             return; // stale event from a squashed incarnation
         }
@@ -775,7 +788,9 @@ impl Simulator {
 
     /// Schedules the load's completion and wakes dependents.
     fn finish_load(&mut self, seq: SeqNum, done: u64) {
-        let Some(e) = self.rob.get_mut(seq) else { return };
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
         e.read_scheduled = true;
         let uid = e.uid;
         let e = self.rob.get(seq).expect("just checked");
@@ -789,7 +804,9 @@ impl Simulator {
     }
 
     fn on_complete(&mut self, seq: SeqNum, uid: u64) {
-        let Some(e) = self.rob.get_mut(seq) else { return };
+        let Some(e) = self.rob.get_mut(seq) else {
+            return;
+        };
         if e.committed || e.completed || e.uid != uid {
             return;
         }
@@ -801,7 +818,7 @@ impl Simulator {
                 e.trap = Some(TrapKind::BypassMispredict);
             }
         }
-        let mispredicted = e.branch.as_ref().map_or(false, |b| b.mispredicted);
+        let mispredicted = e.branch.as_ref().is_some_and(|b| b.mispredicted);
         if mispredicted {
             self.recover_branch(seq);
         }
@@ -1051,9 +1068,7 @@ impl Simulator {
                     if let (Some(dep), Some(e)) = (q.dep_store, self.rob.get(seq)) {
                         let lm = e.mem.expect("load memref");
                         match self.rob.get(dep).and_then(|s| s.mem) {
-                            Some(sm) if !sm.overlaps(&lm) => {
-                                self.stats.false_dependencies += 1
-                            }
+                            Some(sm) if !sm.overlaps(&lm) => self.stats.false_dependencies += 1,
                             Some(_) => self.stats.dep_true += 1,
                             None => self.stats.dep_gone += 1,
                         }
@@ -1088,7 +1103,9 @@ impl Simulator {
         }
         let mut rename_cams = 0usize;
         for _ in 0..self.cfg.frontend_width {
-            let Some(front) = self.pipe.front() else { break };
+            let Some(front) = self.pipe.front() else {
+                break;
+            };
             if front.ready > self.now {
                 break;
             }
@@ -1128,7 +1145,12 @@ impl Simulator {
         let mut n_srcs = 0u8;
         for s in uop.sources() {
             let p = self.rm.lookup(s);
-            self.trace_preg("read-src", s.class(), p, &format!("seq={seq} arch={s} wp={}", uop.wrong_path));
+            self.trace_preg(
+                "read-src",
+                s.class(),
+                p,
+                &format!("seq={seq} arch={s} wp={}", uop.wrong_path),
+            );
             srcs[n_srcs as usize] = (s.class().index() as u8, p.index() as u16);
             n_srcs += 1;
         }
@@ -1153,7 +1175,10 @@ impl Simulator {
         let mut new_preg: Option<PhysReg> = None;
         if self.cfg.move_elimination && uop.kind.eliminable_move() {
             let class_ok = match uop.kind {
-                UopKind::Move { class: RegClass::Fp, .. } => self.cfg.me_fp_moves,
+                UopKind::Move {
+                    class: RegClass::Fp,
+                    ..
+                } => self.cfg.me_fp_moves,
                 _ => true,
             };
             if class_ok {
@@ -1167,10 +1192,18 @@ impl Simulator {
                     let req = ShareRequest {
                         class: dst.class(),
                         preg: src_preg,
-                        kind: ShareKind::MoveElim { arch_dst: dst, arch_src: src },
+                        kind: ShareKind::MoveElim {
+                            arch_dst: dst,
+                            arch_src: src,
+                        },
                     };
                     if self.tracker.try_share(&req) {
-                        self.trace_preg("share-me", dst.class(), src_preg, &format!("seq={seq} dst={dst} src={src}"));
+                        self.trace_preg(
+                            "share-me",
+                            dst.class(),
+                            src_preg,
+                            &format!("seq={seq} dst={dst} src={src}"),
+                        );
                         eliminated = true;
                         share = Some(req);
                         new_preg = Some(src_preg);
@@ -1190,12 +1223,11 @@ impl Simulator {
 
         // --- Speculative memory bypassing (§3) ---
         let mut bypass: Option<BypassInfo> = None;
-        if self.cfg.smb && uop.is_load() && uop.dst.is_some() && !eliminated {
+        if let (true, Some(dst)) = (self.cfg.smb && uop.is_load() && !eliminated, uop.dst) {
             if let Some(d) = self.dist_pred.predict(uop.pc, uop.history) {
                 self.stats.distance_predictions += 1;
                 if d >= 1 && d <= seq.0 {
                     let producer_seq = SeqNum(seq.0 - d);
-                    let dst = uop.dst.expect("load has dst");
                     let candidate = self.rob.get(producer_seq).and_then(|p| {
                         let pd = p.dst?;
                         if pd.arch.class() != dst.class() {
@@ -1218,9 +1250,13 @@ impl Simulator {
                                     kind: ShareKind::Bypass { arch_dst: dst },
                                 };
                                 if self.tracker.try_share(&req) {
-                                    self.trace_preg("share-smb", dst.class(), preg, &format!("seq={seq} dst={dst}"));
-                                    let correct = self.prf_value[dst.class().index()]
-                                        [preg.index()]
+                                    self.trace_preg(
+                                        "share-smb",
+                                        dst.class(),
+                                        preg,
+                                        &format!("seq={seq} dst={dst}"),
+                                    );
+                                    let correct = self.prf_value[dst.class().index()][preg.index()]
                                         == uop.result;
                                     bypass = Some(BypassInfo {
                                         preg,
@@ -1272,7 +1308,13 @@ impl Simulator {
                 false
             };
             self.rm.set_shared_flag(dst, new_flag);
-            dst_info = Some(DstInfo { arch: dst, new_preg: preg, old_preg: old, fresh_alloc: fresh, needs_cam });
+            dst_info = Some(DstInfo {
+                arch: dst,
+                new_preg: preg,
+                old_preg: old,
+                fresh_alloc: fresh,
+                needs_cam,
+            });
         }
         if uop.is_store() && self.cfg.smb {
             if let Some(data) = uop.store_data_reg() {
@@ -1334,7 +1376,7 @@ impl Simulator {
                 mem: uop.mem.expect("load memref"),
                 read_started: false,
                 fwd_from: None,
-                bypassed_ok: bypass.map_or(false, |b| b.correct),
+                bypassed_ok: bypass.is_some_and(|b| b.correct),
             }));
         }
         if uop.is_store() {
@@ -1357,7 +1399,7 @@ impl Simulator {
             completed: eliminated,
             committed: false,
             dst: dst_info,
-            share: share.clone(),
+            share,
             eliminated,
             bypass,
             mem: uop.mem,
@@ -1457,7 +1499,12 @@ impl Simulator {
                 if !uop.wrong_path && pred_next != b.next_sidx {
                     self.stream.mispredict_fork(uop.seq, pred_next);
                 }
-                pred = Some(PredInfo { pred_next, pred_taken, tage_pred: tp, snap });
+                pred = Some(PredInfo {
+                    pred_next,
+                    pred_taken,
+                    tage_pred: tp,
+                    snap,
+                });
             }
             self.pipe.push_back(PipeUop {
                 ready: self.now + self.cfg.frontend_depth,
@@ -1564,7 +1611,9 @@ impl Simulator {
 
     /// Why is the commit head not issuing? (deadlock diagnostics)
     pub fn debug_head_block(&self) -> String {
-        let Some(h) = self.rob.head() else { return "no head".into() };
+        let Some(h) = self.rob.head() else {
+            return "no head".into();
+        };
         let Some(q) = self.iq.iter().find(|q| q.seq == h.seq) else {
             return format!("head {} not in IQ (eliminated={})", h.seq, h.eliminated);
         };

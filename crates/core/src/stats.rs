@@ -133,8 +133,7 @@ impl SimStats {
             branches: self.branches - warm.branches,
             branch_mispredicts: self.branch_mispredicts - warm.branch_mispredicts,
             squashed_uops: self.squashed_uops - warm.squashed_uops,
-            tracker_recovery_stalls: self.tracker_recovery_stalls
-                - warm.tracker_recovery_stalls,
+            tracker_recovery_stalls: self.tracker_recovery_stalls - warm.tracker_recovery_stalls,
             memory_traps: self.memory_traps - warm.memory_traps,
             false_dependencies: self.false_dependencies - warm.false_dependencies,
             loads_with_dep: self.loads_with_dep - warm.loads_with_dep,
@@ -167,11 +166,20 @@ impl SimStats {
 
 impl std::fmt::Display for SimStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "cycles {:>12}   committed {:>12}   IPC {:.3}", self.cycles, self.committed, self.ipc())?;
+        writeln!(
+            f,
+            "cycles {:>12}   committed {:>12}   IPC {:.3}",
+            self.cycles,
+            self.committed,
+            self.ipc()
+        )?;
         writeln!(
             f,
             "branches {} (mispredicts {}, {:.2} MPKI)   squashed {}",
-            self.branches, self.branch_mispredicts, self.branch_mpki(), self.squashed_uops
+            self.branches,
+            self.branch_mispredicts,
+            self.branch_mpki(),
+            self.squashed_uops
         )?;
         writeln!(
             f,
@@ -224,7 +232,12 @@ mod tests {
 
     #[test]
     fn display_mentions_key_numbers() {
-        let s = SimStats { cycles: 10, committed: 25, loads: 3, ..SimStats::default() };
+        let s = SimStats {
+            cycles: 10,
+            committed: 25,
+            loads: 3,
+            ..SimStats::default()
+        };
         let text = s.to_string();
         assert!(text.contains("IPC 2.500"));
         assert!(text.contains("loads 3"));
@@ -232,8 +245,16 @@ mod tests {
 
     #[test]
     fn delta_subtracts_counters() {
-        let warm = SimStats { cycles: 10, committed: 20, ..SimStats::default() };
-        let end = SimStats { cycles: 110, committed: 270, ..SimStats::default() };
+        let warm = SimStats {
+            cycles: 10,
+            committed: 20,
+            ..SimStats::default()
+        };
+        let end = SimStats {
+            cycles: 110,
+            committed: 270,
+            ..SimStats::default()
+        };
         let d = end.delta_since(&warm);
         assert_eq!(d.cycles, 100);
         assert_eq!(d.committed, 250);

@@ -87,14 +87,14 @@ proptest! {
                         // Un-popped registers return ahead of the current
                         // free queue (they sit at the restored head).
                         let mut restored = undone;
-                        restored.extend(free.drain(..));
+                        restored.append(&mut free);
                         free = restored;
                     }
                 }
                 Op::FlushToCommitted => {
                     fl.restore_to_committed();
-                    let mut restored: Vec<PhysReg> = spec.drain(..).collect();
-                    restored.extend(free.drain(..));
+                    let mut restored: Vec<PhysReg> = std::mem::take(&mut spec);
+                    restored.append(&mut free);
                     free = restored;
                     ckpts.clear();
                 }

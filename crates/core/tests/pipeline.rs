@@ -70,7 +70,10 @@ fn register_audit_holds_under_sharing() {
     let program = mini().build();
     let mut sim = Simulator::new(
         &program,
-        CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(8),
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(8),
     );
     for _ in 0..60 {
         sim.run(500);
@@ -86,7 +89,8 @@ fn register_audit_holds_with_lazy_reclaim() {
     let mut sim = Simulator::new(&program, cfg);
     for _ in 0..40 {
         sim.run(500);
-        sim.audit_registers().expect("register accounting violated (lazy)");
+        sim.audit_registers()
+            .expect("register accounting violated (lazy)");
     }
 }
 
@@ -94,15 +98,24 @@ fn register_audit_holds_with_lazy_reclaim() {
 fn all_trackers_run_and_agree_architecturally() {
     let base = run_with(CoreConfig::hpca16(), RUN);
     for tracker in [
-        TrackerKind::Isrb(IsrbConfig { entries: 16, ..IsrbConfig::hpca16() }),
+        TrackerKind::Isrb(IsrbConfig {
+            entries: 16,
+            ..IsrbConfig::hpca16()
+        }),
         TrackerKind::Unlimited,
         TrackerKind::PerRegCounters { walk_width: 8 },
         TrackerKind::RothMatrix,
         TrackerKind::Mit { entries: 8 },
-        TrackerKind::Rda { entries: 16, counter_bits: 3 },
+        TrackerKind::Rda {
+            entries: 16,
+            counter_bits: 3,
+        },
     ] {
         let name = format!("{tracker:?}");
-        let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(tracker);
+        let cfg = CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_tracker(tracker);
         let sim = run_with(cfg, RUN);
         assert_eq!(
             base.arch_digest(),
@@ -116,12 +129,18 @@ fn all_trackers_run_and_agree_architecturally() {
 fn tiny_isrb_limits_sharing_but_stays_correct() {
     let base = run_with(CoreConfig::hpca16(), RUN);
     let tiny = run_with(
-        CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(1),
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(1),
         RUN,
     );
     assert_eq!(base.arch_digest(), tiny.arch_digest());
     let unlimited = run_with(
-        CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(0),
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(0),
         RUN,
     );
     assert!(
@@ -159,7 +178,10 @@ fn wrong_paths_never_corrupt_memory() {
     a.run(RUN);
     let mut b = Simulator::new(&program, CoreConfig::hpca16().with_me().with_smb());
     b.run(RUN);
-    assert!(a.stats().branch_mispredicts > 50, "no wrong paths exercised");
+    assert!(
+        a.stats().branch_mispredicts > 50,
+        "no wrong paths exercised"
+    );
     assert_eq!(a.arch_digest(), b.arch_digest());
 }
 

@@ -34,7 +34,10 @@ fn tiny_machine_with_sharing_matches_architecture() {
     let mut a = Simulator::new(&program, tiny_machine());
     a.run(30_000);
     let mut cfg = tiny_machine().with_me().with_smb();
-    cfg.tracker = TrackerKind::Isrb(IsrbConfig { entries: 4, ..IsrbConfig::hpca16() });
+    cfg.tracker = TrackerKind::Isrb(IsrbConfig {
+        entries: 4,
+        ..IsrbConfig::hpca16()
+    });
     let mut b = Simulator::new(&program, cfg);
     b.run(30_000);
     assert_eq!(a.arch_digest(), b.arch_digest());
@@ -76,7 +79,10 @@ fn single_entry_everything() {
     cfg.iq_entries = 2;
     cfg.lq_entries = 2;
     cfg.sq_entries = 2;
-    cfg.tracker = TrackerKind::Isrb(IsrbConfig { entries: 1, ..IsrbConfig::hpca16() });
+    cfg.tracker = TrackerKind::Isrb(IsrbConfig {
+        entries: 1,
+        ..IsrbConfig::hpca16()
+    });
     cfg.tracker_rename_ports = 1;
     cfg.tracker_reclaim_ports = 1;
     let program = mini().build();

@@ -28,7 +28,9 @@ pub struct CsnMap {
 
 impl Default for CsnMap {
     fn default() -> Self {
-        CsnMap { csn: [None; ArchReg::COUNT] }
+        CsnMap {
+            csn: [None; ArchReg::COUNT],
+        }
     }
 }
 

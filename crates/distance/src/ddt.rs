@@ -22,17 +22,26 @@ impl DdtConfig {
     /// The paper's large first design point: 16K entries, 14-bit tags
     /// (~156KB with full VAs; our storage report uses the tagged layout).
     pub fn base16k() -> DdtConfig {
-        DdtConfig { entries: 16 * 1024, tag_bits: 14 }
+        DdtConfig {
+            entries: 16 * 1024,
+            tag_bits: 14,
+        }
     }
 
     /// The paper's cost-optimized point: 1K entries, 5-bit tags (~8.6KB).
     pub fn opt1k() -> DdtConfig {
-        DdtConfig { entries: 1024, tag_bits: 5 }
+        DdtConfig {
+            entries: 1024,
+            tag_bits: 5,
+        }
     }
 
     /// Unlimited oracle DDT.
     pub fn unlimited() -> DdtConfig {
-        DdtConfig { entries: 0, tag_bits: 0 }
+        DdtConfig {
+            entries: 0,
+            tag_bits: 0,
+        }
     }
 }
 
@@ -97,7 +106,11 @@ impl Ddt {
             return;
         }
         let (idx, tag) = self.index_and_tag(addr);
-        self.table[idx] = DdtEntry { valid: true, tag, csn: producer_csn };
+        self.table[idx] = DdtEntry {
+            valid: true,
+            tag,
+            csn: producer_csn,
+        };
     }
 
     /// A committing load reads the producer CSN for address `addr`.
@@ -171,7 +184,10 @@ mod tests {
 
     #[test]
     fn finite_table_can_alias_but_tags_filter() {
-        let mut ddt = Ddt::new(DdtConfig { entries: 4, tag_bits: 8 });
+        let mut ddt = Ddt::new(DdtConfig {
+            entries: 4,
+            tag_bits: 8,
+        });
         ddt.store_commit(0x1000, SeqNum(1));
         // A lookup at a different address either misses (tag filter) or, on
         // an unlucky index+tag collision, returns a wrong CSN — that is the

@@ -25,7 +25,11 @@ impl NosqConfig {
     /// The paper's configuration: two 4K-entry tables, 5-bit tags, 4-bit
     /// confidence (17KB total).
     pub fn hpca16() -> NosqConfig {
-        NosqConfig { log_entries: 12, tag_bits: 5, conf_bits: 4 }
+        NosqConfig {
+            log_entries: 12,
+            tag_bits: 5,
+            conf_bits: 4,
+        }
     }
 }
 
@@ -98,7 +102,12 @@ impl NosqDistance {
                         e.conf = 0;
                     }
                 } else {
-                    *e = Entry { valid: true, tag, distance: d, conf: 0 };
+                    *e = Entry {
+                        valid: true,
+                        tag,
+                        distance: d,
+                        conf: 0,
+                    };
                 }
             }
             _ => {
@@ -157,7 +166,10 @@ mod tests {
     use super::*;
 
     fn h(bits: u64) -> HistorySnapshot {
-        HistorySnapshot { ghist: bits, path: (bits as u16).rotate_left(3) }
+        HistorySnapshot {
+            ghist: bits,
+            path: (bits as u16).rotate_left(3),
+        }
     }
 
     #[test]

@@ -27,12 +27,12 @@ impl TageDistanceConfig {
     pub fn hpca16() -> TageDistanceConfig {
         TageDistanceConfig {
             components: vec![
-                (12, 5, 0),   // 4096-entry base, 5b tag
-                (9, 10, 2),   // 512, 10b, h=2
-                (9, 10, 5),   // 512, 10b, h=5
-                (8, 11, 11),  // 256, 11b, h=11
-                (7, 11, 27),  // 128, 11b, h=27
-                (7, 12, 64),  // 128, 12b, h=64
+                (12, 5, 0),  // 4096-entry base, 5b tag
+                (9, 10, 2),  // 512, 10b, h=2
+                (9, 10, 5),  // 512, 10b, h=5
+                (8, 11, 11), // 256, 11b, h=11
+                (7, 11, 27), // 128, 11b, h=27
+                (7, 12, 64), // 128, 12b, h=64
             ],
             conf_bits: 4,
         }
@@ -182,7 +182,12 @@ impl DistancePredictor for TageDistance {
                     let (idx0, tag0) = self.key(0, pc, hist);
                     let e0 = &mut self.tables[0][idx0];
                     if !e0.valid || e0.conf == 0 {
-                        *e0 = Entry { valid: true, tag: tag0, distance: d, conf: 0 };
+                        *e0 = Entry {
+                            valid: true,
+                            tag: tag0,
+                            distance: d,
+                            conf: 0,
+                        };
                     }
                     self.allocate_above(0, pc, hist, d);
                 }
@@ -214,7 +219,12 @@ impl TageDistance {
             let (idx, tag) = self.key(cand, pc, hist);
             let e = &mut self.tables[cand][idx];
             if !e.valid || e.conf == 0 {
-                *e = Entry { valid: true, tag, distance: d, conf: 0 };
+                *e = Entry {
+                    valid: true,
+                    tag,
+                    distance: d,
+                    conf: 0,
+                };
                 return;
             }
         }
@@ -232,7 +242,10 @@ mod tests {
     use super::*;
 
     fn h(bits: u64) -> HistorySnapshot {
-        HistorySnapshot { ghist: bits, path: (bits as u16).wrapping_mul(31) }
+        HistorySnapshot {
+            ghist: bits,
+            path: (bits as u16).wrapping_mul(31),
+        }
     }
 
     #[test]

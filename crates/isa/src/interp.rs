@@ -8,9 +8,7 @@
 //! one of the invariants the test suite checks.
 
 use crate::mem::{MemOverlay, SparseMemory};
-use crate::op::{
-    BranchKind, BranchOutcome, DynUop, MemRef, MoveWidth, Op, Operand, UopKind,
-};
+use crate::op::{BranchKind, BranchOutcome, DynUop, MemRef, MoveWidth, Op, Operand, UopKind};
 use crate::program::Program;
 use regshare_types::{ArchReg, HistorySnapshot, RegClass, SeqNum};
 use std::sync::Arc;
@@ -125,7 +123,12 @@ fn exec_op(
     let mut halt = false;
 
     match *op {
-        Op::IntAlu { op: a, dst, src1, src2 } => {
+        Op::IntAlu {
+            op: a,
+            dst,
+            src1,
+            src2,
+        } => {
             uop.kind = UopKind::IntAlu;
             uop.srcs = [Some(src1), op_src(src2), None];
             uop.dst = Some(dst);
@@ -144,7 +147,7 @@ fn exec_op(
             uop.srcs = [Some(src1), op_src(src2), None];
             uop.dst = Some(dst);
             let d = operand(regs, src2);
-            uop.result = if d == 0 { u64::MAX } else { rd(regs, src1) / d };
+            uop.result = rd(regs, src1).checked_div(d).unwrap_or(u64::MAX);
             regs[dst.flat()] = uop.result;
         }
         Op::FpAdd { dst, src1, src2 } => {
@@ -174,7 +177,10 @@ fn exec_op(
             regs[dst.flat()] = uop.result;
         }
         Op::MovInt { dst, src, width } => {
-            uop.kind = UopKind::Move { width, class: RegClass::Int };
+            uop.kind = UopKind::Move {
+                width,
+                class: RegClass::Int,
+            };
             uop.dst = Some(dst);
             uop.result = if width.is_merge() {
                 uop.srcs = [Some(src), Some(dst), None]; // merge reads old dst
@@ -189,7 +195,10 @@ fn exec_op(
             regs[dst.flat()] = uop.result;
         }
         Op::MovFp { dst, src } => {
-            uop.kind = UopKind::Move { width: MoveWidth::W64, class: RegClass::Fp };
+            uop.kind = UopKind::Move {
+                width: MoveWidth::W64,
+                class: RegClass::Fp,
+            };
             uop.srcs = [Some(src), None, None];
             uop.dst = Some(dst);
             uop.result = rd(regs, src);
@@ -201,25 +210,52 @@ fn exec_op(
             uop.result = imm;
             regs[dst.flat()] = imm;
         }
-        Op::Load { dst, base, offset, size } => {
+        Op::Load {
+            dst,
+            base,
+            offset,
+            size,
+        } => {
             uop.kind = UopKind::Load;
             uop.srcs = [Some(base), None, None];
             uop.dst = Some(dst);
             let addr = rd(regs, base).wrapping_add(offset as u64) & !(size as u64 - 1);
-            uop.mem = Some(MemRef { addr, size, is_store: false });
+            uop.mem = Some(MemRef {
+                addr,
+                size,
+                is_store: false,
+            });
             uop.result = mem.read(addr, size);
             regs[dst.flat()] = uop.result;
         }
-        Op::Store { data, base, offset, size } => {
+        Op::Store {
+            data,
+            base,
+            offset,
+            size,
+        } => {
             uop.kind = UopKind::Store;
             uop.srcs = [Some(base), Some(data), None];
             let addr = rd(regs, base).wrapping_add(offset as u64) & !(size as u64 - 1);
-            uop.mem = Some(MemRef { addr, size, is_store: true });
+            uop.mem = Some(MemRef {
+                addr,
+                size,
+                is_store: true,
+            });
             let v = rd(regs, data);
-            uop.result = v & if size == 8 { u64::MAX } else { (1u64 << (size * 8)) - 1 };
+            uop.result = v & if size == 8 {
+                u64::MAX
+            } else {
+                (1u64 << (size * 8)) - 1
+            };
             mem.write(addr, size, v);
         }
-        Op::CondBranch { cond, src1, src2, target } => {
+        Op::CondBranch {
+            cond,
+            src1,
+            src2,
+            target,
+        } => {
             uop.kind = UopKind::Branch(BranchKind::Conditional);
             uop.srcs = [Some(src1), op_src(src2), None];
             let taken = cond.eval(rd(regs, src1), operand(regs, src2));
@@ -324,7 +360,11 @@ impl Machine {
         let sidx = self.ip;
         let pc = self.program.pc_of(sidx);
         let program = Arc::clone(&self.program);
-        let op = if self.halted { &Op::Nop } else { program.op(sidx) };
+        let op = if self.halted {
+            &Op::Nop
+        } else {
+            program.op(sidx)
+        };
         let (mut uop, next, halt) = exec_op(
             op,
             sidx,
@@ -387,8 +427,15 @@ impl WrongPath {
         let sidx = self.state.ip;
         let pc = self.program.pc_of(sidx);
         let program = Arc::clone(&self.program);
-        let op = if self.halted { &Op::Nop } else { program.op(sidx) };
-        let mut port = OverlayPort { overlay: &mut self.overlay, base: oracle_mem };
+        let op = if self.halted {
+            &Op::Nop
+        } else {
+            program.op(sidx)
+        };
+        let mut port = OverlayPort {
+            overlay: &mut self.overlay,
+            base: oracle_mem,
+        };
         let (mut uop, next, halt) = exec_op(
             op,
             sidx,
@@ -437,9 +484,24 @@ mod tests {
         // r0 = 3; loop: r1 += r0; r0 -= 1; if r0 != 0 goto loop; halt
         let p = build(vec![
             Op::LoadImm { dst: r(0), imm: 3 },
-            Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Reg(r(0)) },
-            Op::IntAlu { op: AluOp::Sub, dst: r(0), src1: r(0), src2: Operand::Imm(1) },
-            Op::CondBranch { cond: Cond::Ne, src1: r(0), src2: Operand::Imm(0), target: 1 },
+            Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(1),
+                src1: r(1),
+                src2: Operand::Reg(r(0)),
+            },
+            Op::IntAlu {
+                op: AluOp::Sub,
+                dst: r(0),
+                src1: r(0),
+                src2: Operand::Imm(1),
+            },
+            Op::CondBranch {
+                cond: Cond::Ne,
+                src1: r(0),
+                src2: Operand::Imm(0),
+                target: 1,
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p);
@@ -460,10 +522,26 @@ mod tests {
     #[test]
     fn store_load_round_trip_through_uops() {
         let p = build(vec![
-            Op::LoadImm { dst: r(0), imm: 0x8000 },
-            Op::LoadImm { dst: r(1), imm: 0xfeed },
-            Op::Store { data: r(1), base: r(0), offset: 8, size: 8 },
-            Op::Load { dst: r(2), base: r(0), offset: 8, size: 8 },
+            Op::LoadImm {
+                dst: r(0),
+                imm: 0x8000,
+            },
+            Op::LoadImm {
+                dst: r(1),
+                imm: 0xfeed,
+            },
+            Op::Store {
+                data: r(1),
+                base: r(0),
+                offset: 8,
+                size: 8,
+            },
+            Op::Load {
+                dst: r(2),
+                base: r(0),
+                offset: 8,
+                size: 8,
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p);
@@ -483,9 +561,19 @@ mod tests {
     #[test]
     fn merge_move_reads_old_destination() {
         let p = build(vec![
-            Op::LoadImm { dst: r(0), imm: 0x1122_3344_5566_7788 },
-            Op::LoadImm { dst: r(1), imm: 0xaabb },
-            Op::MovInt { dst: r(0), src: r(1), width: MoveWidth::W16 },
+            Op::LoadImm {
+                dst: r(0),
+                imm: 0x1122_3344_5566_7788,
+            },
+            Op::LoadImm {
+                dst: r(1),
+                imm: 0xaabb,
+            },
+            Op::MovInt {
+                dst: r(0),
+                src: r(1),
+                width: MoveWidth::W16,
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p);
@@ -501,7 +589,11 @@ mod tests {
     fn full_move_does_not_read_destination() {
         let p = build(vec![
             Op::LoadImm { dst: r(1), imm: 7 },
-            Op::MovInt { dst: r(0), src: r(1), width: MoveWidth::W64 },
+            Op::MovInt {
+                dst: r(0),
+                src: r(1),
+                width: MoveWidth::W64,
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p);
@@ -540,12 +632,33 @@ mod tests {
         // Correct path takes the branch; wrong path falls through and stores.
         let p = build(vec![
             Op::LoadImm { dst: r(0), imm: 1 },
-            Op::LoadImm { dst: r(5), imm: 0x9000 },
-            Op::CondBranch { cond: Cond::BitSet, src1: r(0), src2: Operand::Imm(0), target: 6 },
+            Op::LoadImm {
+                dst: r(5),
+                imm: 0x9000,
+            },
+            Op::CondBranch {
+                cond: Cond::BitSet,
+                src1: r(0),
+                src2: Operand::Imm(0),
+                target: 6,
+            },
             // wrong path:
-            Op::LoadImm { dst: r(1), imm: 0x42 },
-            Op::Store { data: r(1), base: r(5), offset: 0, size: 8 },
-            Op::Load { dst: r(2), base: r(5), offset: 0, size: 8 },
+            Op::LoadImm {
+                dst: r(1),
+                imm: 0x42,
+            },
+            Op::Store {
+                data: r(1),
+                base: r(5),
+                offset: 0,
+                size: 8,
+            },
+            Op::Load {
+                dst: r(2),
+                base: r(5),
+                offset: 0,
+                size: 8,
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p.clone());
@@ -571,7 +684,11 @@ mod tests {
     #[test]
     fn div_by_zero_is_deterministic() {
         let p = build(vec![
-            Op::IntDiv { dst: r(0), src1: r(1), src2: Operand::Imm(0) },
+            Op::IntDiv {
+                dst: r(0),
+                src1: r(1),
+                src2: Operand::Imm(0),
+            },
             Op::Halt,
         ]);
         let mut m = Machine::new(p);

@@ -43,6 +43,8 @@ pub mod program;
 pub mod stream;
 
 pub use interp::Machine;
-pub use op::{AluOp, BranchOutcome, Cond, DynUop, ExecClass, MemRef, MoveWidth, Op, Operand, UopKind};
+pub use op::{
+    AluOp, BranchOutcome, Cond, DynUop, ExecClass, MemRef, MoveWidth, Op, Operand, UopKind,
+};
 pub use program::{Program, ProgramBuilder};
 pub use stream::FetchStream;

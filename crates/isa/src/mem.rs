@@ -159,7 +159,12 @@ mod tests {
     #[test]
     fn read_write_round_trip_all_sizes() {
         let mut m = SparseMemory::new();
-        for (size, val) in [(1u8, 0xabu64), (2, 0xbeef), (4, 0xdead_beef), (8, 0x0123_4567_89ab_cdef)] {
+        for (size, val) in [
+            (1u8, 0xabu64),
+            (2, 0xbeef),
+            (4, 0xdead_beef),
+            (8, 0x0123_4567_89ab_cdef),
+        ] {
             let addr = 0x4000 + size as u64 * 64;
             m.write(addr, size, val);
             assert_eq!(m.read(addr, size), val);

@@ -369,8 +369,14 @@ impl UopKind {
             UopKind::FpAdd => ExecClass::FpAdd,
             UopKind::FpMul => ExecClass::FpMul,
             UopKind::FpDiv => ExecClass::FpDiv,
-            UopKind::Move { class: RegClass::Int, .. } => ExecClass::IntAlu,
-            UopKind::Move { class: RegClass::Fp, .. } => ExecClass::FpAdd,
+            UopKind::Move {
+                class: RegClass::Int,
+                ..
+            } => ExecClass::IntAlu,
+            UopKind::Move {
+                class: RegClass::Fp,
+                ..
+            } => ExecClass::FpAdd,
             UopKind::Load => ExecClass::Load,
             UopKind::Store => ExecClass::Store,
         }
@@ -489,9 +495,21 @@ mod tests {
 
     #[test]
     fn memref_overlap_and_containment() {
-        let a = MemRef { addr: 100, size: 8, is_store: true };
-        let b = MemRef { addr: 104, size: 4, is_store: false };
-        let c = MemRef { addr: 108, size: 4, is_store: false };
+        let a = MemRef {
+            addr: 100,
+            size: 8,
+            is_store: true,
+        };
+        let b = MemRef {
+            addr: 104,
+            size: 4,
+            is_store: false,
+        };
+        let c = MemRef {
+            addr: 108,
+            size: 4,
+            is_store: false,
+        };
         assert!(b.overlaps(&a));
         assert!(b.contained_in(&a));
         assert!(!c.overlaps(&a));
@@ -506,10 +524,22 @@ mod tests {
             ExecClass::IntAlu
         );
         assert_eq!(
-            UopKind::Move { width: MoveWidth::W64, class: RegClass::Fp }.exec_class(),
+            UopKind::Move {
+                width: MoveWidth::W64,
+                class: RegClass::Fp
+            }
+            .exec_class(),
             ExecClass::FpAdd
         );
-        assert!(UopKind::Move { width: MoveWidth::W64, class: RegClass::Int }.eliminable_move());
-        assert!(!UopKind::Move { width: MoveWidth::W8, class: RegClass::Int }.eliminable_move());
+        assert!(UopKind::Move {
+            width: MoveWidth::W64,
+            class: RegClass::Int
+        }
+        .eliminable_move());
+        assert!(!UopKind::Move {
+            width: MoveWidth::W8,
+            class: RegClass::Int
+        }
+        .eliminable_move());
     }
 }

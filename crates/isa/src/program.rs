@@ -41,7 +41,10 @@ impl fmt::Display for ValidateProgramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidateProgramError::TargetOutOfRange { at, target } => {
-                write!(f, "instruction {at}: control-flow target {target} out of range")
+                write!(
+                    f,
+                    "instruction {at}: control-flow target {target} out of range"
+                )
             }
             ValidateProgramError::WrongRegClass { at, role } => {
                 write!(f, "instruction {at}: wrong register class for {role}")
@@ -119,7 +122,9 @@ impl Program {
         for (i, op) in insts.iter().enumerate() {
             let at = i as u32;
             match *op {
-                Op::IntAlu { dst, src1, src2, .. }
+                Op::IntAlu {
+                    dst, src1, src2, ..
+                }
                 | Op::IntMul { dst, src1, src2 }
                 | Op::IntDiv { dst, src1, src2 } => {
                     check_int(at, dst, "int dst")?;
@@ -152,7 +157,9 @@ impl Program {
                     check_int(at, base, "store base")?;
                     check_size(at, size)?;
                 }
-                Op::CondBranch { src1, src2, target, .. } => {
+                Op::CondBranch {
+                    src1, src2, target, ..
+                } => {
                     check_int(at, src1, "branch src1")?;
                     if let Operand::Reg(r) = src2 {
                         check_int(at, r, "branch src2")?;
@@ -194,7 +201,7 @@ impl Program {
 
     /// Inverse of [`Program::pc_of`]; `None` if `pc` is not a valid PC.
     pub fn sidx_of(&self, pc: Addr) -> Option<u32> {
-        if pc < PC_BASE || (pc - PC_BASE) % INST_BYTES != 0 {
+        if pc < PC_BASE || !(pc - PC_BASE).is_multiple_of(INST_BYTES) {
             return None;
         }
         let sidx = (pc - PC_BASE) / INST_BYTES;
@@ -312,7 +319,10 @@ mod tests {
     #[test]
     fn target_out_of_range_rejected() {
         let err = Program::validated(vec![Op::Jump { target: 5 }]).unwrap_err();
-        assert_eq!(err, ValidateProgramError::TargetOutOfRange { at: 0, target: 5 });
+        assert_eq!(
+            err,
+            ValidateProgramError::TargetOutOfRange { at: 0, target: 5 }
+        );
         assert!(err.to_string().contains("out of range"));
     }
 
@@ -325,7 +335,10 @@ mod tests {
             src2: Operand::Imm(0),
         }])
         .unwrap_err();
-        assert!(matches!(err, ValidateProgramError::WrongRegClass { at: 0, .. }));
+        assert!(matches!(
+            err,
+            ValidateProgramError::WrongRegClass { at: 0, .. }
+        ));
     }
 
     #[test]

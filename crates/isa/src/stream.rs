@@ -111,7 +111,10 @@ impl FetchStream {
             // overrides the start index with the predicted one).
             Box::new(self.machine.fork_state(b.next_sidx))
         });
-        self.buf.push_back(BufEntry { uop: uop.clone(), fork });
+        self.buf.push_back(BufEntry {
+            uop: uop.clone(),
+            fork,
+        });
         self.cursor += 1;
         uop
     }
@@ -194,13 +197,33 @@ mod tests {
     fn toggle_program() -> Arc<Program> {
         let mut b = ProgramBuilder::new();
         // 0: r0 ^= 1
-        b.push(Op::IntAlu { op: AluOp::Xor, dst: r(0), src1: r(0), src2: Operand::Imm(1) });
+        b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(0),
+            src1: r(0),
+            src2: Operand::Imm(1),
+        });
         // 1: if r0 bit set goto 3
-        b.push(Op::CondBranch { cond: Cond::BitSet, src1: r(0), src2: Operand::Imm(0), target: 3 });
+        b.push(Op::CondBranch {
+            cond: Cond::BitSet,
+            src1: r(0),
+            src2: Operand::Imm(0),
+            target: 3,
+        });
         // 2: r1 += 2
-        b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(2) });
+        b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(2),
+        });
         // 3: r2 += 1 ; 4: jump 0
-        b.push(Op::IntAlu { op: AluOp::Add, dst: r(2), src1: r(2), src2: Operand::Imm(1) });
+        b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(1),
+        });
         b.push(Op::Jump { target: 0 });
         Arc::new(b.build())
     }

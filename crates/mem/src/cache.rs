@@ -51,15 +51,29 @@ impl Cache {
     ///
     /// Panics if sizes are not powers of two or do not divide evenly.
     pub fn new(cfg: CacheConfig) -> Cache {
-        assert!(cfg.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(cfg.ways > 0);
         let total_lines = cfg.size_bytes / cfg.line_bytes;
-        assert!(total_lines % cfg.ways == 0, "lines must divide evenly into ways");
+        assert!(
+            total_lines.is_multiple_of(cfg.ways),
+            "lines must divide evenly into ways"
+        );
         let set_count = total_lines / cfg.ways;
         assert!(set_count > 0);
         Cache {
             cfg,
-            lines: vec![Line { tag: 0, lru: 0, valid: false, prefetched: false }; total_lines],
+            lines: vec![
+                Line {
+                    tag: 0,
+                    lru: 0,
+                    valid: false,
+                    prefetched: false
+                };
+                total_lines
+            ],
             set_count,
             line_shift: cfg.line_bytes.trailing_zeros(),
             tick: 0,
@@ -74,7 +88,10 @@ impl Cache {
     #[inline]
     fn set_and_tag(&self, addr: Addr) -> (usize, u64) {
         let line_addr = addr >> self.line_shift;
-        ((line_addr as usize) % self.set_count, line_addr / self.set_count as u64)
+        (
+            (line_addr as usize) % self.set_count,
+            line_addr / self.set_count as u64,
+        )
     }
 
     /// Probes for the line containing `addr`, updating LRU on hit.
@@ -138,7 +155,12 @@ impl Cache {
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru } else { 0 })
             .expect("ways > 0");
-        *victim = Line { tag, lru: tick, valid: true, prefetched };
+        *victim = Line {
+            tag,
+            lru: tick,
+            valid: true,
+            prefetched,
+        };
     }
 }
 
@@ -148,7 +170,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 2 sets × 2 ways × 64B lines.
-        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64, latency: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
     }
 
     #[test]
@@ -206,6 +233,11 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_power_of_two_line_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 300, ways: 2, line_bytes: 60, latency: 1 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 300,
+            ways: 2,
+            line_bytes: 60,
+            latency: 1,
+        });
     }
 }

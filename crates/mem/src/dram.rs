@@ -150,6 +150,9 @@ mod tests {
         let mut d = DramModel::new(DramConfig::ddr3_1600());
         let c1 = d.access(0x0, Cycle(0));
         let c2 = d.access(0x0, Cycle(0)); // same row, same instant
-        assert!(c2.0 > c1.0 - 60, "second access should queue behind the first");
+        assert!(
+            c2.0 > c1.0 - 60,
+            "second access should queue behind the first"
+        );
     }
 }

@@ -79,9 +79,24 @@ impl MemConfig {
     /// Table 1 configuration.
     pub fn hpca16() -> MemConfig {
         MemConfig {
-            l1i: CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64, latency: 1 },
-            l1d: CacheConfig { size_bytes: 32 * 1024, ways: 8, line_bytes: 64, latency: 4 },
-            l2: CacheConfig { size_bytes: 1024 * 1024, ways: 16, line_bytes: 64, latency: 12 },
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                latency: 12,
+            },
             l1d_mshrs: 64,
             l2_mshrs: 64,
             dram: DramConfig::ddr3_1600(),
@@ -185,7 +200,9 @@ impl MemorySystem {
     }
 
     fn train_prefetcher(&mut self, pc: Addr, line: Addr, now: Cycle) {
-        let Some(pf) = &mut self.prefetcher else { return };
+        let Some(pf) = &mut self.prefetcher else {
+            return;
+        };
         let line_bytes = self.cfg.l2.line_bytes as u64;
         let requests = pf.observe(pc, line, line_bytes);
         for target in requests {
@@ -305,12 +322,21 @@ mod tests {
         cfg.l1d_mshrs = 2;
         cfg.prefetcher = None;
         let mut mem = MemorySystem::new(cfg);
-        assert!(matches!(mem.load(0x1, 0x100000, Cycle(0)), MemResult::Done(_)));
-        assert!(matches!(mem.load(0x2, 0x200000, Cycle(0)), MemResult::Done(_)));
+        assert!(matches!(
+            mem.load(0x1, 0x100000, Cycle(0)),
+            MemResult::Done(_)
+        ));
+        assert!(matches!(
+            mem.load(0x2, 0x200000, Cycle(0)),
+            MemResult::Done(_)
+        ));
         assert_eq!(mem.load(0x3, 0x300000, Cycle(0)), MemResult::Retry);
         assert_eq!(mem.stats().mshr_rejects, 1);
         // After the misses resolve, MSHRs free up.
-        assert!(matches!(mem.load(0x3, 0x300000, Cycle(1000)), MemResult::Done(_)));
+        assert!(matches!(
+            mem.load(0x3, 0x300000, Cycle(1000)),
+            MemResult::Done(_)
+        ));
     }
 
     #[test]

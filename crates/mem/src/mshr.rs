@@ -28,7 +28,10 @@ pub struct MshrFile {
 impl MshrFile {
     /// Creates a file with `capacity` entries (0 = unlimited).
     pub fn new(capacity: usize) -> MshrFile {
-        MshrFile { entries: FastMap::default(), capacity }
+        MshrFile {
+            entries: FastMap::default(),
+            capacity,
+        }
     }
 
     /// Drops entries whose fill completed before `now`.

@@ -19,7 +19,12 @@ pub struct StridePrefetcherConfig {
 impl StridePrefetcherConfig {
     /// Table 1: degree 8, distance 1.
     pub fn hpca16() -> StridePrefetcherConfig {
-        StridePrefetcherConfig { log_entries: 9, degree: 8, distance: 1, threshold: 2 }
+        StridePrefetcherConfig {
+            log_entries: 9,
+            degree: 8,
+            distance: 1,
+            threshold: 2,
+        }
     }
 }
 
@@ -69,7 +74,12 @@ impl StridePrefetcher {
         let e = &mut self.table[idx];
 
         if e.tag != tag {
-            *e = StrideEntry { tag, last_line: line, stride: 0, confidence: 0 };
+            *e = StrideEntry {
+                tag,
+                last_line: line,
+                stride: 0,
+                confidence: 0,
+            };
             return Vec::new();
         }
         let stride = line.wrapping_sub(e.last_line) as i64;
@@ -102,7 +112,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> StridePrefetcherConfig {
-        StridePrefetcherConfig { log_entries: 6, degree: 4, distance: 1, threshold: 2 }
+        StridePrefetcherConfig {
+            log_entries: 6,
+            degree: 4,
+            distance: 1,
+            threshold: 2,
+        }
     }
 
     #[test]

@@ -14,7 +14,11 @@ struct RefCache {
 
 impl RefCache {
     fn new(sets: usize, ways: usize) -> RefCache {
-        RefCache { sets: (0..sets).map(|_| VecDeque::new()).collect(), ways, set_count: sets }
+        RefCache {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            ways,
+            set_count: sets,
+        }
     }
     fn set_of(&self, addr: u64) -> usize {
         ((addr >> 6) as usize) % self.set_count

@@ -42,11 +42,16 @@ impl Btb {
     ///
     /// Panics if `entries` is not divisible by `ways`, or either is zero.
     pub fn new(entries: usize, ways: usize) -> Btb {
-        assert!(entries > 0 && ways > 0 && entries % ways == 0);
+        assert!(entries > 0 && ways > 0 && entries.is_multiple_of(ways));
         let set_count = entries / ways;
         Btb {
             sets: vec![
-                BtbEntry { tag: 0, target_sidx: 0, lru: 0, valid: false };
+                BtbEntry {
+                    tag: 0,
+                    target_sidx: 0,
+                    lru: 0,
+                    valid: false
+                };
                 entries
             ],
             ways,
@@ -99,7 +104,12 @@ impl Btb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.lru } else { 0 })
             .expect("non-zero ways");
-        *victim = BtbEntry { tag, target_sidx, lru: tick, valid: true };
+        *victim = BtbEntry {
+            tag,
+            target_sidx,
+            lru: tick,
+            valid: true,
+        };
     }
 
     /// (hits, misses) since construction.

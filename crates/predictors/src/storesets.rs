@@ -27,7 +27,11 @@ pub struct StoreSetsConfig {
 impl StoreSetsConfig {
     /// The paper's configuration: 4K-entry SSIT / LFST.
     pub fn hpca16() -> StoreSetsConfig {
-        StoreSetsConfig { log_ssit: 12, lfst_entries: 4096, clear_period: 30_000 }
+        StoreSetsConfig {
+            log_ssit: 12,
+            lfst_entries: 4096,
+            clear_period: 30_000,
+        }
     }
 }
 
@@ -87,7 +91,7 @@ impl StoreSets {
             return;
         }
         self.accesses += 1;
-        if self.accesses % self.clear_period == 0 {
+        if self.accesses.is_multiple_of(self.clear_period) {
             self.ssit.iter_mut().for_each(|e| *e = u32::MAX);
             self.lfst.iter_mut().for_each(|e| *e = None);
         }
@@ -173,12 +177,20 @@ mod tests {
     use super::*;
 
     fn ss() -> StoreSets {
-        StoreSets::new(StoreSetsConfig { log_ssit: 8, lfst_entries: 64, clear_period: 0 })
+        StoreSets::new(StoreSetsConfig {
+            log_ssit: 8,
+            lfst_entries: 64,
+            clear_period: 0,
+        })
     }
 
     #[test]
     fn cyclic_clearing_forgets() {
-        let mut s = StoreSets::new(StoreSetsConfig { log_ssit: 8, lfst_entries: 64, clear_period: 4 });
+        let mut s = StoreSets::new(StoreSetsConfig {
+            log_ssit: 8,
+            lfst_entries: 64,
+            clear_period: 4,
+        });
         s.train_violation(0x100, 0x200);
         s.store_renamed(0x200, SeqNum(1));
         assert!(s.load_dependence(0x100).is_some());

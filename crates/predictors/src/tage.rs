@@ -311,7 +311,7 @@ impl Tage {
     /// using the indices/tags captured at prediction time.
     pub fn train(&mut self, _pc: Addr, pred: &TagePrediction, taken: bool) {
         self.updates += 1;
-        if self.updates % self.u_reset_period == 0 {
+        if self.updates.is_multiple_of(self.u_reset_period) {
             // Graceful useful-counter aging.
             for c in &mut self.comps {
                 for e in &mut c.entries {
@@ -398,9 +398,21 @@ mod tests {
         TageConfig {
             log_base_entries: 8,
             components: vec![
-                ComponentConfig { log_entries: 7, tag_bits: 8, hist_len: 4 },
-                ComponentConfig { log_entries: 7, tag_bits: 9, hist_len: 12 },
-                ComponentConfig { log_entries: 7, tag_bits: 10, hist_len: 32 },
+                ComponentConfig {
+                    log_entries: 7,
+                    tag_bits: 8,
+                    hist_len: 4,
+                },
+                ComponentConfig {
+                    log_entries: 7,
+                    tag_bits: 9,
+                    hist_len: 12,
+                },
+                ComponentConfig {
+                    log_entries: 7,
+                    tag_bits: 10,
+                    hist_len: 32,
+                },
             ],
             u_reset_period: 1 << 14,
         }

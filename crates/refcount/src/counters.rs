@@ -63,7 +63,9 @@ impl PerRegCounters {
     fn note(&mut self, class: RegClass, preg: PhysReg, what: &'static str) {
         let v = self.trace.entry((class.index(), preg.index())).or_default();
         v.push(what);
-        if v.len() > 16 { v.remove(0); }
+        if v.len() > 16 {
+            v.remove(0);
+        }
     }
     #[cfg(not(debug_assertions))]
     fn note(&mut self, _c: RegClass, _p: PhysReg, _w: &'static str) {}
@@ -79,8 +81,10 @@ impl SharingTracker for PerRegCounters {
         let cv = self.counts[class.index()][preg.index()];
         #[cfg(debug_assertions)]
         if cv != 0 {
-            panic!("allocating still-referenced {class} {preg} (count {cv}): {:?}",
-                self.trace.get(&(class.index(), preg.index())));
+            panic!(
+                "allocating still-referenced {class} {preg} (count {cv}): {:?}",
+                self.trace.get(&(class.index(), preg.index()))
+            );
         }
         let _ = cv;
         *self.count_mut(class, preg) = 1;
@@ -100,8 +104,12 @@ impl SharingTracker for PerRegCounters {
         self.stats.reclaims += 1;
         #[cfg(debug_assertions)]
         if self.counts[req.class.index()][req.preg.index()] == 0 {
-            panic!("over-reclaim of {} {}: {:?}", req.class, req.preg,
-                self.trace.get(&(req.class.index(), req.preg.index())));
+            panic!(
+                "over-reclaim of {} {}: {:?}",
+                req.class,
+                req.preg,
+                self.trace.get(&(req.class.index(), req.preg.index()))
+            );
         }
         let c = self.count_mut(req.class, req.preg);
         debug_assert!(*c > 0, "reclaiming a free register");
@@ -131,11 +139,7 @@ impl SharingTracker for PerRegCounters {
         self.stats.restores += 1;
     }
 
-    fn on_squash_share(
-        &mut self,
-        class: RegClass,
-        preg: PhysReg,
-    ) -> Option<(RegClass, PhysReg)> {
+    fn on_squash_share(&mut self, class: RegClass, preg: PhysReg) -> Option<(RegClass, PhysReg)> {
         self.note(class, preg, "squash-share");
         let v = self.count_mut(class, preg);
         debug_assert!(*v > 0, "squashing a share of a free register");
@@ -162,7 +166,10 @@ impl SharingTracker for PerRegCounters {
     fn storage(&self) -> StorageReport {
         // 4-bit counter per register (must count allocation + sharers).
         let regs = self.counts[0].len() + self.counts[1].len();
-        StorageReport { main_bits: regs * 4, per_checkpoint_bits: 0 }
+        StorageReport {
+            main_bits: regs * 4,
+            per_checkpoint_bits: 0,
+        }
     }
 
     fn is_shared(&self, class: RegClass, preg: PhysReg) -> bool {
@@ -188,12 +195,19 @@ mod tests {
         ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(p),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(0),
+            },
         }
     }
 
     fn reclaim(p: usize) -> ReclaimRequest {
-        ReclaimRequest { class: RegClass::Int, preg: PhysReg::new(p), arch: ArchReg::int(0), renews: false }
+        ReclaimRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(p),
+            arch: ArchReg::int(0),
+            renews: false,
+        }
     }
 
     #[test]
@@ -225,6 +239,7 @@ mod tests {
         t.on_alloc(RegClass::Int, PhysReg::new(3));
         t.try_share(&share(3)); // wrong-path share (count 2)
         assert_eq!(t.on_reclaim(&reclaim(3)), ReclaimDecision::Keep); // count 1
+
         // Squash walk must report the register as freeable.
         assert_eq!(
             t.on_squash_share(RegClass::Int, PhysReg::new(3)),

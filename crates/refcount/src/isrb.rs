@@ -74,7 +74,11 @@ impl IsrbConfig {
     /// An unlimited ISRB with effectively unbounded counters (the "ideal"
     /// configuration of the figures).
     pub fn unlimited() -> IsrbConfig {
-        IsrbConfig { entries: 0, counter_bits: 31, ..IsrbConfig::default() }
+        IsrbConfig {
+            entries: 0,
+            counter_bits: 31,
+            ..IsrbConfig::default()
+        }
     }
 }
 
@@ -178,7 +182,11 @@ impl Isrb {
 
     fn entry_preg(e: &Entry) -> (RegClass, PhysReg) {
         (
-            if e.class_fp { RegClass::Fp } else { RegClass::Int },
+            if e.class_fp {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            },
             PhysReg::new(e.preg as usize),
         )
     }
@@ -379,7 +387,9 @@ mod tests {
         ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(preg),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(1) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(1),
+            },
         }
     }
 
@@ -393,7 +403,11 @@ mod tests {
     }
 
     fn isrb(entries: usize) -> Isrb {
-        Isrb::new(IsrbConfig { entries, counter_bits: 3, ..IsrbConfig::default() })
+        Isrb::new(IsrbConfig {
+            entries,
+            counter_bits: 3,
+            ..IsrbConfig::default()
+        })
     }
 
     #[test]
@@ -442,7 +456,11 @@ mod tests {
 
     #[test]
     fn saturated_counter_rejects_share() {
-        let mut t = Isrb::new(IsrbConfig { entries: 4, counter_bits: 2, ..IsrbConfig::default() });
+        let mut t = Isrb::new(IsrbConfig {
+            entries: 4,
+            counter_bits: 2,
+            ..IsrbConfig::default()
+        });
         assert!(t.try_share(&share(1)));
         assert!(t.try_share(&share(1)));
         assert!(t.try_share(&share(1)));
@@ -457,7 +475,9 @@ mod tests {
         let fp = ShareRequest {
             class: RegClass::Fp,
             preg: PhysReg::new(3),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::fp(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::fp(0),
+            },
         };
         assert!(t.try_share(&fp));
         assert_eq!(t.shared_count(), 2);
@@ -539,6 +559,7 @@ mod tests {
         let mut t = isrb(1); // single slot forces reuse
         assert!(t.try_share(&share(10)));
         let ck = t.checkpoint(); // snapshot: slot0.referenced = 1
+
         // Correct path frees preg 10 (2 reclaims).
         assert_eq!(t.on_reclaim(&reclaim(10)), ReclaimDecision::Keep);
         assert_eq!(t.on_reclaim(&reclaim(10)), ReclaimDecision::Free);
@@ -610,7 +631,11 @@ mod tests {
         }
         let mut freed = Vec::new();
         t.restore(ck, &mut freed);
-        assert_eq!(t.shared_count(), 1, "post-checkpoint entries must die on restore");
+        assert_eq!(
+            t.shared_count(),
+            1,
+            "post-checkpoint entries must die on restore"
+        );
     }
 
     #[test]

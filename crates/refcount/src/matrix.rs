@@ -98,11 +98,7 @@ impl SharingTracker for RothMatrix {
         self.stats.restores += 1;
     }
 
-    fn on_squash_share(
-        &mut self,
-        class: RegClass,
-        preg: PhysReg,
-    ) -> Option<(RegClass, PhysReg)> {
+    fn on_squash_share(&mut self, class: RegClass, preg: PhysReg) -> Option<(RegClass, PhysReg)> {
         // In hardware this is a row flash-clear; functionally it adjusts the
         // column population count. A zero column means the register is free.
         let v = self.count_mut(class, preg);
@@ -127,7 +123,10 @@ impl SharingTracker for RothMatrix {
         // rows × columns per class, plus the CRM columns the paper notes are
         // not even counted in its 7.8KB figure.
         let cols = self.counts[0].len() + self.counts[1].len();
-        StorageReport { main_bits: self.rob_entries * cols, per_checkpoint_bits: 0 }
+        StorageReport {
+            main_bits: self.rob_entries * cols,
+            per_checkpoint_bits: 0,
+        }
     }
 
     fn is_shared(&self, class: RegClass, preg: PhysReg) -> bool {
@@ -166,9 +165,16 @@ mod tests {
         t.try_share(&ShareRequest {
             class: RegClass::Int,
             preg: p,
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(0),
+            },
         });
-        let r = ReclaimRequest { class: RegClass::Int, preg: p, arch: ArchReg::int(0), renews: false };
+        let r = ReclaimRequest {
+            class: RegClass::Int,
+            preg: p,
+            arch: ArchReg::int(0),
+            renews: false,
+        };
         assert_eq!(t.on_reclaim(&r), ReclaimDecision::Keep);
         assert_eq!(t.on_reclaim(&r), ReclaimDecision::Free);
     }

@@ -151,7 +151,10 @@ mod tests {
         ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(preg),
-            kind: ShareKind::MoveElim { arch_dst: ArchReg::int(dst), arch_src: ArchReg::int(src) },
+            kind: ShareKind::MoveElim {
+                arch_dst: ArchReg::int(dst),
+                arch_src: ArchReg::int(src),
+            },
         }
     }
 
@@ -181,7 +184,9 @@ mod tests {
         assert!(!t.try_share(&ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(1),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(0)
+            },
         }));
         assert_eq!(t.stats().shares_rejected_kind, 1);
     }
@@ -213,6 +218,7 @@ mod tests {
         let mut t = Mit::new(4);
         assert!(t.try_share(&me(9, 11, 12))); // r11, r12 → p9 (2 mappings)
         assert!(t.try_share(&me(9, 12, 11))); // r12 → p9 again (3 mappings)
+
         // Commits arrive in order: the old r12 epoch dies first.
         assert_eq!(t.on_reclaim(&reclaim(9)), ReclaimDecision::Keep);
         assert_eq!(t.on_reclaim(&reclaim(9)), ReclaimDecision::Keep);

@@ -175,7 +175,11 @@ impl SharingTracker for Rda {
         self.next_ckpt += 1;
         self.checkpoints.push_back(Checkpoint {
             id,
-            counts: self.entries.iter().map(|e| if e.valid { e.count } else { 0 }).collect(),
+            counts: self
+                .entries
+                .iter()
+                .map(|e| if e.valid { e.count } else { 0 })
+                .collect(),
         });
         self.stats.checkpoints_taken += 1;
         id
@@ -258,12 +262,19 @@ mod tests {
         ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(p),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(0),
+            },
         }
     }
 
     fn reclaim(p: usize) -> ReclaimRequest {
-        ReclaimRequest { class: RegClass::Int, preg: PhysReg::new(p), arch: ArchReg::int(0), renews: false }
+        ReclaimRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(p),
+            arch: ArchReg::int(0),
+            renews: false,
+        }
     }
 
     #[test]

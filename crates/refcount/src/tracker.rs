@@ -118,7 +118,11 @@ impl StorageReport {
 
 impl fmt::Display for StorageReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} bits (+{} bits/checkpoint)", self.main_bits, self.per_checkpoint_bits)
+        write!(
+            f,
+            "{} bits (+{} bits/checkpoint)",
+            self.main_bits, self.per_checkpoint_bits
+        )
     }
 }
 
@@ -197,11 +201,7 @@ pub trait SharingTracker: fmt::Debug {
     /// The core drives squash walks in two passes — all shares first, then
     /// all allocations — so a zero count during the share pass is proof that
     /// no squashed allocation still accounts for the register.
-    fn on_squash_share(
-        &mut self,
-        _class: RegClass,
-        _preg: PhysReg,
-    ) -> Option<(RegClass, PhysReg)> {
+    fn on_squash_share(&mut self, _class: RegClass, _preg: PhysReg) -> Option<(RegClass, PhysReg)> {
         None
     }
 
@@ -235,7 +235,10 @@ mod tests {
 
     #[test]
     fn storage_report_totals() {
-        let r = StorageReport { main_bits: 480, per_checkpoint_bits: 96 };
+        let r = StorageReport {
+            main_bits: 480,
+            per_checkpoint_bits: 96,
+        };
         assert_eq!(r.total_bits(0), 480);
         assert_eq!(r.total_bits(4), 480 + 384);
         assert!(r.to_string().contains("480"));
@@ -243,7 +246,10 @@ mod tests {
 
     #[test]
     fn share_kind_carries_arch_info() {
-        let k = ShareKind::MoveElim { arch_dst: ArchReg::int(1), arch_src: ArchReg::int(2) };
+        let k = ShareKind::MoveElim {
+            arch_dst: ArchReg::int(1),
+            arch_src: ArchReg::int(2),
+        };
         match k {
             ShareKind::MoveElim { arch_dst, arch_src } => {
                 assert_eq!(arch_dst, ArchReg::int(1));

@@ -75,7 +75,11 @@ impl UnlimitedTracker {
         for k in keys {
             let e = self.live[&k];
             let ref_ck = lookup(&e, k);
-            let class = if k.0 == 0 { RegClass::Int } else { RegClass::Fp };
+            let class = if k.0 == 0 {
+                RegClass::Int
+            } else {
+                RegClass::Fp
+            };
             let preg = PhysReg::new(k.1 as usize);
             if e.committed > ref_ck {
                 self.free_key(k);
@@ -170,7 +174,10 @@ impl SharingTracker for UnlimitedTracker {
         // Idealized: two 32-bit counters per physical register, both classes,
         // with a full referenced image per checkpoint.
         let regs = 2 * 256;
-        StorageReport { main_bits: regs * 64, per_checkpoint_bits: regs * 32 }
+        StorageReport {
+            main_bits: regs * 64,
+            per_checkpoint_bits: regs * 32,
+        }
     }
 
     fn is_shared(&self, class: RegClass, preg: PhysReg) -> bool {
@@ -196,12 +203,19 @@ mod tests {
         ShareRequest {
             class: RegClass::Int,
             preg: PhysReg::new(p),
-            kind: ShareKind::Bypass { arch_dst: ArchReg::int(0) },
+            kind: ShareKind::Bypass {
+                arch_dst: ArchReg::int(0),
+            },
         }
     }
 
     fn reclaim(p: usize) -> ReclaimRequest {
-        ReclaimRequest { class: RegClass::Int, preg: PhysReg::new(p), arch: ArchReg::int(0), renews: false }
+        ReclaimRequest {
+            class: RegClass::Int,
+            preg: PhysReg::new(p),
+            arch: ArchReg::int(0),
+            renews: false,
+        }
     }
 
     #[test]

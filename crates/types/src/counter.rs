@@ -123,7 +123,10 @@ impl SignedCounter {
     ///
     /// Panics if `bits < 2` or `bits > 31`.
     pub fn new(bits: u32) -> SignedCounter {
-        assert!((2..=31).contains(&bits), "counter width out of range: {bits}");
+        assert!(
+            (2..=31).contains(&bits),
+            "counter width out of range: {bits}"
+        );
         let max = (1 << (bits - 1)) - 1;
         SignedCounter {
             value: -1,

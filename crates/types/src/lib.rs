@@ -311,7 +311,7 @@ mod tests {
             .push(false, 0x44);
         assert_eq!(h.ghist, 0b10);
         // path mixes PC bits of both branches
-        assert_eq!(h.path, ((0x40u16 << 1) ^ 0x44) & 0xffff);
+        assert_eq!(h.path, ((0x40u16 << 1) ^ 0x44));
     }
 
     #[test]

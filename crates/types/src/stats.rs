@@ -67,7 +67,11 @@ impl RunningMean {
 impl fmt::Display for RunningMean {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mean() {
-            Some(m) => write!(f, "{m:.2} (n={}, min={:?}, max={:?})", self.count, self.min, self.max),
+            Some(m) => write!(
+                f,
+                "{m:.2} (n={}, min={:?}, max={:?})",
+                self.count, self.min, self.max
+            ),
             None => write!(f, "n/a (no samples)"),
         }
     }

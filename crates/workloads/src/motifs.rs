@@ -55,11 +55,24 @@ fn f(i: usize) -> ArchReg {
 /// Emits `trips`-iteration counted loop around `body` (r3 is the counter).
 #[allow(dead_code)] // exercised by tests; motifs use counted_loop_ctx
 fn counted_loop(b: &mut ProgramBuilder, trips: u64, body: impl FnOnce(&mut ProgramBuilder)) {
-    b.push(Op::LoadImm { dst: r(3), imm: trips });
+    b.push(Op::LoadImm {
+        dst: r(3),
+        imm: trips,
+    });
     let top = b.here();
     body(b);
-    b.push(Op::IntAlu { op: AluOp::Sub, dst: r(3), src1: r(3), src2: Operand::Imm(1) });
-    b.push(Op::CondBranch { cond: Cond::Ne, src1: r(3), src2: Operand::Imm(0), target: top });
+    b.push(Op::IntAlu {
+        op: AluOp::Sub,
+        dst: r(3),
+        src1: r(3),
+        src2: Operand::Imm(1),
+    });
+    b.push(Op::CondBranch {
+        cond: Cond::Ne,
+        src1: r(3),
+        src2: Operand::Imm(0),
+        target: top,
+    });
 }
 
 /// Emits one unit of "work": an ALU/FP op over the data registers.
@@ -71,16 +84,33 @@ fn work_uop(ctx: &mut EmitCtx<'_>) {
             f(12 + ctx.rng.below(4) as usize),
         );
         match ctx.rng.below(10) {
-            0 => ctx.b.push(Op::FpMul { dst: d, src1: s1, src2: s2 }),
-            1 => ctx.b.push(Op::FpDiv { dst: d, src1: s1, src2: s2 }),
-            _ => ctx.b.push(Op::FpAdd { dst: d, src1: s1, src2: s2 }),
+            0 => ctx.b.push(Op::FpMul {
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
+            1 => ctx.b.push(Op::FpDiv {
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
+            _ => ctx.b.push(Op::FpAdd {
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
         };
     } else if ctx.rng.chance(25.0) {
         // Serial dependency chain through the accumulator: keeps ILP at
         // realistic levels so the machine is not purely issue-bound.
         let s2 = Operand::Reg(r(8 + ctx.rng.below(5) as usize));
         let op = *ctx.rng.pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor]);
-        ctx.b.push(Op::IntAlu { op, dst: r(15), src1: r(15), src2: s2 });
+        ctx.b.push(Op::IntAlu {
+            op,
+            dst: r(15),
+            src1: r(15),
+            src2: s2,
+        });
     } else {
         let d = r(8 + ctx.rng.below(5) as usize);
         let s1 = r(8 + ctx.rng.below(5) as usize);
@@ -89,11 +119,26 @@ fn work_uop(ctx: &mut EmitCtx<'_>) {
         } else {
             Operand::Imm(ctx.rng.below(1 << 16) | 1)
         };
-        let op = *ctx.rng.pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or]);
+        let op = *ctx
+            .rng
+            .pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or]);
         match ctx.rng.below(24) {
-            0 => ctx.b.push(Op::IntMul { dst: d, src1: s1, src2: s2 }),
-            1 => ctx.b.push(Op::IntDiv { dst: d, src1: s1, src2: s2 }),
-            _ => ctx.b.push(Op::IntAlu { op, dst: d, src1: s1, src2: s2 }),
+            0 => ctx.b.push(Op::IntMul {
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
+            1 => ctx.b.push(Op::IntDiv {
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
+            _ => ctx.b.push(Op::IntAlu {
+                op,
+                dst: d,
+                src1: s1,
+                src2: s2,
+            }),
         };
     }
 }
@@ -110,9 +155,15 @@ pub fn move_glue(ctx: &mut EmitCtx<'_>, trips: u64, density: f64, merge_pct: f64
     let merges: Vec<bool> = (0..30).map(|_| ctx.rng.chance(merge_pct)).collect();
     let seeds: Vec<u64> = (0..4).map(|_| ctx.rng.next_u64()).collect();
     let region = ctx.region;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    });
     for (i, s) in seeds.iter().enumerate() {
-        ctx.b.push(Op::LoadImm { dst: r(8 + i), imm: *s });
+        ctx.b.push(Op::LoadImm {
+            dst: r(8 + i),
+            imm: *s,
+        });
     }
     let rng_choices: Vec<(usize, usize, bool)> = (0..30)
         .map(|_| {
@@ -132,13 +183,32 @@ pub fn move_glue(ctx: &mut EmitCtx<'_>, trips: u64, density: f64, merge_pct: f64
             if plan[i] {
                 let (a, b_, use_fp) = rng_choices[i];
                 if use_fp {
-                    ctx.b.push(Op::MovFp { dst: f(a), src: f(b_) });
+                    ctx.b.push(Op::MovFp {
+                        dst: f(a),
+                        src: f(b_),
+                    });
                 } else if merges[i] {
-                    let width = if i % 2 == 0 { MoveWidth::W8 } else { MoveWidth::W16 };
-                    ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width });
+                    let width = if i % 2 == 0 {
+                        MoveWidth::W8
+                    } else {
+                        MoveWidth::W16
+                    };
+                    ctx.b.push(Op::MovInt {
+                        dst: r(a),
+                        src: r(b_),
+                        width,
+                    });
                 } else {
-                    let width = if i % 3 == 0 { MoveWidth::W32 } else { MoveWidth::W64 };
-                    ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width });
+                    let width = if i % 3 == 0 {
+                        MoveWidth::W32
+                    } else {
+                        MoveWidth::W64
+                    };
+                    ctx.b.push(Op::MovInt {
+                        dst: r(a),
+                        src: r(b_),
+                        width,
+                    });
                     // A minority of moves sit on the critical path (feed the
                     // serial accumulator); most are glue whose elimination
                     // only saves issue slots — the reason the paper sees
@@ -161,11 +231,18 @@ pub fn move_glue(ctx: &mut EmitCtx<'_>, trips: u64, density: f64, merge_pct: f64
 
 /// Wrapper running `body(ctx)` under a counted loop (r3).
 fn counted_loop_ctx(ctx: &mut EmitCtx<'_>, trips: u64, body: impl FnOnce(&mut EmitCtx<'_>)) {
-    ctx.b.push(Op::LoadImm { dst: r(3), imm: trips });
+    ctx.b.push(Op::LoadImm {
+        dst: r(3),
+        imm: trips,
+    });
     let top = ctx.b.here();
     body(ctx);
-    ctx.b
-        .push(Op::IntAlu { op: AluOp::Sub, dst: r(3), src1: r(3), src2: Operand::Imm(1) });
+    ctx.b.push(Op::IntAlu {
+        op: AluOp::Sub,
+        dst: r(3),
+        src1: r(3),
+        src2: Operand::Imm(1),
+    });
     ctx.b.push(Op::CondBranch {
         cond: Cond::Ne,
         src1: r(3),
@@ -188,10 +265,19 @@ pub fn spill_reload(
 ) {
     let slots = slots.max(1);
     let region = ctx.region;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region }); // slot base
-    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + 0x10000 }); // random data
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    }); // slot base
+    ctx.b.push(Op::LoadImm {
+        dst: r(5),
+        imm: region + 0x10000,
+    }); // random data
     ctx.b.push(Op::LoadImm { dst: r(1), imm: 0 }); // induction
-    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    ctx.b.push(Op::LoadImm {
+        dst: r(8),
+        imm: ctx.rng.next_u64(),
+    });
     let extra: usize = 1 + ctx.rng.below(6) as usize;
     let pre_work: Vec<()> = vec![(); work];
     counted_loop_ctx(ctx, trips, |ctx| {
@@ -202,7 +288,12 @@ pub fn spill_reload(
             src1: r(1),
             src2: Operand::Imm(slots.next_power_of_two() - 1),
         });
-        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(2), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Shl,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(3),
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Add,
             dst: r(2),
@@ -217,7 +308,12 @@ pub fn spill_reload(
             src2: Operand::Imm(0x9e37),
         });
         // Spill.
-        ctx.b.push(Op::Store { data: r(8), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Store {
+            data: r(8),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         // Fixed work between spill and reload.
         for _ in &pre_work {
             work_uop(ctx);
@@ -225,7 +321,12 @@ pub fn spill_reload(
         if variable_paths {
             // Data-dependent detour: extra µ-ops on one side, so the
             // store→load distance depends on branch history.
-            ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(14), src1: r(1), src2: Operand::Imm(3) });
+            ctx.b.push(Op::IntAlu {
+                op: AluOp::Shl,
+                dst: r(14),
+                src1: r(1),
+                src2: Operand::Imm(3),
+            });
             ctx.b.push(Op::IntAlu {
                 op: AluOp::And,
                 dst: r(14),
@@ -238,7 +339,12 @@ pub fn spill_reload(
                 src1: r(14),
                 src2: Operand::Reg(r(5)),
             });
-            ctx.b.push(Op::Load { dst: r(14), base: r(14), offset: 0, size: 8 });
+            ctx.b.push(Op::Load {
+                dst: r(14),
+                base: r(14),
+                offset: 0,
+                size: 8,
+            });
             let br = ctx.b.push(Op::CondBranch {
                 cond: Cond::BitSet,
                 src1: r(14),
@@ -256,7 +362,12 @@ pub fn spill_reload(
         // exactly the spill-induced load-to-use delay the paper's
         // introduction motivates, and what SMB collapses back into a
         // register dependency.
-        ctx.b.push(Op::Load { dst: r(9), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Load {
+            dst: r(9),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Xor,
             dst: r(8),
@@ -270,7 +381,12 @@ pub fn spill_reload(
             src2: Operand::Reg(r(9)),
         });
         // Advance induction.
-        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(1),
+        });
     });
 }
 
@@ -288,8 +404,14 @@ pub fn redundant_loads_ext(
     value_chained: bool,
 ) {
     let region = ctx.region;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
-    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    });
+    ctx.b.push(Op::LoadImm {
+        dst: r(8),
+        imm: ctx.rng.next_u64(),
+    });
     let chain = chain.max(2);
     counted_loop_ctx(ctx, trips, |ctx| {
         ctx.b.push(Op::IntAlu {
@@ -298,7 +420,12 @@ pub fn redundant_loads_ext(
             src1: r(8),
             src2: Operand::Imm(0x5bd1),
         });
-        ctx.b.push(Op::Store { data: r(8), base: r(4), offset: 0, size: 8 });
+        ctx.b.push(Op::Store {
+            data: r(8),
+            base: r(4),
+            offset: 0,
+            size: 8,
+        });
         let mut last = r(8);
         for k in 0..chain {
             for _ in 0..gap {
@@ -319,9 +446,19 @@ pub fn redundant_loads_ext(
                     src1: r(2),
                     src2: Operand::Reg(r(4)),
                 });
-                ctx.b.push(Op::Load { dst, base: r(2), offset: 0, size: 8 });
+                ctx.b.push(Op::Load {
+                    dst,
+                    base: r(2),
+                    offset: 0,
+                    size: 8,
+                });
             } else {
-                ctx.b.push(Op::Load { dst, base: r(4), offset: 0, size: 8 });
+                ctx.b.push(Op::Load {
+                    dst,
+                    base: r(4),
+                    offset: 0,
+                    size: 8,
+                });
             }
             ctx.b.push(Op::IntAlu {
                 op: AluOp::Xor,
@@ -362,15 +499,32 @@ pub fn redundant_loads(ctx: &mut EmitCtx<'_>, trips: u64, chain: usize, gap: usi
 pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u64) {
     let region = ctx.region;
     let threshold = ((alias_pct.clamp(0.0, 100.0) / 100.0) * u64::MAX as f64) as u64;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region }); // slot array
-    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + 0x40000 }); // random data
-    ctx.b.push(Op::LoadImm { dst: r(6), imm: region + 0x80000 }); // non-alias side
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    }); // slot array
+    ctx.b.push(Op::LoadImm {
+        dst: r(5),
+        imm: region + 0x40000,
+    }); // random data
+    ctx.b.push(Op::LoadImm {
+        dst: r(6),
+        imm: region + 0x80000,
+    }); // non-alias side
     ctx.b.push(Op::LoadImm { dst: r(1), imm: 0 });
-    ctx.b.push(Op::LoadImm { dst: r(8), imm: ctx.rng.next_u64() });
+    ctx.b.push(Op::LoadImm {
+        dst: r(8),
+        imm: ctx.rng.next_u64(),
+    });
     let span_mask = span.next_power_of_two() - 1;
     counted_loop_ctx(ctx, trips, |ctx| {
         // Slot for this iteration.
-        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Shl,
+            dst: r(2),
+            src1: r(1),
+            src2: Operand::Imm(3),
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::And,
             dst: r(2),
@@ -390,9 +544,19 @@ pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u6
             src1: r(8),
             src2: Operand::Imm(0x9e37),
         });
-        ctx.b.push(Op::Store { data: r(8), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Store {
+            data: r(8),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         // Random value for the aliasing decision.
-        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(14), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Shl,
+            dst: r(14),
+            src1: r(1),
+            src2: Operand::Imm(3),
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::And,
             dst: r(14),
@@ -405,7 +569,12 @@ pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u6
             src1: r(14),
             src2: Operand::Reg(r(5)),
         });
-        ctx.b.push(Op::Load { dst: r(14), base: r(14), offset: 0, size: 8 });
+        ctx.b.push(Op::Load {
+            dst: r(14),
+            base: r(14),
+            offset: 0,
+            size: 8,
+        });
         // Slow pointer: the index passes through an unpipelined divide, so
         // S's address resolves ~25+ cycles later than L's.
         ctx.b.push(Op::IntAlu {
@@ -414,8 +583,16 @@ pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u6
             src1: r(14),
             src2: Operand::Imm(1),
         });
-        ctx.b.push(Op::IntDiv { dst: r(13), src1: r(12), src2: Operand::Reg(r(12)) });
-        ctx.b.push(Op::IntMul { dst: r(10), src1: r(2), src2: Operand::Reg(r(13)) });
+        ctx.b.push(Op::IntDiv {
+            dst: r(13),
+            src1: r(12),
+            src2: Operand::Reg(r(12)),
+        });
+        ctx.b.push(Op::IntMul {
+            dst: r(10),
+            src1: r(2),
+            src2: Operand::Reg(r(13)),
+        });
         // alias? S writes the same slot : S writes a private region.
         let br = ctx.b.push(Op::CondBranch {
             cond: Cond::Lt,
@@ -445,17 +622,32 @@ pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u6
             src1: r(14),
             src2: Operand::Imm(0xf00d),
         });
-        ctx.b.push(Op::Store { data: r(9), base: r(10), offset: 0, size: 8 });
+        ctx.b.push(Op::Store {
+            data: r(9),
+            base: r(10),
+            offset: 0,
+            size: 8,
+        });
         // L: reads the slot back; true producer is F's data (stable
         // distance) except on alias iterations (S's data).
-        ctx.b.push(Op::Load { dst: r(11), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Load {
+            dst: r(11),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Add,
             dst: r(15),
             src1: r(15),
             src2: Operand::Reg(r(11)),
         });
-        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(1),
+        });
     });
 }
 
@@ -463,8 +655,14 @@ pub fn pointer_alias(ctx: &mut EmitCtx<'_>, trips: u64, alias_pct: f64, span: u6
 pub fn streaming(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
     let region = ctx.region;
     let mask = ((ws_kb.max(1) * 1024) as u64).next_power_of_two() - 1;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
-    ctx.b.push(Op::LoadImm { dst: r(5), imm: region + mask + 1 });
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    });
+    ctx.b.push(Op::LoadImm {
+        dst: r(5),
+        imm: region + mask + 1,
+    });
     // Start each visit at a different (accumulator-derived) offset so the
     // stream eventually covers the whole working set instead of re-touching
     // the same few lines every outer iteration.
@@ -487,10 +685,28 @@ pub fn streaming(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
             src1: r(2),
             src2: Operand::Reg(r(4)),
         });
-        ctx.b.push(Op::Load { dst: f(8), base: r(2), offset: 0, size: 8 });
-        ctx.b.push(Op::Load { dst: f(9), base: r(2), offset: 8, size: 8 });
-        ctx.b.push(Op::FpAdd { dst: f(10), src1: f(8), src2: f(9) });
-        ctx.b.push(Op::FpMul { dst: f(11), src1: f(10), src2: f(8) });
+        ctx.b.push(Op::Load {
+            dst: f(8),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
+        ctx.b.push(Op::Load {
+            dst: f(9),
+            base: r(2),
+            offset: 8,
+            size: 8,
+        });
+        ctx.b.push(Op::FpAdd {
+            dst: f(10),
+            src1: f(8),
+            src2: f(9),
+        });
+        ctx.b.push(Op::FpMul {
+            dst: f(11),
+            src1: f(10),
+            src2: f(8),
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::And,
             dst: r(2),
@@ -503,7 +719,12 @@ pub fn streaming(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
             src1: r(2),
             src2: Operand::Reg(r(5)),
         });
-        ctx.b.push(Op::Store { data: f(11), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Store {
+            data: f(11),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Add,
             dst: r(1),
@@ -521,7 +742,10 @@ pub fn streaming(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
 pub fn pointer_chase(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
     let region = ctx.region;
     let mask = ((ws_kb.max(1) * 1024) as u64).next_power_of_two() - 1;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    });
     ctx.b.push(Op::LoadImm { dst: r(8), imm: 0 });
     // The walk phase carries over across outer iterations (seeded from the
     // persistent accumulator), so the chase keeps exploring new lines.
@@ -563,7 +787,12 @@ pub fn pointer_chase(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
             src1: r(2),
             src2: Operand::Reg(r(4)),
         });
-        ctx.b.push(Op::Load { dst: r(8), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Load {
+            dst: r(8),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Add,
             dst: r(15),
@@ -577,7 +806,10 @@ pub fn pointer_chase(ctx: &mut EmitCtx<'_>, trips: u64, ws_kb: usize) {
 pub fn branchy(ctx: &mut EmitCtx<'_>, trips: u64, taken_bias_pct: f64) {
     let region = ctx.region;
     let threshold = ((taken_bias_pct.clamp(0.0, 100.0) / 100.0) * u64::MAX as f64) as u64;
-    ctx.b.push(Op::LoadImm { dst: r(4), imm: region });
+    ctx.b.push(Op::LoadImm {
+        dst: r(4),
+        imm: region,
+    });
     // Wander through the data region across outer iterations so branch
     // outcomes stay data-dependent instead of becoming a memorizable
     // repeating pattern.
@@ -588,7 +820,12 @@ pub fn branchy(ctx: &mut EmitCtx<'_>, trips: u64, taken_bias_pct: f64) {
         src2: Operand::Imm(0x9e37_79b9),
     });
     counted_loop_ctx(ctx, trips, |ctx| {
-        ctx.b.push(Op::IntAlu { op: AluOp::Shl, dst: r(2), src1: r(1), src2: Operand::Imm(3) });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Shl,
+            dst: r(2),
+            src1: r(1),
+            src2: Operand::Imm(3),
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::And,
             dst: r(2),
@@ -601,7 +838,12 @@ pub fn branchy(ctx: &mut EmitCtx<'_>, trips: u64, taken_bias_pct: f64) {
             src1: r(2),
             src2: Operand::Reg(r(4)),
         });
-        ctx.b.push(Op::Load { dst: r(14), base: r(2), offset: 0, size: 8 });
+        ctx.b.push(Op::Load {
+            dst: r(14),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
         let br = ctx.b.push(Op::CondBranch {
             cond: Cond::Lt,
             src1: r(14),
@@ -640,8 +882,18 @@ pub fn branchy(ctx: &mut EmitCtx<'_>, trips: u64, taken_bias_pct: f64) {
             src1: r(14),
             src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
         });
-        ctx.b.push(Op::Store { data: r(14), base: r(2), offset: 0, size: 8 });
-        ctx.b.push(Op::IntAlu { op: AluOp::Add, dst: r(1), src1: r(1), src2: Operand::Imm(1) });
+        ctx.b.push(Op::Store {
+            data: r(14),
+            base: r(2),
+            offset: 0,
+            size: 8,
+        });
+        ctx.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(1),
+            src1: r(1),
+            src2: Operand::Imm(1),
+        });
     });
 }
 
@@ -654,7 +906,11 @@ pub fn call_leaf(ctx: &mut EmitCtx<'_>, trips: u64, moves_in_leaf: usize) {
     for k in 0..moves_in_leaf {
         let a = 8 + (k % 5);
         let b_ = 8 + ((k + 2) % 5);
-        ctx.b.push(Op::MovInt { dst: r(a), src: r(b_), width: MoveWidth::W64 });
+        ctx.b.push(Op::MovInt {
+            dst: r(a),
+            src: r(b_),
+            width: MoveWidth::W64,
+        });
         ctx.b.push(Op::IntAlu {
             op: AluOp::Add,
             dst: r(15),
@@ -667,8 +923,16 @@ pub fn call_leaf(ctx: &mut EmitCtx<'_>, trips: u64, moves_in_leaf: usize) {
     ctx.b.patch_target(skip, entry);
     counted_loop_ctx(ctx, trips, |ctx| {
         // Argument setup: eliminable moves.
-        ctx.b.push(Op::MovInt { dst: r(9), src: r(15), width: MoveWidth::W64 });
-        ctx.b.push(Op::MovInt { dst: r(10), src: r(9), width: MoveWidth::W64 });
+        ctx.b.push(Op::MovInt {
+            dst: r(9),
+            src: r(15),
+            width: MoveWidth::W64,
+        });
+        ctx.b.push(Op::MovInt {
+            dst: r(10),
+            src: r(9),
+            width: MoveWidth::W64,
+        });
         ctx.b.push(Op::Call { target: leaf });
         work_uop(ctx);
     });
@@ -686,7 +950,12 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let mut rng = Xorshift::new(99);
         {
-            let mut ctx = EmitCtx { b: &mut b, rng: &mut rng, region: 0x1000_0000, fp_mix: 0.3 };
+            let mut ctx = EmitCtx {
+                b: &mut b,
+                rng: &mut rng,
+                region: 0x1000_0000,
+                fp_mix: 0.3,
+            };
             emit(&mut ctx);
         }
         b.push(Op::Halt);
@@ -758,7 +1027,10 @@ mod tests {
                 }
             }
         }
-        assert!(dists.len() >= 2, "expected multiple distances, got {dists:?}");
+        assert!(
+            dists.len() >= 2,
+            "expected multiple distances, got {dists:?}"
+        );
     }
 
     #[test]
@@ -807,7 +1079,12 @@ mod tests {
             .count();
         let rets = uops
             .iter()
-            .filter(|u| matches!(u.kind, UopKind::Branch(regshare_isa::op::BranchKind::Return)))
+            .filter(|u| {
+                matches!(
+                    u.kind,
+                    UopKind::Branch(regshare_isa::op::BranchKind::Return)
+                )
+            })
             .count();
         assert_eq!(calls, 10);
         assert_eq!(rets, 10);
@@ -822,10 +1099,7 @@ mod tests {
                 if b.kind == regshare_isa::op::BranchKind::Conditional && u.sidx > 2 {
                     // Skip loop back-edges: they are Ne-conditioned; the
                     // biased branch uses Lt.
-                    if matches!(
-                        uops.iter().find(|x| x.sidx == u.sidx).map(|_| ()),
-                        Some(())
-                    ) {
+                    if matches!(uops.iter().find(|x| x.sidx == u.sidx).map(|_| ()), Some(())) {
                         total += 1;
                         if b.taken {
                             taken += 1;
@@ -837,7 +1111,10 @@ mod tests {
         // Loop branches are ~always taken; the data branch is 80%: overall
         // taken rate must sit well above 50%.
         assert!(total > 0);
-        assert!(taken * 100 / total > 60, "bias not visible: {taken}/{total}");
+        assert!(
+            taken * 100 / total > 60,
+            "bias not visible: {taken}/{total}"
+        );
     }
 
     #[test]

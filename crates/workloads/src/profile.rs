@@ -137,14 +137,14 @@ impl Workload {
         let outer_top = b.here();
         // Interleave block kinds in a deterministic shuffled order.
         let mut blocks: Vec<u8> = Vec::new();
-        blocks.extend(std::iter::repeat(0u8).take(p.move_blocks as usize));
-        blocks.extend(std::iter::repeat(1u8).take(p.spill_blocks as usize));
-        blocks.extend(std::iter::repeat(2u8).take(p.redundant_blocks as usize));
-        blocks.extend(std::iter::repeat(3u8).take(p.alias_blocks as usize));
-        blocks.extend(std::iter::repeat(4u8).take(p.stream_blocks as usize));
-        blocks.extend(std::iter::repeat(5u8).take(p.chase_blocks as usize));
-        blocks.extend(std::iter::repeat(6u8).take(p.branchy_blocks as usize));
-        blocks.extend(std::iter::repeat(7u8).take(p.call_blocks as usize));
+        blocks.extend(std::iter::repeat_n(0u8, p.move_blocks as usize));
+        blocks.extend(std::iter::repeat_n(1u8, p.spill_blocks as usize));
+        blocks.extend(std::iter::repeat_n(2u8, p.redundant_blocks as usize));
+        blocks.extend(std::iter::repeat_n(3u8, p.alias_blocks as usize));
+        blocks.extend(std::iter::repeat_n(4u8, p.stream_blocks as usize));
+        blocks.extend(std::iter::repeat_n(5u8, p.chase_blocks as usize));
+        blocks.extend(std::iter::repeat_n(6u8, p.branchy_blocks as usize));
+        blocks.extend(std::iter::repeat_n(7u8, p.call_blocks as usize));
         // Deterministic shuffle.
         for i in (1..blocks.len()).rev() {
             let j = rng.below(i as u64 + 1) as usize;
@@ -152,10 +152,21 @@ impl Workload {
         }
         for kind in blocks {
             let reg = next_region();
-            let mut ctx = EmitCtx { b: &mut b, rng: &mut rng, region: reg, fp_mix: p.fp_mix };
+            let mut ctx = EmitCtx {
+                b: &mut b,
+                rng: &mut rng,
+                region: reg,
+                fp_mix: p.fp_mix,
+            };
             match kind {
                 0 => move_glue(&mut ctx, p.trips, p.move_density, p.merge_pct, p.fp_moves),
-                1 => spill_reload(&mut ctx, p.trips, p.spill_slots, p.spill_work, p.variable_paths),
+                1 => spill_reload(
+                    &mut ctx,
+                    p.trips,
+                    p.spill_slots,
+                    p.spill_work,
+                    p.variable_paths,
+                ),
                 2 => crate::motifs::redundant_loads_ext(
                     &mut ctx,
                     p.trips,
@@ -187,7 +198,11 @@ fn w(name: &'static str, class: WorkloadClass, f: impl FnOnce(&mut WorkloadProfi
         profile.fp_moves = true;
     }
     f(&mut profile);
-    Workload { name, class, profile }
+    Workload {
+        name,
+        class,
+        profile,
+    }
 }
 
 /// The full 36-workload suite (18 INT + 18 FP), in a stable order.
@@ -471,7 +486,11 @@ pub fn suite() -> Vec<Workload> {
 /// that need structure outside the 36-entry suite, e.g. the load-load
 /// ablation's long redundant chains).
 pub fn custom(name: &'static str, class: WorkloadClass, profile: WorkloadProfile) -> Workload {
-    Workload { name, class, profile }
+    Workload {
+        name,
+        class,
+        profile,
+    }
 }
 
 /// A small, fast workload for tests and examples.
@@ -501,8 +520,14 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 36, "duplicate workload names");
-        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Int).count(), 18);
-        assert_eq!(s.iter().filter(|w| w.class == WorkloadClass::Fp).count(), 18);
+        assert_eq!(
+            s.iter().filter(|w| w.class == WorkloadClass::Int).count(),
+            18
+        );
+        assert_eq!(
+            s.iter().filter(|w| w.class == WorkloadClass::Fp).count(),
+            18
+        );
     }
 
     #[test]

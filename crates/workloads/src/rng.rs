@@ -18,7 +18,9 @@ pub struct Xorshift {
 impl Xorshift {
     /// Seeds the generator (zero is remapped to a fixed constant).
     pub fn new(seed: u64) -> Xorshift {
-        Xorshift { state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed } }
+        Xorshift {
+            state: if seed == 0 { 0x9e3779b97f4a7c15 } else { seed },
+        }
     }
 
     /// Next raw 64-bit value.
@@ -76,7 +78,10 @@ mod tests {
     fn chance_is_calibrated() {
         let mut r = Xorshift::new(3);
         let hits = (0..100_000).filter(|_| r.chance(25.0)).count();
-        assert!((20_000..30_000).contains(&hits), "25% chance hit {hits}/100000");
+        assert!(
+            (20_000..30_000).contains(&hits),
+            "25% chance hit {hits}/100000"
+        );
     }
 
     #[test]

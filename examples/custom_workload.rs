@@ -14,19 +14,60 @@ fn main() {
     // A spill/reload loop with a register move — the two patterns the
     // paper's optimizations target, hand-written.
     let mut b = ProgramBuilder::new();
-    let (ptr, val, tmp, acc) = (ArchReg::int(4), ArchReg::int(8), ArchReg::int(9), ArchReg::int(15));
-    b.push(Op::LoadImm { dst: ptr, imm: 0x2000_0000 });
+    let (ptr, val, tmp, acc) = (
+        ArchReg::int(4),
+        ArchReg::int(8),
+        ArchReg::int(9),
+        ArchReg::int(15),
+    );
+    b.push(Op::LoadImm {
+        dst: ptr,
+        imm: 0x2000_0000,
+    });
     b.push(Op::LoadImm { dst: val, imm: 1 });
     let top = b.here();
     // Produce, spill, reload, consume.
-    b.push(Op::IntAlu { op: AluOp::Add, dst: val, src1: val, src2: Operand::Imm(3) });
-    b.push(Op::Store { data: val, base: ptr, offset: 0, size: 8 });
-    b.push(Op::IntAlu { op: AluOp::Xor, dst: tmp, src1: acc, src2: Operand::Imm(5) });
-    b.push(Op::Load { dst: tmp, base: ptr, offset: 0, size: 8 });
+    b.push(Op::IntAlu {
+        op: AluOp::Add,
+        dst: val,
+        src1: val,
+        src2: Operand::Imm(3),
+    });
+    b.push(Op::Store {
+        data: val,
+        base: ptr,
+        offset: 0,
+        size: 8,
+    });
+    b.push(Op::IntAlu {
+        op: AluOp::Xor,
+        dst: tmp,
+        src1: acc,
+        src2: Operand::Imm(5),
+    });
+    b.push(Op::Load {
+        dst: tmp,
+        base: ptr,
+        offset: 0,
+        size: 8,
+    });
     // An eliminable 64-bit move (and a merge move ME must skip).
-    b.push(Op::MovInt { dst: acc, src: tmp, width: MoveWidth::W64 });
-    b.push(Op::MovInt { dst: tmp, src: acc, width: MoveWidth::W16 });
-    b.push(Op::CondBranch { cond: Cond::Ne, src1: val, src2: Operand::Imm(0), target: top });
+    b.push(Op::MovInt {
+        dst: acc,
+        src: tmp,
+        width: MoveWidth::W64,
+    });
+    b.push(Op::MovInt {
+        dst: tmp,
+        src: acc,
+        width: MoveWidth::W16,
+    });
+    b.push(Op::CondBranch {
+        cond: Cond::Ne,
+        src1: val,
+        src2: Operand::Imm(0),
+        target: top,
+    });
     b.push(Op::Halt);
     let program = b.build();
 
@@ -34,7 +75,11 @@ fn main() {
     let stats = sim.run(50_000);
     println!("IPC {:.3} over {} µ-ops", stats.ipc(), stats.committed);
     println!("moves eliminated: {}", stats.moves_eliminated);
-    println!("loads bypassed:   {} ({:.1}%)", stats.loads_bypassed, stats.pct_loads_bypassed());
+    println!(
+        "loads bypassed:   {} ({:.1}%)",
+        stats.loads_bypassed,
+        stats.pct_loads_bypassed()
+    );
     println!("stlf forwards:    {}", stats.stlf_forwards);
     sim.audit_registers().expect("register accounting is sound");
     println!("register audit passed ✓");

@@ -16,7 +16,9 @@ fn main() {
     let share = |arch: usize| ShareRequest {
         class: RegClass::Int,
         preg: p1,
-        kind: ShareKind::Bypass { arch_dst: ArchReg::int(arch) },
+        kind: ShareKind::Bypass {
+            arch_dst: ArchReg::int(arch),
+        },
     };
     let reclaim = |arch: usize| ReclaimRequest {
         class: RegClass::Int,

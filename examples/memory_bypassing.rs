@@ -11,7 +11,10 @@ use regshare::types::stats::speedup_pct;
 use regshare::workloads::suite;
 
 fn main() {
-    let wl = suite().into_iter().find(|w| w.name == "hmmer").expect("known workload");
+    let wl = suite()
+        .into_iter()
+        .find(|w| w.name == "hmmer")
+        .expect("known workload");
     let program = wl.build();
 
     let mut base = Simulator::new(&program, CoreConfig::hpca16());
@@ -36,7 +39,12 @@ fn main() {
     let s0 = smb.stats().clone();
     smb.run(160_000);
     let s = smb.stats().delta_since(&s0);
-    println!("\nbaseline: IPC {:.3}, {} traps, {} false deps", b.ipc(), b.memory_traps, b.false_dependencies);
+    println!(
+        "\nbaseline: IPC {:.3}, {} traps, {} false deps",
+        b.ipc(),
+        b.memory_traps,
+        b.false_dependencies
+    );
     println!(
         "SMB:      IPC {:.3} ({:+.2}%), {} traps, {} false deps, {:.1}% of loads bypassed",
         s.ipc(),

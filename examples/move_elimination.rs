@@ -20,14 +20,24 @@ fn run(program: &regshare::isa::Program, cfg: CoreConfig) -> f64 {
 }
 
 fn main() {
-    let wl = suite().into_iter().find(|w| w.name == "vortex").expect("known workload");
+    let wl = suite()
+        .into_iter()
+        .find(|w| w.name == "vortex")
+        .expect("known workload");
     let program = wl.build();
     let base = run(&program, CoreConfig::hpca16());
     println!("workload {}, baseline IPC {:.3}", wl.name, base);
     println!("{:>10}  {:>9}", "ISRB", "speedup");
     for entries in [1usize, 2, 4, 8, 16, 32, 0] {
-        let ipc = run(&program, CoreConfig::hpca16().with_me().with_isrb_entries(entries));
-        let label = if entries == 0 { "unlimited".to_string() } else { entries.to_string() };
+        let ipc = run(
+            &program,
+            CoreConfig::hpca16().with_me().with_isrb_entries(entries),
+        );
+        let label = if entries == 0 {
+            "unlimited".to_string()
+        } else {
+            entries.to_string()
+        };
         println!("{label:>10}  {:+8.2}%", speedup_pct(base, ipc));
     }
 }

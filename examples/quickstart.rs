@@ -11,7 +11,10 @@ use regshare::workloads::suite;
 
 fn main() {
     // Pick a workload from the 36-entry suite.
-    let workload = suite().into_iter().find(|w| w.name == "crafty").expect("known workload");
+    let workload = suite()
+        .into_iter()
+        .find(|w| w.name == "crafty")
+        .expect("known workload");
     let program = workload.build();
 
     // Baseline: Table 1 machine, no sharing optimizations.
@@ -29,17 +32,39 @@ fn main() {
 
     println!("workload: {}", workload.name);
     println!("baseline IPC:  {:.3}", base_stats.ipc());
-    println!("ME+SMB IPC:    {:.3}  ({:+.2}%)", opt_stats.ipc(),
-             speedup_pct(base_stats.ipc(), opt_stats.ipc()));
-    println!("moves eliminated:   {} ({:.1}% of renamed µ-ops)",
-             opt_stats.moves_eliminated, opt_stats.pct_renamed_eliminated());
-    println!("loads bypassed:     {} ({:.1}% of loads)",
-             opt_stats.loads_bypassed, opt_stats.pct_loads_bypassed());
-    println!("bypass validations failed: {}", opt_stats.bypass_mispredictions);
-    println!("ISRB peak occupancy:       {}", opt_stats.tracker.peak_occupancy);
-    println!("ISRB shares accepted:      {}", opt_stats.tracker.shares_accepted);
+    println!(
+        "ME+SMB IPC:    {:.3}  ({:+.2}%)",
+        opt_stats.ipc(),
+        speedup_pct(base_stats.ipc(), opt_stats.ipc())
+    );
+    println!(
+        "moves eliminated:   {} ({:.1}% of renamed µ-ops)",
+        opt_stats.moves_eliminated,
+        opt_stats.pct_renamed_eliminated()
+    );
+    println!(
+        "loads bypassed:     {} ({:.1}% of loads)",
+        opt_stats.loads_bypassed,
+        opt_stats.pct_loads_bypassed()
+    );
+    println!(
+        "bypass validations failed: {}",
+        opt_stats.bypass_mispredictions
+    );
+    println!(
+        "ISRB peak occupancy:       {}",
+        opt_stats.tracker.peak_occupancy
+    );
+    println!(
+        "ISRB shares accepted:      {}",
+        opt_stats.tracker.shares_accepted
+    );
 
     // The optimizations must not change architectural state.
-    assert_eq!(base.arch_digest(), opt.arch_digest(), "architectural state diverged!");
+    assert_eq!(
+        base.arch_digest(),
+        opt.arch_digest(),
+        "architectural state diverged!"
+    );
     println!("architectural digests match ✓");
 }

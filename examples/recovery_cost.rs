@@ -22,16 +22,41 @@ fn run(program: &regshare::isa::Program, cfg: CoreConfig) -> (f64, u64, u64) {
 }
 
 fn main() {
-    let wl = suite().into_iter().find(|w| w.name == "gobmk").expect("known workload");
+    let wl = suite()
+        .into_iter()
+        .find(|w| w.name == "gobmk")
+        .expect("known workload");
     let program = wl.build();
     let base = run(&program, CoreConfig::hpca16());
-    println!("workload {}: baseline IPC {:.3}, {} mispredicts", wl.name, base.0, base.1);
-    println!("{:<28} {:>8} {:>13} {:>12}", "tracker", "IPC", "vs baseline", "walk stalls");
+    println!(
+        "workload {}: baseline IPC {:.3}, {} mispredicts",
+        wl.name, base.0, base.1
+    );
+    println!(
+        "{:<28} {:>8} {:>13} {:>12}",
+        "tracker", "IPC", "vs baseline", "walk stalls"
+    );
     for (name, kind, walk) in [
-        ("isrb-32 (checkpointed)", TrackerKind::Isrb(IsrbConfig::hpca16()), 0usize),
-        ("counters, walk 8/cycle", TrackerKind::PerRegCounters { walk_width: 8 }, 8),
-        ("counters, walk 4/cycle", TrackerKind::PerRegCounters { walk_width: 4 }, 4),
-        ("counters, walk 2/cycle", TrackerKind::PerRegCounters { walk_width: 2 }, 2),
+        (
+            "isrb-32 (checkpointed)",
+            TrackerKind::Isrb(IsrbConfig::hpca16()),
+            0usize,
+        ),
+        (
+            "counters, walk 8/cycle",
+            TrackerKind::PerRegCounters { walk_width: 8 },
+            8,
+        ),
+        (
+            "counters, walk 4/cycle",
+            TrackerKind::PerRegCounters { walk_width: 4 },
+            4,
+        ),
+        (
+            "counters, walk 2/cycle",
+            TrackerKind::PerRegCounters { walk_width: 2 },
+            2,
+        ),
     ] {
         let _ = walk;
         let cfg = CoreConfig::hpca16().with_me().with_smb().with_tracker(kind);

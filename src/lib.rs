@@ -1,4 +1,43 @@
 //! Facade crate re-exporting the whole `regshare` workspace.
+//!
+//! `regshare` reproduces Perais & Seznec, *Cost Effective Physical Register
+//! Sharing* (HPCA 2016): an out-of-order core in which move elimination and
+//! speculative memory bypassing let several architectural registers map to
+//! one physical register, with the paper's Irredundant Shared Register
+//! Buffer (ISRB) doing the reference counting that makes reclaiming those
+//! registers safe.
+//!
+//! Each subsystem lives in its own workspace crate; this crate only renames
+//! them under one roof so downstream code and the repo-level examples can
+//! write `regshare::core::Simulator` instead of depending on every crate
+//! individually:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`types`] | `regshare-types` | register/sequence identifiers, hashing, counters, stats |
+//! | [`isa`] | `regshare-isa` | µ-op ISA, programs, in-order oracle interpreter |
+//! | [`mem`] | `regshare-mem` | L1/L2/DRAM timing model, MSHRs, prefetcher |
+//! | [`predictors`] | `regshare-predictors` | TAGE, BTB, return-address stack, Store Sets |
+//! | [`distance`] | `regshare-distance` | instruction-distance prediction for bypassing |
+//! | [`refcount`] | `regshare-refcount` | the ISRB and the baseline sharing trackers |
+//! | [`core`] | `regshare-core` | the cycle-level out-of-order core simulator |
+//! | [`workloads`] | `regshare-workloads` | synthetic SPEC-like workload suite |
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare::core::{CoreConfig, Simulator};
+//! use regshare::workloads;
+//!
+//! let wl = workloads::mini();
+//! let program = wl.build();
+//! let mut sim = Simulator::new(&program, CoreConfig::hpca16().with_me().with_smb());
+//! let run = sim.run(1_000);
+//! assert_eq!(run.committed, 1_000);
+//! ```
+
+#![deny(missing_docs)]
+
 pub use regshare_core as core;
 pub use regshare_distance as distance;
 pub use regshare_isa as isa;

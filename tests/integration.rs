@@ -25,8 +25,14 @@ fn whole_suite_runs_on_baseline() {
         let program = wl.build();
         let mut sim = Simulator::new(&program, CoreConfig::hpca16());
         let s = sim.run(30_000);
-        assert!(s.ipc() > 0.01 && s.ipc() <= 8.0, "{}: IPC {}", wl.name, s.ipc());
-        sim.audit_registers().unwrap_or_else(|e| panic!("{}: {e}", wl.name));
+        assert!(
+            s.ipc() > 0.01 && s.ipc() <= 8.0,
+            "{}: IPC {}",
+            wl.name,
+            s.ipc()
+        );
+        sim.audit_registers()
+            .unwrap_or_else(|e| panic!("{}: {e}", wl.name));
     }
 }
 
@@ -39,7 +45,10 @@ fn sharing_never_hurts_architecture_across_suite_sample() {
         a.run(60_000);
         let mut b = Simulator::new(
             &program,
-            CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(16),
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(16),
         );
         b.run(60_000);
         assert_eq!(a.arch_digest(), b.arch_digest(), "{name} diverged");
@@ -77,8 +86,20 @@ fn isrb_size_ordering_is_monotonicish() {
     // that uses both mechanisms heavily.
     let wl = suite().into_iter().find(|w| w.name == "hmmer").unwrap();
     let program = wl.build();
-    let tiny = ipc(&program, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(2));
-    let unl = ipc(&program, CoreConfig::hpca16().with_me().with_smb().with_isrb_entries(0));
+    let tiny = ipc(
+        &program,
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(2),
+    );
+    let unl = ipc(
+        &program,
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(0),
+    );
     assert!(
         unl >= tiny * 0.995,
         "unlimited ISRB ({unl:.3}) should not lose to 2-entry ({tiny:.3})"
@@ -95,7 +116,10 @@ fn tage_distance_competitive_with_nosq_across_workloads() {
     for name in ["twolf", "sjeng", "hmmer", "zeusmp", "mgrid"] {
         let wl = suite().into_iter().find(|w| w.name == name).unwrap();
         let program = wl.build();
-        tage_ipcs.push(ipc(&program, CoreConfig::hpca16().with_smb().with_isrb_entries(0)));
+        tage_ipcs.push(ipc(
+            &program,
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+        ));
         let mut nosq_cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
         nosq_cfg.distance_predictor = DistancePredictorKind::Nosq(NosqConfig::hpca16());
         nosq_ipcs.push(ipc(&program, nosq_cfg));
@@ -133,18 +157,31 @@ fn counter_width_three_bits_is_close_to_wide() {
     let program = wl.build();
     let narrow = ipc(
         &program,
-        CoreConfig::hpca16().with_me().with_smb().with_tracker(TrackerKind::Isrb(
-            IsrbConfig { entries: 32, counter_bits: 3, ..IsrbConfig::hpca16() },
-        )),
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_tracker(TrackerKind::Isrb(IsrbConfig {
+                entries: 32,
+                counter_bits: 3,
+                ..IsrbConfig::hpca16()
+            })),
     );
     let wide = ipc(
         &program,
-        CoreConfig::hpca16().with_me().with_smb().with_tracker(TrackerKind::Isrb(
-            IsrbConfig { entries: 32, counter_bits: 31, ..IsrbConfig::hpca16() },
-        )),
+        CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_tracker(TrackerKind::Isrb(IsrbConfig {
+                entries: 32,
+                counter_bits: 31,
+                ..IsrbConfig::hpca16()
+            })),
     );
     let delta = (wide / narrow - 1.0) * 100.0;
-    assert!(delta.abs() < 3.0, "3-bit counters should be near 31-bit: {delta:.2}%");
+    assert!(
+        delta.abs() < 3.0,
+        "3-bit counters should be near 31-bit: {delta:.2}%"
+    );
 }
 
 #[test]

@@ -34,7 +34,9 @@ fn share(p: u8) -> ShareRequest {
     ShareRequest {
         class: RegClass::Int,
         preg: PhysReg::new(p as usize),
-        kind: ShareKind::Bypass { arch_dst: ArchReg::int((p % 16) as usize) },
+        kind: ShareKind::Bypass {
+            arch_dst: ArchReg::int((p % 16) as usize),
+        },
     }
 }
 
@@ -108,9 +110,9 @@ proptest! {
                         }
                         // Squashed shares: the mapping picture resets to the
                         // trackers' view.
-                        for p in 0..12 {
+                        for (p, m) in mappings.iter_mut().enumerate() {
                             if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
-                                mappings[p] = mappings[p].min(1);
+                                *m = (*m).min(1);
                             }
                         }
                     }
@@ -127,9 +129,9 @@ proptest! {
                     for (_, preg) in fa {
                         mappings[preg.index()] = 0;
                     }
-                    for p in 0..12 {
+                    for (p, m) in mappings.iter_mut().enumerate() {
                         if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
-                            mappings[p] = mappings[p].min(1);
+                            *m = (*m).min(1);
                         }
                     }
                 }
@@ -176,9 +178,9 @@ proptest! {
                         let mut freed = Vec::new();
                         isrb.restore(id, &mut freed);
                         for (_, preg) in freed { live[preg.index()] = 0; }
-                        for p in 0..12 {
+                        for (p, l) in live.iter_mut().enumerate() {
                             if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
-                                live[p] = live[p].min(1);
+                                *l = (*l).min(1);
                             }
                         }
                     }
@@ -188,9 +190,9 @@ proptest! {
                     isrb.restore_to_committed(&mut freed);
                     ckpts.clear();
                     for (_, preg) in freed { live[preg.index()] = 0; }
-                    for p in 0..12 {
+                    for (p, l) in live.iter_mut().enumerate() {
                         if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
-                            live[p] = live[p].min(1);
+                            *l = (*l).min(1);
                         }
                     }
                 }

@@ -1,0 +1,163 @@
+//! Offline subset of the [criterion](https://docs.rs/criterion) benchmark
+//! harness.
+//!
+//! This container has no crates.io access, so the workspace vendors the small
+//! slice of criterion's API that the `regshare-bench` targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Timing is a plain wall-clock median over a handful of batches —
+//! good enough for relative comparisons, not a statistical replacement for
+//! the real crate. Swap the `criterion` entry in the workspace
+//! `[workspace.dependencies]` table for the crates.io version when network
+//! access is available; no source changes are required.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+/// Target wall-clock time (nanoseconds) each benchmark spends measuring.
+const TARGET_NS: u128 = 200_000_000;
+
+/// Entry point handed to every benchmark function; registers and runs
+/// individual benchmarks.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Run a single benchmark under `name`, timing whatever the closure
+    /// feeds to [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run a benchmark inside this group (reported as `group/name`).
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, name));
+        self
+    }
+
+    /// Close the group. Present for API compatibility; reporting is eager.
+    pub fn finish(self) {
+        let _ = self.parent;
+    }
+}
+
+/// Timer handed to the benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    /// Median nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Bencher {
+        Bencher {
+            sample_size,
+            ns_per_iter: None,
+        }
+    }
+
+    /// Time the closure: calibrate an iteration count, then take
+    /// `sample_size` timed batches and keep the median batch.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Calibration: find an iteration count that runs long enough to be
+        // measurable against timer resolution.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed().as_nanos();
+            if elapsed > TARGET_NS / (self.sample_size as u128 * 4) || iters > (1 << 30) {
+                break;
+            }
+            iters = iters.saturating_mul(if elapsed == 0 { 16 } else { 2 });
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.ns_per_iter = Some(samples[samples.len() / 2]);
+    }
+
+    fn report(&self, name: &str) {
+        match self.ns_per_iter {
+            Some(ns) => println!("{:<40} {:>14.1} ns/iter", name, ns),
+            None => println!("{:<40} (no measurement: Bencher::iter never called)", name),
+        }
+    }
+}
+
+/// Bundle benchmark functions into a single runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($bench_fn:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $bench_fn(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,366 @@
+//! Offline subset of the [proptest](https://docs.rs/proptest) property
+//! testing framework.
+//!
+//! This container has no crates.io access, so the workspace vendors the
+//! slice of proptest's API that the regshare property tests use: the
+//! [`proptest!`] test macro (with `#![proptest_config(..)]`), the
+//! [`Strategy`] trait with [`Strategy::prop_map`], integer-range / tuple /
+//! [`Just`] / [`collection::vec`] strategies, the weighted [`prop_oneof!`]
+//! combinator, [`any`], and the `prop_assert*` macros.
+//!
+//! Differences from the real crate: case generation is a fixed-seed
+//! deterministic PRNG (every run explores the same inputs) and failing
+//! cases are **not shrunk** — the panic message reports the case index so a
+//! failure can be replayed by iterating the same seed sequence. Swap the
+//! `proptest` entry in `[workspace.dependencies]` for the crates.io version
+//! when network access is available; no source changes are required.
+
+#![deny(missing_docs)]
+
+pub mod test_runner {
+    //! Deterministic random number generation for test-case synthesis.
+
+    /// Splitmix64-based PRNG; deterministic per seed, no external deps.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Build a generator from an explicit seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0, "below(0) is meaningless");
+            self.next_u64() % bound
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration; only the fields the regshare tests use.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A recipe for generating values of [`Strategy::Value`].
+///
+/// Object-safe: combinators carry `where Self: Sized` so
+/// `Box<dyn Strategy<Value = T>>` works (see [`prop_oneof!`]).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> strategy::Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        strategy::Map { inner: self, f }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of its payload.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build that strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for any value of `T`, via its [`Arbitrary`] impl.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy used by the [`Arbitrary`] impls.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyValue<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyValue<bool>;
+    fn arbitrary() -> Self::Strategy {
+        AnyValue {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+impl Strategy for AnyValue<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = AnyValue<$t>;
+            fn arbitrary() -> Self::Strategy {
+                AnyValue { _marker: core::marker::PhantomData }
+            }
+        }
+        impl Strategy for AnyValue<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span + 1) as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! { (A) (A, B) (A, B, C) (A, B, C, D) }
+
+pub mod strategy {
+    //! Combinator strategies produced by [`Strategy`] adapters and the
+    //! [`prop_oneof!`](crate::prop_oneof) macro.
+
+    use super::{Strategy, TestRng};
+
+    /// Output of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted union of boxed strategies; output of
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total_weight: u64,
+    }
+
+    impl<T> OneOf<T> {
+        /// Build from `(weight, strategy)` arms; weights must sum > 0.
+        pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> OneOf<T> {
+            let total_weight = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(
+                total_weight > 0,
+                "prop_oneof! needs a positive total weight"
+            );
+            OneOf { arms, total_weight }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total_weight);
+            for (weight, arm) in &self.arms {
+                if pick < *weight as u64 {
+                    return arm.generate(rng);
+                }
+                pick -= *weight as u64;
+            }
+            unreachable!("weights summed correctly")
+        }
+    }
+}
+
+pub mod collection {
+    //! Strategies for collections of generated values.
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy yielding `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy: each case draws a length in `size`, then that many
+    /// elements from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Weighted choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, Box::new($strat) as Box<dyn $crate::Strategy<Value = _>>)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// Define property tests: each `fn name(pat in strategy) { body }` becomes a
+/// `#[test]` that runs `body` against `config.cases` generated inputs.
+///
+/// The panic message of a failing case includes the case index; with the
+/// fixed-seed [`test_runner::TestRng`] this makes every failure replayable.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl $cfg; $($rest)*);
+    };
+    (@impl $cfg:expr; $( $(#[$meta:meta])* fn $name:ident ($arg:pat in $strat:expr) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let strategy = $strat;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::from_seed(
+                        0x5EED_0000_0000_0000u64 ^ (case as u64),
+                    );
+                    let $arg = $crate::Strategy::generate(&strategy, &mut rng);
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || $body,
+                    ));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest case {} of {} failed for property `{}`",
+                            case, config.cases, stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
