@@ -5,13 +5,16 @@
 //! magnitude (log scale); false dependencies up to ~1M per 100M µ-ops in
 //! the worst benchmarks.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
 use regshare_types::stats::geomean;
 use regshare_workloads::suite;
 
 fn main() {
     let window = RunWindow::from_env();
+    let grid = SweepSpec::new(suite(), window)
+        .variant("base", CoreConfig::hpca16())
+        .run();
     let mut t = Table::new(vec![
         "bench",
         "class",
@@ -22,12 +25,12 @@ fn main() {
         "bypassable_loads",
     ]);
     let mut ipcs = Vec::new();
-    for wl in suite() {
-        let m = measure(&wl, CoreConfig::hpca16(), window);
+    for row in grid.rows() {
+        let m = row.get("base");
         ipcs.push(m.ipc());
         t.row(vec![
-            wl.name.to_string(),
-            format!("{:?}", wl.class),
+            row.workload().name.to_string(),
+            format!("{:?}", row.workload().class),
             format!("{:.3}", m.ipc()),
             format!("{}", m.stats.memory_traps),
             format!("{}", m.stats.false_dependencies),
@@ -35,10 +38,10 @@ fn main() {
             format!("{}", m.stats.loads),
         ]);
     }
+    t.footer(format!("geomean IPC: {:.3}", geomean(&ipcs).unwrap_or(0.0)));
     println!(
         "# Figure 4: baseline characterization ({} µ-ops measured/bench)\n",
         window.measure
     );
     t.print();
-    println!("geomean IPC: {:.3}", geomean(&ipcs).unwrap_or(0.0));
 }

@@ -7,14 +7,20 @@
 //! enough, 32 ≈ unlimited); gains are limited (~1% gmean, up to ~5%);
 //! elimination rate does not correlate strongly with speedup.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
-use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::suite;
+
+const SIZES: [(usize, &str); 4] = [(8, "me8"), (16, "me16"), (32, "me32"), (0, "meUnl")];
 
 fn main() {
     let window = RunWindow::from_env();
-    let sizes = [8usize, 16, 32, 0];
+    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
+    for (n, label) in SIZES {
+        spec = spec.variant(label, CoreConfig::hpca16().with_me().with_isrb_entries(n));
+    }
+    let grid = spec.run();
+
     let mut t = Table::new(vec![
         "bench",
         "base_ipc",
@@ -24,36 +30,31 @@ fn main() {
         "meUnl%",
         "pct_renamed_elim",
     ]);
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len()];
-    for wl in suite() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string(), format!("{:.3}", base.ipc())];
-        let mut elim_pct = 0.0;
-        for (i, &n) in sizes.iter().enumerate() {
-            let m = measure(
-                &wl,
-                CoreConfig::hpca16().with_me().with_isrb_entries(n),
-                window,
-            );
-            let sp = speedup_pct(base.ipc(), m.ipc());
-            per_size[i].push(1.0 + sp / 100.0);
-            cells.push(format!("{sp:+.2}"));
-            if n == 0 {
-                elim_pct = m.stats.pct_renamed_eliminated();
-            }
+    for row in grid.rows() {
+        let mut cells = vec![
+            row.workload().name.to_string(),
+            format!("{:.3}", row.get("base").ipc()),
+        ];
+        for (_, label) in SIZES {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
-        cells.push(format!("{elim_pct:.2}%"));
+        cells.push(format!(
+            "{:.2}%",
+            row.get("meUnl").stats.pct_renamed_eliminated()
+        ));
         t.row(cells);
     }
-    println!("# Figure 5(a)+(b): move elimination vs ISRB size\n");
-    t.print();
-    for (i, &n) in sizes.iter().enumerate() {
-        let g = (geomean(&per_size[i]).unwrap_or(1.0) - 1.0) * 100.0;
-        let label = if n == 0 {
+    for (n, label) in SIZES {
+        let pretty = if n == 0 {
             "unlimited".into()
         } else {
             n.to_string()
         };
-        println!("geomean speedup, ISRB {label}: {g:+.2}%");
+        t.footer(format!(
+            "geomean speedup, ISRB {pretty}: {:+.2}%",
+            grid.geomean_speedup("base", label)
+        ));
     }
+    println!("# Figure 5(a)+(b): move elimination vs ISRB size\n");
+    t.print();
 }

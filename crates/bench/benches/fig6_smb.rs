@@ -11,15 +11,23 @@
 //! Paper shape: SMB needs ~24 entries; speedups correlate with trap /
 //! false-dependency reductions; TAGE-like > NoSQ-style.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::{CoreConfig, DistancePredictorKind};
 use regshare_distance::NosqConfig;
-use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::suite;
+
+const SIZES: [(usize, &str); 4] = [(16, "smb16"), (24, "smb24"), (32, "smb32"), (0, "smbUnl")];
 
 fn main() {
     let window = RunWindow::from_env();
-    let sizes = [16usize, 24, 32, 0];
+    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
+    for (n, label) in SIZES {
+        spec = spec.variant(label, CoreConfig::hpca16().with_smb().with_isrb_entries(n));
+    }
+    let mut nosq_cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
+    nosq_cfg.distance_predictor = DistancePredictorKind::Nosq(NosqConfig::hpca16());
+    let grid = spec.variant("nosqUnl", nosq_cfg).run();
+
     let mut t = Table::new(vec![
         "bench",
         "base_ipc",
@@ -38,53 +46,49 @@ fn main() {
         "fdeps_smb",
         "speedup%",
     ]);
-    let mut per_size: Vec<Vec<f64>> = vec![Vec::new(); sizes.len() + 1];
-    for wl in suite() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string(), format!("{:.3}", base.ipc())];
-        let mut unl_stats = None;
-        for (i, &n) in sizes.iter().enumerate() {
-            let m = measure(
-                &wl,
-                CoreConfig::hpca16().with_smb().with_isrb_entries(n),
-                window,
-            );
-            let sp = speedup_pct(base.ipc(), m.ipc());
-            per_size[i].push(1.0 + sp / 100.0);
-            cells.push(format!("{sp:+.2}"));
-            if n == 0 {
-                unl_stats = Some(m.clone());
-            }
+    for row in grid.rows() {
+        let base = row.get("base");
+        let unl = row.get("smbUnl");
+        let mut cells = vec![
+            row.workload().name.to_string(),
+            format!("{:.3}", base.ipc()),
+        ];
+        for (_, label) in SIZES {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
-        // NoSQ-style predictor at unlimited ISRB.
-        let mut nosq_cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-        nosq_cfg.distance_predictor = DistancePredictorKind::Nosq(NosqConfig::hpca16());
-        let nosq = measure(&wl, nosq_cfg, window);
-        let nosq_sp = speedup_pct(base.ipc(), nosq.ipc());
-        per_size[sizes.len()].push(1.0 + nosq_sp / 100.0);
-        cells.push(format!("{nosq_sp:+.2}"));
-        let unl = unl_stats.expect("unlimited run present");
+        cells.push(format!("{:+.2}", row.speedup("base", "nosqUnl")));
         cells.push(format!("{:.1}%", unl.stats.pct_loads_bypassed()));
         t.row(cells);
         // Figure 6(b): only workloads with meaningful baseline event counts.
         if base.stats.memory_traps >= 3 || base.stats.false_dependencies >= 100 {
             t2.row(vec![
-                wl.name.to_string(),
+                row.workload().name.to_string(),
                 format!("{}", base.stats.memory_traps),
                 format!("{}", unl.stats.memory_traps),
                 format!("{}", base.stats.false_dependencies),
                 format!("{}", unl.stats.false_dependencies),
-                format!("{:+.2}", speedup_pct(base.ipc(), unl.ipc())),
+                format!("{:+.2}", row.speedup("base", "smbUnl")),
             ]);
         }
     }
+    for (label, pretty) in [
+        ("smb16", "16"),
+        ("smb24", "24"),
+        ("smb32", "32"),
+        ("smbUnl", "unlimited"),
+        ("nosqUnl", "nosq-unl"),
+    ] {
+        t.footer(format!(
+            "geomean speedup, {pretty}: {:+.2}%",
+            grid.geomean_speedup("base", label)
+        ));
+    }
     println!("# Figure 6(a): SMB speedup vs ISRB size (+ NoSQ-style predictor)\n");
     t.print();
-    let labels = ["16", "24", "32", "unlimited", "nosq-unl"];
-    for (i, l) in labels.iter().enumerate() {
-        let g = (geomean(&per_size[i]).unwrap_or(1.0) - 1.0) * 100.0;
-        println!("geomean speedup, {l}: {g:+.2}%");
-    }
     println!("\n# Figure 6(b): trap / false-dependency reduction (unlimited ISRB)\n");
-    t2.print();
+    if t2.is_empty() {
+        println!("(no workload had enough baseline traps / false dependencies at this window)");
+    } else {
+        t2.print();
+    }
 }

@@ -7,13 +7,27 @@
 //! committed bypasses consume ISRB entries that in-window bypassing needs;
 //! latency-bound outliers (astar) still profit.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
-use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::suite;
+
+const POINTS: [(usize, bool, &str); 4] = [
+    (0, false, "eager-unl"),
+    (0, true, "lazy-unl"),
+    (24, false, "eager-24"),
+    (24, true, "lazy-24"),
+];
 
 fn main() {
     let window = RunWindow::from_env();
+    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
+    for (entries, lazy, label) in POINTS {
+        let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(entries);
+        cfg.smb_from_committed = lazy;
+        spec = spec.variant(label, cfg);
+    }
+    let grid = spec.run();
+
     let mut t = Table::new(vec![
         "bench",
         "eagerUnl%",
@@ -22,35 +36,23 @@ fn main() {
         "lazy24%",
         "byp_from_committed",
     ]);
-    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 4];
-    for wl in suite() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string()];
-        let mut from_committed = 0;
-        for (i, (entries, lazy)) in [(0usize, false), (0, true), (24, false), (24, true)]
-            .into_iter()
-            .enumerate()
-        {
-            let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(entries);
-            cfg.smb_from_committed = lazy;
-            let m = measure(&wl, cfg, window);
-            let sp = speedup_pct(base.ipc(), m.ipc());
-            geo[i].push(1.0 + sp / 100.0);
-            cells.push(format!("{sp:+.2}"));
-            if lazy && entries == 0 {
-                from_committed = m.stats.bypass_from_committed;
-            }
+    for row in grid.rows() {
+        let mut cells = vec![row.workload().name.to_string()];
+        for (_, _, label) in POINTS {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
-        cells.push(format!("{from_committed}"));
+        cells.push(format!(
+            "{}",
+            row.get("lazy-unl").stats.bypass_from_committed
+        ));
         t.row(cells);
+    }
+    for (_, _, label) in POINTS {
+        t.footer(format!(
+            "geomean speedup, {label}: {:+.2}%",
+            grid.geomean_speedup("base", label)
+        ));
     }
     println!("# Figure 6(c): eager vs lazy reclaim (bypass from committed)\n");
     t.print();
-    for (i, l) in ["eager-unl", "lazy-unl", "eager-24", "lazy-24"]
-        .iter()
-        .enumerate()
-    {
-        let g = (geomean(&geo[i]).unwrap_or(1.0) - 1.0) * 100.0;
-        println!("geomean speedup, {l}: {g:+.2}%");
-    }
 }

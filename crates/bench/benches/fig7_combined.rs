@@ -8,15 +8,40 @@
 //! counters are within ~0.1% gmean of 32-bit. Mean µ-op distance between
 //! ISRB allocations ≈ 20; between reclaim CAM checks ≈ 3-4.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
 use regshare_core::TrackerKind;
 use regshare_refcount::IsrbConfig;
-use regshare_types::stats::{geomean, speedup_pct};
-use regshare_workloads::suite;
+use regshare_workloads::{by_names, suite};
+
+const SIZES: [(usize, &str); 4] = [
+    (16, "both16"),
+    (24, "both24"),
+    (32, "both32"),
+    (0, "bothUnl"),
+];
+const WIDTH_SUBSET: [&str; 6] = ["crafty", "hmmer", "astar", "applu", "namd", "bzip"];
 
 fn main() {
     let window = RunWindow::from_env();
+    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
+    for (n, label) in SIZES {
+        spec = spec.variant(
+            label,
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(n),
+        );
+    }
+    let grid = spec
+        .variant("meUnl", CoreConfig::hpca16().with_me().with_isrb_entries(0))
+        .variant(
+            "smbUnl",
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+        )
+        .run();
+
     let mut t = Table::new(vec![
         "bench",
         "both16%",
@@ -26,89 +51,70 @@ fn main() {
         "me_only%",
         "smb_only%",
     ]);
-    let sizes = [16usize, 24, 32, 0];
-    let mut geo: Vec<Vec<f64>> = vec![Vec::new(); 6];
     let mut share_dist = Vec::new();
     let mut cam_dist = Vec::new();
-    for wl in suite() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string()];
-        for (i, &n) in sizes.iter().enumerate() {
-            let m = measure(
-                &wl,
-                CoreConfig::hpca16()
-                    .with_me()
-                    .with_smb()
-                    .with_isrb_entries(n),
-                window,
-            );
-            let sp = speedup_pct(base.ipc(), m.ipc());
-            geo[i].push(1.0 + sp / 100.0);
-            cells.push(format!("{sp:+.2}"));
-            if n == 32 {
-                if let Some(d) = m.stats.share_distance.mean() {
-                    share_dist.push(d);
-                }
-                if let Some(d) = m.stats.reclaim_check_distance.mean() {
-                    cam_dist.push(d);
-                }
-            }
+    for row in grid.rows() {
+        let mut cells = vec![row.workload().name.to_string()];
+        for (_, label) in SIZES {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
-        let me = measure(
-            &wl,
-            CoreConfig::hpca16().with_me().with_isrb_entries(0),
-            window,
-        );
-        let smb = measure(
-            &wl,
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
-            window,
-        );
-        let me_sp = speedup_pct(base.ipc(), me.ipc());
-        let smb_sp = speedup_pct(base.ipc(), smb.ipc());
-        geo[4].push(1.0 + me_sp / 100.0);
-        geo[5].push(1.0 + smb_sp / 100.0);
-        cells.push(format!("{me_sp:+.2}"));
-        cells.push(format!("{smb_sp:+.2}"));
+        cells.push(format!("{:+.2}", row.speedup("base", "meUnl")));
+        cells.push(format!("{:+.2}", row.speedup("base", "smbUnl")));
         t.row(cells);
+        let m32 = row.get("both32");
+        if let Some(d) = m32.stats.share_distance.mean() {
+            share_dist.push(d);
+        }
+        if let Some(d) = m32.stats.reclaim_check_distance.mean() {
+            cam_dist.push(d);
+        }
+    }
+    for (label, pretty) in [
+        ("both16", "both-16"),
+        ("both24", "both-24"),
+        ("both32", "both-32"),
+        ("bothUnl", "both-unl"),
+        ("meUnl", "me-only-unl"),
+        ("smbUnl", "smb-only-unl"),
+    ] {
+        t.footer(format!(
+            "geomean speedup, {pretty}: {:+.2}%",
+            grid.geomean_speedup("base", label)
+        ));
     }
     println!("# Figure 7: ME + SMB combined vs ISRB size\n");
     t.print();
-    for (i, l) in [
-        "both-16",
-        "both-24",
-        "both-32",
-        "both-unl",
-        "me-only-unl",
-        "smb-only-unl",
-    ]
-    .iter()
-    .enumerate()
-    {
-        let g = (geomean(&geo[i]).unwrap_or(1.0) - 1.0) * 100.0;
-        println!("geomean speedup, {l}: {g:+.2}%");
-    }
 
-    // §6.3 counter width study on a representative subset.
+    // §6.3 counter width study on a representative subset (baseline IPCs are
+    // reused from the main grid; only the width variants run here).
     println!("\n# §6.3: counter width (32-entry ISRB, ME+SMB)\n");
-    let mut tw = Table::new(vec!["bench", "1bit%", "2bit%", "3bit%", "4bit%", "31bit%"]);
-    for wl in suite() {
-        if !["crafty", "hmmer", "astar", "applu", "namd", "bzip"].contains(&wl.name) {
-            continue;
-        }
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string()];
-        for bits in [1u32, 2, 3, 4, 31] {
-            let cfg = CoreConfig::hpca16()
+    let widths: [(u32, &str); 5] = [(1, "w1"), (2, "w2"), (3, "w3"), (4, "w4"), (31, "w31")];
+    let mut wspec = SweepSpec::new(by_names(&WIDTH_SUBSET), window);
+    for (bits, label) in widths {
+        wspec = wspec.variant(
+            label,
+            CoreConfig::hpca16()
                 .with_me()
                 .with_smb()
                 .with_tracker(TrackerKind::Isrb(IsrbConfig {
                     entries: 32,
                     counter_bits: bits,
                     ..IsrbConfig::hpca16()
-                }));
-            let m = measure(&wl, cfg, window);
-            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
+                })),
+        );
+    }
+    let wgrid = wspec.run();
+    let mut tw = Table::new(vec!["bench", "1bit%", "2bit%", "3bit%", "4bit%", "31bit%"]);
+    for row in wgrid.rows() {
+        let base = grid
+            .by_name(row.workload().name, "base")
+            .expect("subset workload present in main sweep");
+        let mut cells = vec![row.workload().name.to_string()];
+        for (_, label) in widths {
+            cells.push(format!(
+                "{:+.2}",
+                regshare_types::stats::speedup_pct(base.ipc(), row.get(label).ipc())
+            ));
         }
         tw.row(cells);
     }

@@ -1,7 +1,9 @@
 //! Criterion microbenchmarks of the core structures: ISRB operations, TAGE
-//! prediction, cache probes, and end-to-end simulator throughput.
+//! prediction, cache probes, end-to-end simulator throughput, and the
+//! parallel sweep engine itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use regshare_bench::{RunWindow, SweepSpec};
 use regshare_core::{CoreConfig, Simulator};
 use regshare_mem::{Cache, CacheConfig};
 use regshare_predictors::{Tage, TageConfig};
@@ -99,11 +101,37 @@ fn bench_simulator(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_sweep_engine(c: &mut Criterion) {
+    // End-to-end engine cost (spawn pool, memoize program, merge grid) for
+    // a tiny 1×2 matrix, serial vs sharded — the delta is the engine's
+    // scheduling overhead, which must stay negligible next to simulation.
+    let window = RunWindow {
+        warmup: 500,
+        measure: 1_500,
+    };
+    let mut g = c.benchmark_group("sweep_engine");
+    g.sample_size(10);
+    for jobs in [1usize, 2] {
+        g.bench_function(&format!("mini_grid_jobs{jobs}"), |b| {
+            b.iter(|| {
+                let grid = SweepSpec::new(vec![mini()], window)
+                    .variant("base", CoreConfig::hpca16())
+                    .variant("both", CoreConfig::hpca16().with_me().with_smb())
+                    .jobs(jobs)
+                    .run();
+                black_box(grid.get(0, "both").ipc())
+            });
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_isrb,
     bench_tage,
     bench_cache,
-    bench_simulator
+    bench_simulator,
+    bench_sweep_engine
 );
 criterion_main!(benches);

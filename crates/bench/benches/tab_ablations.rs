@@ -12,24 +12,17 @@
 //! 4. **ISRB ports** (§4.3.4): rename/reclaim CAM port sweeps and the flag
 //!    filter's effectiveness.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepGrid, SweepSpec, Table};
 use regshare_core::{CoreConfig, TrackerKind};
 use regshare_distance::DdtConfig;
 use regshare_refcount::IsrbConfig;
-use regshare_types::stats::{geomean, speedup_pct};
-use regshare_workloads::suite;
+use regshare_types::stats::geomean;
+use regshare_workloads::by_names;
 
 fn subset() -> Vec<regshare_workloads::Workload> {
-    suite()
-        .into_iter()
-        .filter(|w| {
-            [
-                "crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd",
-                "gamess",
-            ]
-            .contains(&w.name)
-        })
-        .collect()
+    by_names(&[
+        "crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd", "gamess",
+    ])
 }
 
 /// Long redundant chains whose original producer drifts beyond the 8-bit
@@ -73,6 +66,40 @@ fn stress_workloads() -> Vec<regshare_workloads::Workload> {
     vec![ll, ddt]
 }
 
+/// §4.2 tracker comparison over one pre-computed grid.
+fn tracker_table(grid: &SweepGrid, trackers: &[(&str, TrackerKind)]) -> Table {
+    let mut t = Table::new(vec![
+        "scheme",
+        "gmean_speedup%",
+        "storage_bits",
+        "bits_per_ckpt",
+        "recovery_stalls",
+        "ckpt_writes_at_commit",
+    ]);
+    for (name, kind) in trackers {
+        let mut speedups = Vec::new();
+        let mut stalls = 0u64;
+        let mut ckpt_writes = 0u64;
+        for row in grid.rows() {
+            let m = row.get(name);
+            speedups.push(1.0 + row.speedup("base", name) / 100.0);
+            stalls += m.stats.tracker_recovery_stalls;
+            ckpt_writes += m.stats.tracker.commit_checkpoint_writes;
+        }
+        let storage = kind.clone().build(256, 192).storage();
+        let g = (geomean(&speedups).unwrap_or(1.0) - 1.0) * 100.0;
+        t.row(vec![
+            name.to_string(),
+            format!("{g:+.2}"),
+            format!("{}", storage.main_bits),
+            format!("{}", storage.per_checkpoint_bits),
+            format!("{stalls}"),
+            format!("{ckpt_writes}"),
+        ]);
+    }
+    t
+}
+
 fn main() {
     let window = RunWindow::from_env();
 
@@ -95,88 +122,82 @@ fn main() {
             },
         ),
     ];
-    let mut t = Table::new(vec![
-        "scheme",
-        "gmean_speedup%",
-        "storage_bits",
-        "bits_per_ckpt",
-        "recovery_stalls",
-        "ckpt_writes_at_commit",
-    ]);
+    let mut spec = SweepSpec::new(subset(), window).variant("base", CoreConfig::hpca16());
     for (name, kind) in &trackers {
-        let mut speedups = Vec::new();
-        let mut stalls = 0u64;
-        let mut ckpt_writes = 0u64;
-        let mut storage = (0usize, 0usize);
-        for wl in subset() {
-            let base = measure(&wl, CoreConfig::hpca16(), window);
-            let cfg = CoreConfig::hpca16()
+        spec = spec.variant(
+            *name,
+            CoreConfig::hpca16()
                 .with_me()
                 .with_smb()
-                .with_tracker(kind.clone());
-            let m = measure(&wl, cfg, window);
-            speedups.push(1.0 + speedup_pct(base.ipc(), m.ipc()) / 100.0);
-            stalls += m.stats.tracker_recovery_stalls;
-            ckpt_writes += m.stats.tracker.commit_checkpoint_writes;
-            let kindc = kind.clone();
-            let tr = kindc.build(256, 192);
-            storage = (tr.storage().main_bits, tr.storage().per_checkpoint_bits);
-        }
-        let g = (geomean(&speedups).unwrap_or(1.0) - 1.0) * 100.0;
-        t.row(vec![
-            name.to_string(),
-            format!("{g:+.2}"),
-            format!("{}", storage.0),
-            format!("{}", storage.1),
-            format!("{stalls}"),
-            format!("{ckpt_writes}"),
-        ]);
+                .with_tracker(kind.clone()),
+        );
     }
-    t.print();
+    tracker_table(&spec.run(), &trackers).print();
 
-    // --- 2. DDT sizing ---
+    // --- 2 + 3. DDT sizing and load-load bypassing share one sweep over
+    // subset + stress workloads (and one baseline column).
+    let ddts: [(DdtConfig, &str); 3] = [
+        (DdtConfig::unlimited(), "ddt-unl"),
+        (DdtConfig::base16k(), "ddt-16k"),
+        (DdtConfig::opt1k(), "ddt-1k"),
+    ];
+    let mut spec = SweepSpec::new(
+        subset().into_iter().chain(stress_workloads()).collect(),
+        window,
+    )
+    .variant("base", CoreConfig::hpca16());
+    for (ddt, label) in ddts {
+        let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
+        cfg.ddt = ddt;
+        spec = spec.variant(label, cfg);
+    }
+    let mut sl_only = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
+    sl_only.smb_load_load = false;
+    let grid = spec
+        .variant("store-load-only", sl_only)
+        .variant(
+            "with-load-load",
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+        )
+        .run();
+
     println!("\n# §3.1: DDT sizing (SMB, unlimited ISRB)\n");
     let mut t = Table::new(vec!["bench", "ddt_unlimited%", "ddt_16k%", "ddt_1k%"]);
-    for wl in subset().into_iter().chain(stress_workloads()) {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string()];
-        for ddt in [
-            DdtConfig::unlimited(),
-            DdtConfig::base16k(),
-            DdtConfig::opt1k(),
-        ] {
-            let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-            cfg.ddt = ddt;
-            let m = measure(&wl, cfg, window);
-            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
+    for row in grid.rows() {
+        let mut cells = vec![row.workload().name.to_string()];
+        for (_, label) in ddts {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
         t.row(cells);
     }
     t.print();
 
-    // --- 3. Load-load bypassing ---
     println!("\n# §6.2: store-load only vs + load-load\n");
     let mut t = Table::new(vec!["bench", "store_load_only%", "with_load_load%"]);
-    for wl in subset().into_iter().chain(stress_workloads()) {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut only = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-        only.smb_load_load = false;
-        let a = measure(&wl, only, window);
-        let b = measure(
-            &wl,
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
-            window,
-        );
+    for row in grid.rows() {
         t.row(vec![
-            wl.name.to_string(),
-            format!("{:+.2}", speedup_pct(base.ipc(), a.ipc())),
-            format!("{:+.2}", speedup_pct(base.ipc(), b.ipc())),
+            row.workload().name.to_string(),
+            format!("{:+.2}", row.speedup("base", "store-load-only")),
+            format!("{:+.2}", row.speedup("base", "with-load-load")),
         ]);
     }
     t.print();
 
     // --- 4. ISRB ports + flag filter ---
     println!("\n# §4.3.4: ISRB CAM ports and the reclaim flag filter\n");
+    let ports: [(usize, usize, &str); 3] = [
+        (0, 0, "ports-unl"),
+        (2, 6, "ports-2r-6c"),
+        (1, 2, "ports-1r-2c"),
+    ];
+    let mut spec = SweepSpec::new(subset(), window).variant("base", CoreConfig::hpca16());
+    for (rp, cp, label) in ports {
+        let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+        cfg.tracker_rename_ports = rp;
+        cfg.tracker_reclaim_ports = cp;
+        spec = spec.variant(label, cfg);
+    }
+    let grid = spec.run();
     let mut t = Table::new(vec![
         "bench",
         "ports_unl%",
@@ -185,24 +206,14 @@ fn main() {
         "flag_filtered",
         "cam_checked",
     ]);
-    for wl in subset() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let mut cells = vec![wl.name.to_string()];
-        let mut filtered = 0;
-        let mut checked = 0;
-        for (rp, cp) in [(0usize, 0usize), (2, 6), (1, 2)] {
-            let mut cfg = CoreConfig::hpca16().with_me().with_smb();
-            cfg.tracker_rename_ports = rp;
-            cfg.tracker_reclaim_ports = cp;
-            let m = measure(&wl, cfg, window);
-            cells.push(format!("{:+.2}", speedup_pct(base.ipc(), m.ipc())));
-            if rp == 0 {
-                filtered = m.stats.reclaims_flag_filtered;
-                checked = m.stats.reclaims_cam_checked;
-            }
+    for row in grid.rows() {
+        let mut cells = vec![row.workload().name.to_string()];
+        for (_, _, label) in ports {
+            cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
-        cells.push(format!("{filtered}"));
-        cells.push(format!("{checked}"));
+        let unl = row.get("ports-unl");
+        cells.push(format!("{}", unl.stats.reclaims_flag_filtered));
+        cells.push(format!("{}", unl.stats.reclaims_cam_checked));
         t.row(cells);
     }
     t.print();

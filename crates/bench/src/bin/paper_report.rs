@@ -4,10 +4,13 @@
 //! ```sh
 //! REGSHARE_MEASURE=120000 cargo run --release -p regshare-bench --bin paper_report
 //! ```
+//!
+//! The whole (workload × config) matrix runs through the parallel sweep
+//! engine (`REGSHARE_JOBS` workers), so wall clock scales with cores while
+//! the report stays byte-identical to a serial run.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
-use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::suite;
 
 fn main() {
@@ -18,8 +21,29 @@ fn main() {
         window.warmup, window.measure
     );
 
-    let mut both32 = Vec::new();
-    let mut both_unl = Vec::new();
+    let grid = SweepSpec::new(suite(), window)
+        .variant("base", CoreConfig::hpca16())
+        .variant("meUnl", CoreConfig::hpca16().with_me().with_isrb_entries(0))
+        .variant(
+            "smbUnl",
+            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+        )
+        .variant(
+            "both32",
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(32),
+        )
+        .variant(
+            "bothUnl",
+            CoreConfig::hpca16()
+                .with_me()
+                .with_smb()
+                .with_isrb_entries(0),
+        )
+        .run();
+
     let mut max32: (f64, &str) = (0.0, "-");
     let mut t = Table::new(vec![
         "bench",
@@ -29,53 +53,24 @@ fn main() {
         "both32%",
         "both_unl%",
     ]);
-    for wl in suite() {
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let me = measure(
-            &wl,
-            CoreConfig::hpca16().with_me().with_isrb_entries(0),
-            window,
-        );
-        let smb = measure(
-            &wl,
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
-            window,
-        );
-        let b32 = measure(
-            &wl,
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_isrb_entries(32),
-            window,
-        );
-        let bun = measure(
-            &wl,
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_isrb_entries(0),
-            window,
-        );
-        let s32 = speedup_pct(base.ipc(), b32.ipc());
-        let sun = speedup_pct(base.ipc(), bun.ipc());
-        both32.push(1.0 + s32 / 100.0);
-        both_unl.push(1.0 + sun / 100.0);
+    for row in grid.rows() {
+        let base = row.get("base");
+        let s32 = row.speedup("base", "both32");
         if s32 > max32.0 {
-            max32 = (s32, wl.name);
+            max32 = (s32, row.workload().name);
         }
         t.row(vec![
-            wl.name.to_string(),
+            row.workload().name.to_string(),
             format!("{:.3}", base.ipc()),
-            format!("{:+.2}", speedup_pct(base.ipc(), me.ipc())),
-            format!("{:+.2}", speedup_pct(base.ipc(), smb.ipc())),
+            format!("{:+.2}", row.speedup("base", "meUnl")),
+            format!("{:+.2}", row.speedup("base", "smbUnl")),
             format!("{s32:+.2}"),
-            format!("{sun:+.2}"),
+            format!("{:+.2}", row.speedup("base", "bothUnl")),
         ]);
     }
     t.print();
-    let g32 = (geomean(&both32).unwrap_or(1.0) - 1.0) * 100.0;
-    let gun = (geomean(&both_unl).unwrap_or(1.0) - 1.0) * 100.0;
+    let g32 = grid.geomean_speedup("base", "both32");
+    let gun = grid.geomean_speedup("base", "bothUnl");
     println!("combined ME+SMB, 32-entry ISRB: geomean {g32:+.2}% (paper: +5.5%), max {:+.2}% on {} (paper: up to +39.6%)", max32.0, max32.1);
     println!("combined ME+SMB, unlimited:     geomean {gun:+.2}% (paper: +5.6%)");
 }

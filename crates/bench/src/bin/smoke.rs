@@ -1,34 +1,38 @@
 //! Quick shape check: ME / SMB / combined speedups on a few workloads.
+//!
+//! Runs one representative sweep through the parallel engine; output is
+//! byte-identical at any `REGSHARE_JOBS` level.
 
-use regshare_bench::{measure, RunWindow, Table};
+use regshare_bench::{jobs_from_env, RunWindow, SweepSpec, Table};
 use regshare_core::CoreConfig;
-use regshare_types::stats::speedup_pct;
-use regshare_workloads::suite;
+use regshare_workloads::by_names;
 
 fn main() {
     let window = RunWindow::from_env();
+    let workloads = by_names(&[
+        "crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf",
+    ]);
+    let grid = SweepSpec::new(workloads, window)
+        .variant("base", CoreConfig::hpca16())
+        .variant("me", CoreConfig::hpca16().with_me())
+        .variant("smb", CoreConfig::hpca16().with_smb())
+        .variant("both", CoreConfig::hpca16().with_me().with_smb())
+        .run();
+
     let mut t = Table::new(vec![
         "bench", "base_ipc", "me%", "smb%", "both%", "elim", "bypassed", "traps_b", "traps_s",
         "fdep_b", "fdep_s",
     ]);
-    for wl in suite() {
-        if ![
-            "crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf",
-        ]
-        .contains(&wl.name)
-        {
-            continue;
-        }
-        let base = measure(&wl, CoreConfig::hpca16(), window);
-        let me = measure(&wl, CoreConfig::hpca16().with_me(), window);
-        let smb = measure(&wl, CoreConfig::hpca16().with_smb(), window);
-        let both = measure(&wl, CoreConfig::hpca16().with_me().with_smb(), window);
+    for row in grid.rows() {
+        let base = row.get("base");
+        let me = row.get("me");
+        let smb = row.get("smb");
         t.row(vec![
-            wl.name.to_string(),
+            row.workload().name.to_string(),
             format!("{:.3}", base.ipc()),
-            format!("{:+.2}", speedup_pct(base.ipc(), me.ipc())),
-            format!("{:+.2}", speedup_pct(base.ipc(), smb.ipc())),
-            format!("{:+.2}", speedup_pct(base.ipc(), both.ipc())),
+            format!("{:+.2}", row.speedup("base", "me")),
+            format!("{:+.2}", row.speedup("base", "smb")),
+            format!("{:+.2}", row.speedup("base", "both")),
             format!("{:.2}%", me.stats.pct_renamed_eliminated()),
             format!("{:.1}%", smb.stats.pct_loads_bypassed()),
             format!("{}", base.stats.memory_traps),
@@ -38,4 +42,5 @@ fn main() {
         ]);
     }
     t.print();
+    eprintln!("[smoke: {} jobs]", jobs_from_env());
 }

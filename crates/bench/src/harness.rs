@@ -1,6 +1,7 @@
 //! Run-window plumbing shared by all experiments.
 
 use regshare_core::{CoreConfig, SimStats, Simulator};
+use regshare_isa::Program;
 use regshare_workloads::Workload;
 
 /// Warmup/measurement window (µ-ops).
@@ -58,6 +59,18 @@ pub fn measure(workload: &Workload, cfg: CoreConfig, window: RunWindow) -> Measu
     measure_with(workload, cfg, window, |_| {})
 }
 
+/// Like [`measure`], but over an already-built program — the sweep engine's
+/// memoized-program path ([`crate::SweepSpec`] builds each workload's
+/// program once and shares it across every configuration variant).
+pub fn measure_program(
+    name: &'static str,
+    program: &Program,
+    cfg: CoreConfig,
+    window: RunWindow,
+) -> Measurement {
+    measure_program_with(name, program, cfg, window, |_| {})
+}
+
 /// Like [`measure`], with a post-run hook receiving the simulator (for
 /// digests, audits or extra probes).
 pub fn measure_with(
@@ -66,13 +79,23 @@ pub fn measure_with(
     window: RunWindow,
     inspect: impl FnOnce(&Simulator),
 ) -> Measurement {
-    let program = workload.build();
-    let mut sim = Simulator::new(&program, cfg);
+    measure_program_with(workload.name, &workload.build(), cfg, window, inspect)
+}
+
+/// The one warmup → measure → delta protocol every entry point shares.
+fn measure_program_with(
+    name: &'static str,
+    program: &Program,
+    cfg: CoreConfig,
+    window: RunWindow,
+    inspect: impl FnOnce(&Simulator),
+) -> Measurement {
+    let mut sim = Simulator::new(program, cfg);
     let warm = sim.run(window.warmup);
     let end = sim.run(window.measure);
     inspect(&sim);
     Measurement {
-        name: workload.name,
+        name,
         stats: end.delta_since(&warm),
     }
 }

@@ -1,8 +1,13 @@
 //! Experiment harness: workload × configuration sweeps reproducing every
 //! table and figure of the paper's evaluation.
 //!
-//! Each bench target (`cargo bench --bench fig…`) runs the relevant sweep
-//! and prints the same rows/series the paper reports, plus a CSV block for
+//! Each bench target (`cargo bench --bench fig…`) declares its sweep as a
+//! [`SweepSpec`] — the workload list crossed with labelled configuration
+//! variants — and the engine in [`sweep`] expands it into independent jobs,
+//! runs them on a `std::thread` worker pool (`REGSHARE_JOBS` workers,
+//! default: available parallelism), and merges the results back in spec
+//! order, so output is byte-identical at any parallelism level. Each bench
+//! then prints the same rows/series the paper reports, plus a CSV block for
 //! plotting. Window sizes default to quick-but-stable values and can be
 //! scaled with the `REGSHARE_WARMUP` / `REGSHARE_MEASURE` environment
 //! variables (µ-ops per run).
@@ -10,7 +15,9 @@
 #![deny(missing_docs)]
 
 pub mod harness;
+pub mod sweep;
 pub mod table;
 
-pub use harness::{measure, measure_with, Measurement, RunWindow};
+pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
+pub use sweep::{jobs_from_env, SweepGrid, SweepRow, SweepSpec, Variant};
 pub use table::Table;

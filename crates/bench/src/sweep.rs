@@ -1,0 +1,335 @@
+//! Deterministic parallel sweep engine.
+//!
+//! Every figure in the paper's evaluation is a (workload × configuration)
+//! matrix. A [`SweepSpec`] declares that matrix once — a list of workloads
+//! and a list of labelled [`Variant`] core configurations — and [`SweepSpec::run`]
+//! expands it into independent jobs, shards them across a `std::thread`
+//! worker pool, and merges the results back **in spec order** into a
+//! [`SweepGrid`].
+//!
+//! Determinism: each job is a pure function of (program, config, window), so
+//! scheduling order cannot affect any individual result, and because the
+//! grid is assembled by job index rather than completion order, the rendered
+//! tables and `csv:` blocks are byte-identical whether the sweep runs on one
+//! thread or sixteen. `REGSHARE_JOBS` selects the worker count (default:
+//! available parallelism); [`SweepSpec::jobs`] overrides it in code.
+//!
+//! Programs are memoized per workload: each of the synthetic programs is
+//! built exactly once (lazily, by whichever worker first needs it) and
+//! shared read-only across every configuration variant.
+
+use crate::harness::{measure_program, Measurement, RunWindow};
+use regshare_core::CoreConfig;
+use regshare_isa::Program;
+use regshare_types::stats::{geomean, speedup_pct};
+use regshare_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, OnceLock};
+
+/// One labelled core configuration of a sweep.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Column label (used by [`SweepGrid::get`] / row accessors).
+    pub label: String,
+    /// The configuration to measure.
+    pub cfg: CoreConfig,
+}
+
+/// Parses a `REGSHARE_JOBS`-style value; `None` means "not set / invalid".
+fn parse_jobs(v: Option<&str>) -> Option<usize> {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Worker count from `REGSHARE_JOBS`, defaulting to available parallelism.
+pub fn jobs_from_env() -> usize {
+    parse_jobs(std::env::var("REGSHARE_JOBS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A declarative (workloads × variants) sweep.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_bench::{RunWindow, SweepSpec};
+/// use regshare_core::CoreConfig;
+/// use regshare_workloads::mini;
+///
+/// let grid = SweepSpec::new(vec![mini()], RunWindow { warmup: 500, measure: 1_500 })
+///     .variant("base", CoreConfig::hpca16())
+///     .variant("both", CoreConfig::hpca16().with_me().with_smb())
+///     .jobs(2)
+///     .run();
+/// let row = grid.rows().next().unwrap();
+/// assert!(row.get("base").ipc() > 0.0);
+/// assert!(row.get("both").ipc() > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SweepSpec {
+    workloads: Vec<Workload>,
+    variants: Vec<Variant>,
+    window: RunWindow,
+    jobs: Option<usize>,
+}
+
+impl SweepSpec {
+    /// Creates a spec over `workloads` with no variants yet.
+    pub fn new(workloads: Vec<Workload>, window: RunWindow) -> SweepSpec {
+        SweepSpec {
+            workloads,
+            variants: Vec::new(),
+            window,
+            jobs: None,
+        }
+    }
+
+    /// Appends a labelled configuration column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is already taken — a duplicate would silently
+    /// shadow the later variant's measurements in every grid accessor.
+    pub fn variant(mut self, label: impl Into<String>, cfg: CoreConfig) -> SweepSpec {
+        let label = label.into();
+        assert!(
+            self.variants.iter().all(|v| v.label != label),
+            "duplicate sweep variant label {label:?}"
+        );
+        self.variants.push(Variant { label, cfg });
+        self
+    }
+
+    /// Overrides the worker count (otherwise `REGSHARE_JOBS` / available
+    /// parallelism decides).
+    pub fn jobs(mut self, jobs: usize) -> SweepSpec {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// The worker count this spec will run with.
+    pub fn job_count(&self) -> usize {
+        self.jobs.unwrap_or_else(jobs_from_env)
+    }
+
+    /// Expands the matrix into jobs, runs them on the worker pool, and
+    /// merges the measurements back in spec order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no variants, or if a worker thread panics
+    /// (a simulator bug — the sweep does not hide it).
+    pub fn run(self) -> SweepGrid {
+        assert!(
+            !self.variants.is_empty(),
+            "sweep spec needs at least one variant"
+        );
+        let n_jobs_total = self.workloads.len() * self.variants.len();
+        let workers = self.job_count().min(n_jobs_total.max(1));
+        // Lazy per-workload program memoization: built once by whichever
+        // worker gets there first, shared read-only by all variants.
+        let programs: Vec<OnceLock<Program>> =
+            self.workloads.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let n_variants = self.variants.len();
+        let mut cells: Vec<Option<Measurement>> = Vec::with_capacity(n_jobs_total);
+        cells.resize_with(n_jobs_total, || None);
+
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<(usize, Measurement)>();
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let programs = &programs;
+                let workloads = &self.workloads;
+                let variants = &self.variants;
+                let window = self.window;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs_total {
+                        break;
+                    }
+                    let (w, v) = (i / n_variants, i % n_variants);
+                    let program = programs[w].get_or_init(|| workloads[w].build());
+                    let m = measure_program(
+                        workloads[w].name,
+                        program,
+                        variants[v].cfg.clone(),
+                        window,
+                    );
+                    // The receiver outlives all senders inside this scope;
+                    // a send failure means the main thread died first.
+                    let _ = tx.send((i, m));
+                });
+            }
+            drop(tx);
+            for (i, m) in rx {
+                cells[i] = Some(m);
+            }
+        });
+
+        SweepGrid {
+            workloads: self.workloads,
+            labels: self.variants.into_iter().map(|v| v.label).collect(),
+            cells: cells
+                .into_iter()
+                .map(|c| c.expect("all sweep jobs completed"))
+                .collect(),
+        }
+    }
+}
+
+/// The completed (workload × variant) measurement matrix, in spec order.
+#[derive(Debug)]
+pub struct SweepGrid {
+    workloads: Vec<Workload>,
+    labels: Vec<String>,
+    /// Row-major: `cells[w * labels.len() + v]`.
+    cells: Vec<Measurement>,
+}
+
+impl SweepGrid {
+    /// The workloads, in spec order.
+    pub fn workloads(&self) -> &[Workload] {
+        &self.workloads
+    }
+
+    /// The variant labels, in spec order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    fn variant_index(&self, label: &str) -> usize {
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .unwrap_or_else(|| panic!("unknown sweep variant {label:?}"))
+    }
+
+    /// The measurement for workload index `w` under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label or out-of-range index.
+    pub fn get(&self, w: usize, label: &str) -> &Measurement {
+        &self.cells[w * self.labels.len() + self.variant_index(label)]
+    }
+
+    /// The measurement for the workload named `name` under `label`, if that
+    /// workload is part of this sweep.
+    pub fn by_name(&self, name: &str, label: &str) -> Option<&Measurement> {
+        let w = self.workloads.iter().position(|wl| wl.name == name)?;
+        Some(self.get(w, label))
+    }
+
+    /// Iterates rows (one per workload) in spec order.
+    pub fn rows(&self) -> impl Iterator<Item = SweepRow<'_>> {
+        (0..self.workloads.len()).map(move |w| SweepRow { grid: self, w })
+    }
+
+    /// Geomean speedup (percent) of `label` over `base` across all
+    /// workloads of the sweep.
+    pub fn geomean_speedup(&self, base: &str, label: &str) -> f64 {
+        let ratios: Vec<f64> = (0..self.workloads.len())
+            .map(|w| 1.0 + speedup_pct(self.get(w, base).ipc(), self.get(w, label).ipc()) / 100.0)
+            .collect();
+        (geomean(&ratios).unwrap_or(1.0) - 1.0) * 100.0
+    }
+}
+
+/// One workload's row of a [`SweepGrid`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRow<'a> {
+    grid: &'a SweepGrid,
+    w: usize,
+}
+
+impl<'a> SweepRow<'a> {
+    /// The row's workload.
+    pub fn workload(&self) -> &'a Workload {
+        &self.grid.workloads[self.w]
+    }
+
+    /// The row's measurement under `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown label.
+    pub fn get(&self, label: &str) -> &'a Measurement {
+        self.grid.get(self.w, label)
+    }
+
+    /// Speedup (percent) of `label` over `base` for this workload.
+    pub fn speedup(&self, base: &str, label: &str) -> f64 {
+        speedup_pct(self.get(base).ipc(), self.get(label).ipc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_workloads::mini;
+
+    fn tiny_window() -> RunWindow {
+        RunWindow {
+            warmup: 500,
+            measure: 1_500,
+        }
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_integers_only() {
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("-1")), None);
+        assert_eq!(parse_jobs(Some("lots")), None);
+        assert_eq!(parse_jobs(None), None);
+    }
+
+    #[test]
+    fn grid_is_indexed_in_spec_order() {
+        let grid = SweepSpec::new(vec![mini()], tiny_window())
+            .variant("base", CoreConfig::hpca16())
+            .variant("me", CoreConfig::hpca16().with_me())
+            .jobs(2)
+            .run();
+        assert_eq!(grid.labels(), &["base".to_string(), "me".to_string()]);
+        assert_eq!(grid.workloads().len(), 1);
+        let row = grid.rows().next().unwrap();
+        assert_eq!(row.workload().name, "mini");
+        assert!(row.get("base").ipc() > 0.0);
+        assert!(grid.by_name("mini", "me").is_some());
+        assert!(grid.by_name("absent", "me").is_none());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let spec = |jobs| {
+            SweepSpec::new(vec![mini()], tiny_window())
+                .variant("base", CoreConfig::hpca16())
+                .variant("both", CoreConfig::hpca16().with_me().with_smb())
+                .jobs(jobs)
+                .run()
+        };
+        let (a, b) = (spec(1), spec(3));
+        for w in 0..1 {
+            for label in ["base", "both"] {
+                assert_eq!(a.get(w, label).stats, b.get(w, label).stats);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown sweep variant")]
+    fn unknown_label_panics() {
+        let grid = SweepSpec::new(vec![mini()], tiny_window())
+            .variant("base", CoreConfig::hpca16())
+            .jobs(1)
+            .run();
+        let _ = grid.get(0, "nope");
+    }
+}

@@ -5,6 +5,7 @@
 pub struct Table {
     header: Vec<String>,
     rows: Vec<Vec<String>>,
+    footers: Vec<String>,
 }
 
 impl Table {
@@ -13,6 +14,7 @@ impl Table {
         Table {
             header: header.into_iter().map(Into::into).collect(),
             rows: Vec::new(),
+            footers: Vec::new(),
         }
     }
 
@@ -21,6 +23,19 @@ impl Table {
         let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
         assert_eq!(cells.len(), self.header.len(), "row width mismatch");
         self.rows.push(cells);
+    }
+
+    /// Appends a free-form summary line (geomeans, paper comparisons…)
+    /// rendered after the CSV block, so sweep summaries travel with their
+    /// table through one render call.
+    pub fn footer<S: Into<String>>(&mut self, line: S) {
+        self.footers.push(line.into());
+    }
+
+    /// Whether the table has no data rows yet (e.g. a conditional section
+    /// none of the workloads qualified for).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
     }
 
     /// Renders the aligned table plus a `csv:`-prefixed machine block.
@@ -57,6 +72,13 @@ impl Table {
             out.push_str(&row.join(","));
             out.push('\n');
         }
+        if !self.footers.is_empty() {
+            out.push('\n');
+            for line in &self.footers {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
         out
     }
 
@@ -79,6 +101,19 @@ mod tests {
         assert!(s.contains("crafty  1.23"));
         assert!(s.contains("csv:bench,ipc"));
         assert!(s.contains("csv:x,10.0"));
+    }
+
+    #[test]
+    fn footers_render_after_csv_block() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        t.footer("geomean +1.00%");
+        let s = t.render();
+        let csv_at = s.find("csv:a").unwrap();
+        let foot_at = s.find("geomean +1.00%").unwrap();
+        assert!(foot_at > csv_at);
+        assert!(!t.is_empty());
+        assert!(Table::new(vec!["a"]).is_empty());
     }
 
     #[test]

@@ -4,7 +4,7 @@ use regshare_refcount::TrackerStats;
 use regshare_types::stats::RunningMean;
 
 /// Counters collected over a measured simulation window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles elapsed.
     pub cycles: u64,

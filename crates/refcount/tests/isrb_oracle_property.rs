@@ -1,0 +1,252 @@
+//! Property tests: *finite* ISRBs against the unlimited-oracle tracker.
+//!
+//! The repo-level `isrb_property.rs` suite proves the unlimited ISRB
+//! equivalent to the independently implemented [`UnlimitedTracker`]; these
+//! tests cover the finite design points the paper actually builds (small
+//! entry counts, narrow never-decremented counters) with the safety
+//! property the reclaim protocol rests on: **a physical register is never
+//! freed while the ISRB still records an outstanding mapping** — the
+//! reclaim that observes `referenced == committed` is by construction the
+//! one removing the *last* mapping.
+
+use proptest::prelude::*;
+use regshare_refcount::{
+    Isrb, IsrbConfig, ReclaimDecision, ReclaimRequest, ShareKind, ShareRequest, SharingTracker,
+    UnlimitedTracker,
+};
+use regshare_types::{ArchReg, PhysReg, RegClass};
+
+const PREGS: usize = 10;
+
+#[derive(Debug, Clone)]
+enum Ev {
+    Share(u8),
+    SharerCommit(u8),
+    Reclaim(u8),
+    Checkpoint,
+    Restore,
+    CommitFlush,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => (0u8..PREGS as u8).prop_map(Ev::Share),
+        2 => (0u8..PREGS as u8).prop_map(Ev::SharerCommit),
+        5 => (0u8..PREGS as u8).prop_map(Ev::Reclaim),
+        1 => Just(Ev::Checkpoint),
+        1 => Just(Ev::Restore),
+        1 => Just(Ev::CommitFlush),
+    ]
+}
+
+/// Share/reclaim-only traffic (no recovery events), where an exact
+/// outstanding-mapping model is possible.
+fn flat_ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        4 => (0u8..PREGS as u8).prop_map(Ev::Share),
+        2 => (0u8..PREGS as u8).prop_map(Ev::SharerCommit),
+        5 => (0u8..PREGS as u8).prop_map(Ev::Reclaim),
+    ]
+}
+
+fn share(p: u8) -> ShareRequest {
+    ShareRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p as usize),
+        kind: ShareKind::Bypass {
+            arch_dst: ArchReg::int((p % 16) as usize),
+        },
+    }
+}
+
+fn reclaim(p: u8) -> ReclaimRequest {
+    ReclaimRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p as usize),
+        arch: ArchReg::int((p % 16) as usize),
+        renews: false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Exact model, no recovery events: with `outstanding[p]` counting the
+    /// live mappings of `p` (original + accepted sharers), every reclaim of
+    /// a tracked register must Keep until — and Free exactly at — the last
+    /// outstanding mapping, across finite geometries with saturating
+    /// counters.
+    #[test]
+    fn never_freed_with_outstanding_mappings(
+        (entries, counter_bits, events) in (
+            1usize..=8,
+            2u32..=4,
+            proptest::collection::vec(flat_ev_strategy(), 1..250),
+        )
+    ) {
+        let mut isrb = Isrb::new(IsrbConfig {
+            entries,
+            counter_bits,
+            ..IsrbConfig::default()
+        });
+        // outstanding[p] == 0 ⇔ p untracked (only its original mapping).
+        let mut outstanding = [0u32; PREGS];
+        for ev in events {
+            match ev {
+                Ev::Share(p) => {
+                    let pi = p as usize;
+                    if isrb.try_share(&share(p)) {
+                        outstanding[pi] = outstanding[pi].max(1) + 1;
+                        prop_assert!(isrb.is_shared(RegClass::Int, PhysReg::new(pi)));
+                    } else {
+                        // Rejected share (capacity or saturation) must not
+                        // create tracking state for an untracked register.
+                        prop_assert_eq!(
+                            isrb.is_shared(RegClass::Int, PhysReg::new(pi)),
+                            outstanding[pi] > 0
+                        );
+                    }
+                }
+                Ev::SharerCommit(p) => {
+                    if isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                        isrb.on_sharer_commit(&share(p));
+                    }
+                }
+                Ev::Reclaim(p) => {
+                    let pi = p as usize;
+                    let decision = if outstanding[pi] > 0 {
+                        isrb.on_reclaim(&reclaim(p))
+                    } else {
+                        // Plain overwrite of an untracked register: always
+                        // a CAM miss, always freeable.
+                        let d = isrb.on_reclaim(&reclaim(p));
+                        prop_assert_eq!(d, ReclaimDecision::Free);
+                        continue;
+                    };
+                    // The safety property: Free only at the last mapping.
+                    if outstanding[pi] > 1 {
+                        prop_assert_eq!(
+                            decision,
+                            ReclaimDecision::Keep,
+                            "p{} freed with {} outstanding mappings",
+                            p,
+                            outstanding[pi]
+                        );
+                        outstanding[pi] -= 1;
+                        prop_assert!(isrb.is_shared(RegClass::Int, PhysReg::new(pi)));
+                    } else {
+                        prop_assert_eq!(
+                            decision,
+                            ReclaimDecision::Free,
+                            "p{} kept alive past its last mapping",
+                            p
+                        );
+                        outstanding[pi] = 0;
+                        prop_assert!(!isrb.is_shared(RegClass::Int, PhysReg::new(pi)));
+                    }
+                }
+                Ev::Checkpoint | Ev::Restore | Ev::CommitFlush => unreachable!(),
+            }
+            prop_assert!(isrb.shared_count() <= entries);
+        }
+    }
+
+    /// Full event mix (checkpoints, restores, commit flushes): a finite-
+    /// capacity ISRB fed only the shares it accepted must stay in lockstep
+    /// with the unlimited-oracle tracker fed the same accepted stream —
+    /// identical reclaim decisions, identical recovery free-lists,
+    /// identical shared sets. Wide counters isolate the capacity dimension.
+    #[test]
+    fn finite_isrb_matches_oracle_on_accepted_stream(
+        (entries, events) in (1usize..=8, proptest::collection::vec(ev_strategy(), 1..250))
+    ) {
+        let mut isrb = Isrb::new(IsrbConfig {
+            entries,
+            counter_bits: 31,
+            ..IsrbConfig::default()
+        });
+        let mut ideal = UnlimitedTracker::new();
+        let mut ckpts: Vec<(u64, u64)> = Vec::new();
+        // Loose plausibility bound on reclaims (one per live mapping).
+        let mut mappings = [0i32; PREGS];
+        for ev in events {
+            match ev {
+                Ev::Share(p) => {
+                    if isrb.try_share(&share(p)) {
+                        // Forward only accepted shares: the optimization is
+                        // aborted (not retried) on rejection, so the oracle
+                        // never sees it.
+                        prop_assert!(ideal.try_share(&share(p)));
+                        if mappings[p as usize] == 0 {
+                            mappings[p as usize] = 1;
+                        }
+                        mappings[p as usize] += 1;
+                    }
+                }
+                Ev::SharerCommit(p) => {
+                    if isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                        isrb.on_sharer_commit(&share(p));
+                        ideal.on_sharer_commit(&share(p));
+                    }
+                }
+                Ev::Reclaim(p) => {
+                    if mappings[p as usize] > 0 {
+                        let a = isrb.on_reclaim(&reclaim(p));
+                        let b = ideal.on_reclaim(&reclaim(p));
+                        prop_assert_eq!(a, b, "reclaim decision diverged for p{}", p);
+                        mappings[p as usize] -= 1;
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p as usize)) {
+                            mappings[p as usize] = 0;
+                        }
+                    }
+                }
+                Ev::Checkpoint => ckpts.push((isrb.checkpoint(), ideal.checkpoint())),
+                Ev::Restore => {
+                    if let Some((a, b)) = ckpts.pop() {
+                        let mut fa = Vec::new();
+                        let mut fb = Vec::new();
+                        isrb.restore(a, &mut fa);
+                        ideal.restore(b, &mut fb);
+                        fa.sort();
+                        fb.sort();
+                        prop_assert_eq!(&fa, &fb, "restore freed different registers");
+                        for (_, preg) in fa {
+                            mappings[preg.index()] = 0;
+                        }
+                        for (p, m) in mappings.iter_mut().enumerate() {
+                            if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                                *m = (*m).min(1);
+                            }
+                        }
+                    }
+                }
+                Ev::CommitFlush => {
+                    let mut fa = Vec::new();
+                    let mut fb = Vec::new();
+                    isrb.restore_to_committed(&mut fa);
+                    ideal.restore_to_committed(&mut fb);
+                    fa.sort();
+                    fb.sort();
+                    prop_assert_eq!(&fa, &fb, "commit flush freed different registers");
+                    ckpts.clear();
+                    for (_, preg) in fa {
+                        mappings[preg.index()] = 0;
+                    }
+                    for (p, m) in mappings.iter_mut().enumerate() {
+                        if !isrb.is_shared(RegClass::Int, PhysReg::new(p)) {
+                            *m = (*m).min(1);
+                        }
+                    }
+                }
+            }
+            prop_assert!(isrb.shared_count() <= entries, "occupancy exceeded capacity");
+            for p in 0..PREGS {
+                prop_assert_eq!(
+                    isrb.is_shared(RegClass::Int, PhysReg::new(p)),
+                    ideal.is_shared(RegClass::Int, PhysReg::new(p)),
+                    "shared-set diverged for p{}", p
+                );
+            }
+        }
+    }
+}

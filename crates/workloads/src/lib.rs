@@ -38,4 +38,4 @@ pub mod motifs;
 pub mod profile;
 pub mod rng;
 
-pub use profile::{custom, mini, suite, Workload, WorkloadClass, WorkloadProfile};
+pub use profile::{by_names, custom, mini, suite, Workload, WorkloadClass, WorkloadProfile};

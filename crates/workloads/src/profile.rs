@@ -482,6 +482,26 @@ pub fn suite() -> Vec<Workload> {
     ]
 }
 
+/// The named subset of [`suite`], in `names` order — the sweep-spec way of
+/// picking representative workloads.
+///
+/// # Panics
+///
+/// Panics on an unknown name, so a typo fails loudly instead of silently
+/// shrinking the sweep.
+pub fn by_names(names: &[&str]) -> Vec<Workload> {
+    let all = suite();
+    names
+        .iter()
+        .map(|name| {
+            all.iter()
+                .find(|w| w.name == *name)
+                .unwrap_or_else(|| panic!("unknown workload {name:?}"))
+                .clone()
+        })
+        .collect()
+}
+
 /// Builds a custom named workload from an explicit profile (for studies
 /// that need structure outside the 36-entry suite, e.g. the load-load
 /// ablation's long redundant chains).

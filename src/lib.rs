@@ -22,6 +22,7 @@
 //! | [`refcount`] | `regshare-refcount` | the ISRB and the baseline sharing trackers |
 //! | [`core`] | `regshare-core` | the cycle-level out-of-order core simulator |
 //! | [`workloads`] | `regshare-workloads` | synthetic SPEC-like workload suite |
+//! | [`mod@bench`] | `regshare-bench` | measurement harness and the deterministic parallel sweep engine |
 //!
 //! # Examples
 //!
@@ -38,6 +39,7 @@
 
 #![deny(missing_docs)]
 
+pub use regshare_bench as bench;
 pub use regshare_core as core;
 pub use regshare_distance as distance;
 pub use regshare_isa as isa;

@@ -32,6 +32,11 @@ fn facade_reexports_resolve() {
     );
     let suite = regshare::workloads::suite();
     assert!(!suite.is_empty(), "workload suite reachable through facade");
+    let _window = regshare::bench::RunWindow::quick();
+    assert!(
+        regshare::bench::jobs_from_env() >= 1,
+        "sweep engine reachable through facade"
+    );
 }
 
 /// A share/reclaim round-trip through the facade: sharing a register makes
