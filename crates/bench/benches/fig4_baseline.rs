@@ -4,17 +4,17 @@
 //! Paper shape: IPC spread roughly 0.5–3.5; trap counts spanning orders of
 //! magnitude (log scale); false dependencies up to ~1M per 100M µ-ops in
 //! the worst benchmarks.
+//!
+//! The matrix is the `fig4_baseline` preset scenario; this target only adds
+//! the figure's extra stat columns on top of the scenario's grid.
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
+use regshare_bench::{preset, Table};
 use regshare_types::stats::geomean;
-use regshare_workloads::suite;
 
 fn main() {
-    let window = RunWindow::from_env();
-    let grid = SweepSpec::new(suite(), window)
-        .variant("base", CoreConfig::hpca16())
-        .run();
+    let scenario = preset("fig4_baseline").expect("built-in scenario");
+    let window = scenario.options.window();
+    let grid = scenario.to_sweep().expect("preset validates").run();
     let mut t = Table::new(vec![
         "bench",
         "class",
@@ -29,7 +29,7 @@ fn main() {
         let m = row.get("base");
         ipcs.push(m.ipc());
         t.row(vec![
-            row.workload().name.to_string(),
+            row.workload().name.clone(),
             format!("{:?}", row.workload().class),
             format!("{:.3}", m.ipc()),
             format!("{}", m.stats.memory_traps),

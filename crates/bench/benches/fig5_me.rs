@@ -6,20 +6,17 @@
 //! Paper shape: a handful of entries suffice (8 reasonable, 16 generally
 //! enough, 32 ≈ unlimited); gains are limited (~1% gmean, up to ~5%);
 //! elimination rate does not correlate strongly with speedup.
+//!
+//! The matrix is the `fig5_me` preset scenario (base + `me` preset at each
+//! ISRB size, all declared through the validated builder).
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
-use regshare_workloads::suite;
+use regshare_bench::{preset, Table};
 
 const SIZES: [(usize, &str); 4] = [(8, "me8"), (16, "me16"), (32, "me32"), (0, "meUnl")];
 
 fn main() {
-    let window = RunWindow::from_env();
-    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
-    for (n, label) in SIZES {
-        spec = spec.variant(label, CoreConfig::hpca16().with_me().with_isrb_entries(n));
-    }
-    let grid = spec.run();
+    let scenario = preset("fig5_me").expect("built-in scenario");
+    let grid = scenario.to_sweep().expect("preset validates").run();
 
     let mut t = Table::new(vec![
         "bench",
@@ -32,7 +29,7 @@ fn main() {
     ]);
     for row in grid.rows() {
         let mut cells = vec![
-            row.workload().name.to_string(),
+            row.workload().name.clone(),
             format!("{:.3}", row.get("base").ipc()),
         ];
         for (_, label) in SIZES {

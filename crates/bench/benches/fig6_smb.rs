@@ -10,23 +10,17 @@
 //!
 //! Paper shape: SMB needs ~24 entries; speedups correlate with trap /
 //! false-dependency reductions; TAGE-like > NoSQ-style.
+//!
+//! The matrix is the `fig6_smb` preset scenario (`smb` preset at each ISRB
+//! size, plus `distance = "nosq"` — every predictor is addressable by name).
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::{CoreConfig, DistancePredictorKind};
-use regshare_distance::NosqConfig;
-use regshare_workloads::suite;
+use regshare_bench::{preset, Table};
 
 const SIZES: [(usize, &str); 4] = [(16, "smb16"), (24, "smb24"), (32, "smb32"), (0, "smbUnl")];
 
 fn main() {
-    let window = RunWindow::from_env();
-    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
-    for (n, label) in SIZES {
-        spec = spec.variant(label, CoreConfig::hpca16().with_smb().with_isrb_entries(n));
-    }
-    let mut nosq_cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-    nosq_cfg.distance_predictor = DistancePredictorKind::Nosq(NosqConfig::hpca16());
-    let grid = spec.variant("nosqUnl", nosq_cfg).run();
+    let scenario = preset("fig6_smb").expect("built-in scenario");
+    let grid = scenario.to_sweep().expect("preset validates").run();
 
     let mut t = Table::new(vec![
         "bench",
@@ -49,10 +43,7 @@ fn main() {
     for row in grid.rows() {
         let base = row.get("base");
         let unl = row.get("smbUnl");
-        let mut cells = vec![
-            row.workload().name.to_string(),
-            format!("{:.3}", base.ipc()),
-        ];
+        let mut cells = vec![row.workload().name.clone(), format!("{:.3}", base.ipc())];
         for (_, label) in SIZES {
             cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
@@ -62,7 +53,7 @@ fn main() {
         // Figure 6(b): only workloads with meaningful baseline event counts.
         if base.stats.memory_traps >= 3 || base.stats.false_dependencies >= 100 {
             t2.row(vec![
-                row.workload().name.to_string(),
+                row.workload().name.clone(),
                 format!("{}", base.stats.memory_traps),
                 format!("{}", unl.stats.memory_traps),
                 format!("{}", base.stats.false_dependencies),

@@ -6,27 +6,17 @@
 //! for committed producers), sometimes harmful at 24 entries because
 //! committed bypasses consume ISRB entries that in-window bypassing needs;
 //! latency-bound outliers (astar) still profit.
+//!
+//! The matrix is the `fig6c_committed` preset scenario, built from the
+//! `smb` and `lazy_reclaim` presets at each ISRB size.
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
-use regshare_workloads::suite;
+use regshare_bench::{preset, Table};
 
-const POINTS: [(usize, bool, &str); 4] = [
-    (0, false, "eager-unl"),
-    (0, true, "lazy-unl"),
-    (24, false, "eager-24"),
-    (24, true, "lazy-24"),
-];
+const LABELS: [&str; 4] = ["eager-unl", "lazy-unl", "eager-24", "lazy-24"];
 
 fn main() {
-    let window = RunWindow::from_env();
-    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
-    for (entries, lazy, label) in POINTS {
-        let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(entries);
-        cfg.smb_from_committed = lazy;
-        spec = spec.variant(label, cfg);
-    }
-    let grid = spec.run();
+    let scenario = preset("fig6c_committed").expect("built-in scenario");
+    let grid = scenario.to_sweep().expect("preset validates").run();
 
     let mut t = Table::new(vec![
         "bench",
@@ -37,8 +27,8 @@ fn main() {
         "byp_from_committed",
     ]);
     for row in grid.rows() {
-        let mut cells = vec![row.workload().name.to_string()];
-        for (_, _, label) in POINTS {
+        let mut cells = vec![row.workload().name.clone()];
+        for label in LABELS {
             cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
         cells.push(format!(
@@ -47,7 +37,7 @@ fn main() {
         ));
         t.row(cells);
     }
-    for (_, _, label) in POINTS {
+    for label in LABELS {
         t.footer(format!(
             "geomean speedup, {label}: {:+.2}%",
             grid.geomean_speedup("base", label)

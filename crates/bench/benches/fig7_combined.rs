@@ -7,12 +7,13 @@
 //! best single mechanism because ME and SMB compete for entries. 3-bit
 //! counters are within ~0.1% gmean of 32-bit. Mean µ-op distance between
 //! ISRB allocations ≈ 20; between reclaim CAM checks ≈ 3-4.
+//!
+//! The main matrix is the `fig7_combined` preset scenario; the §6.3
+//! counter-width study is a second scenario built inline with the
+//! `counter_bits` knob on a representative subset.
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
-use regshare_core::TrackerKind;
-use regshare_refcount::IsrbConfig;
-use regshare_workloads::{by_names, suite};
+use regshare_bench::{preset, Scenario, Table, VariantSpec};
+use regshare_types::stats::speedup_pct;
 
 const SIZES: [(usize, &str); 4] = [
     (16, "both16"),
@@ -21,26 +22,11 @@ const SIZES: [(usize, &str); 4] = [
     (0, "bothUnl"),
 ];
 const WIDTH_SUBSET: [&str; 6] = ["crafty", "hmmer", "astar", "applu", "namd", "bzip"];
+const WIDTHS: [(u32, &str); 5] = [(1, "w1"), (2, "w2"), (3, "w3"), (4, "w4"), (31, "w31")];
 
 fn main() {
-    let window = RunWindow::from_env();
-    let mut spec = SweepSpec::new(suite(), window).variant("base", CoreConfig::hpca16());
-    for (n, label) in SIZES {
-        spec = spec.variant(
-            label,
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_isrb_entries(n),
-        );
-    }
-    let grid = spec
-        .variant("meUnl", CoreConfig::hpca16().with_me().with_isrb_entries(0))
-        .variant(
-            "smbUnl",
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
-        )
-        .run();
+    let scenario = preset("fig7_combined").expect("built-in scenario");
+    let grid = scenario.to_sweep().expect("preset validates").run();
 
     let mut t = Table::new(vec![
         "bench",
@@ -54,7 +40,7 @@ fn main() {
     let mut share_dist = Vec::new();
     let mut cam_dist = Vec::new();
     for row in grid.rows() {
-        let mut cells = vec![row.workload().name.to_string()];
+        let mut cells = vec![row.workload().name.clone()];
         for (_, label) in SIZES {
             cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
@@ -88,32 +74,33 @@ fn main() {
     // §6.3 counter width study on a representative subset (baseline IPCs are
     // reused from the main grid; only the width variants run here).
     println!("\n# §6.3: counter width (32-entry ISRB, ME+SMB)\n");
-    let widths: [(u32, &str); 5] = [(1, "w1"), (2, "w2"), (3, "w3"), (4, "w4"), (31, "w31")];
-    let mut wspec = SweepSpec::new(by_names(&WIDTH_SUBSET), window);
-    for (bits, label) in widths {
-        wspec = wspec.variant(
+    let mut b = Scenario::builder("fig7_counter_width")
+        .options(scenario.options)
+        .workloads(&WIDTH_SUBSET);
+    for (bits, label) in WIDTHS {
+        b = b.variant(
             label,
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_tracker(TrackerKind::Isrb(IsrbConfig {
-                    entries: 32,
-                    counter_bits: bits,
-                    ..IsrbConfig::hpca16()
-                })),
+            VariantSpec::preset("me_smb")
+                .isrb_entries(32)
+                .counter_bits(bits),
         );
     }
-    let wgrid = wspec.run();
+    let wgrid = b
+        .build()
+        .expect("width-study scenario validates")
+        .to_sweep()
+        .expect("validated")
+        .run();
     let mut tw = Table::new(vec!["bench", "1bit%", "2bit%", "3bit%", "4bit%", "31bit%"]);
     for row in wgrid.rows() {
         let base = grid
-            .by_name(row.workload().name, "base")
+            .by_name(&row.workload().name, "base")
             .expect("subset workload present in main sweep");
-        let mut cells = vec![row.workload().name.to_string()];
-        for (_, label) in widths {
+        let mut cells = vec![row.workload().name.clone()];
+        for (_, label) in WIDTHS {
             cells.push(format!(
                 "{:+.2}",
-                regshare_types::stats::speedup_pct(base.ipc(), row.get(label).ipc())
+                speedup_pct(base.ipc(), row.get(label).ipc())
             ));
         }
         tw.row(cells);

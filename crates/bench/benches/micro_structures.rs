@@ -3,7 +3,7 @@
 //! parallel sweep engine itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use regshare_bench::{RunWindow, SweepSpec};
+use regshare_bench::{RunWindow, SweepSpec, VariantSpec};
 use regshare_core::{CoreConfig, Simulator};
 use regshare_mem::{Cache, CacheConfig};
 use regshare_predictors::{Tage, TageConfig};
@@ -109,14 +109,16 @@ fn bench_sweep_engine(c: &mut Criterion) {
         warmup: 500,
         measure: 1_500,
     };
+    let base = VariantSpec::hpca16().to_config().expect("valid");
+    let both = VariantSpec::preset("me_smb").to_config().expect("valid");
     let mut g = c.benchmark_group("sweep_engine");
     g.sample_size(10);
     for jobs in [1usize, 2] {
         g.bench_function(&format!("mini_grid_jobs{jobs}"), |b| {
             b.iter(|| {
                 let grid = SweepSpec::new(vec![mini()], window)
-                    .variant("base", CoreConfig::hpca16())
-                    .variant("both", CoreConfig::hpca16().with_me().with_smb())
+                    .variant("base", base.clone())
+                    .variant("both", both.clone())
                     .jobs(jobs)
                     .run();
                 black_box(grid.get(0, "both").ipc())

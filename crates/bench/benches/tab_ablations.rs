@@ -11,19 +11,20 @@
 //!    wupwise, applu, bzip, hmmer).
 //! 4. **ISRB ports** (§4.3.4): rename/reclaim CAM port sweeps and the flag
 //!    filter's effectiveness.
+//!
+//! Every configuration is declared through [`VariantSpec`] — trackers,
+//! predictors and DDT geometries addressed by name, exactly as a
+//! `.scenario` file would write them. The stress workloads are custom
+//! profiles outside the 36-name registry, so sections 2–3 drive the
+//! [`SweepSpec`] layer directly instead of going through a named scenario.
 
-use regshare_bench::{RunWindow, SweepGrid, SweepSpec, Table};
-use regshare_core::{CoreConfig, TrackerKind};
-use regshare_distance::DdtConfig;
-use regshare_refcount::IsrbConfig;
+use regshare_bench::{RunOptions, Scenario, SweepGrid, SweepSpec, Table, VariantSpec};
 use regshare_types::stats::geomean;
 use regshare_workloads::by_names;
 
-fn subset() -> Vec<regshare_workloads::Workload> {
-    by_names(&[
-        "crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd", "gamess",
-    ])
-}
+const SUBSET: [&str; 10] = [
+    "crafty", "vortex", "hmmer", "astar", "bzip", "gobmk", "wupwise", "applu", "namd", "gamess",
+];
 
 /// Long redundant chains whose original producer drifts beyond the 8-bit
 /// instruction distance: only load-load bypassing can keep propagating the
@@ -67,7 +68,7 @@ fn stress_workloads() -> Vec<regshare_workloads::Workload> {
 }
 
 /// §4.2 tracker comparison over one pre-computed grid.
-fn tracker_table(grid: &SweepGrid, trackers: &[(&str, TrackerKind)]) -> Table {
+fn tracker_table(grid: &SweepGrid, trackers: &[(&str, VariantSpec)]) -> Table {
     let mut t = Table::new(vec![
         "scheme",
         "gmean_speedup%",
@@ -76,7 +77,7 @@ fn tracker_table(grid: &SweepGrid, trackers: &[(&str, TrackerKind)]) -> Table {
         "recovery_stalls",
         "ckpt_writes_at_commit",
     ]);
-    for (name, kind) in trackers {
+    for (name, spec) in trackers {
         let mut speedups = Vec::new();
         let mut stalls = 0u64;
         let mut ckpt_writes = 0u64;
@@ -86,7 +87,11 @@ fn tracker_table(grid: &SweepGrid, trackers: &[(&str, TrackerKind)]) -> Table {
             stalls += m.stats.tracker_recovery_stalls;
             ckpt_writes += m.stats.tracker.commit_checkpoint_writes;
         }
-        let storage = kind.clone().build(256, 192).storage();
+        let cfg = spec.to_config().expect("ablation specs are valid");
+        let storage = cfg
+            .tracker
+            .build(cfg.pregs_per_class, cfg.rob_entries)
+            .storage();
         let g = (geomean(&speedups).unwrap_or(1.0) - 1.0) * 100.0;
         t.row(vec![
             name.to_string(),
@@ -101,70 +106,90 @@ fn tracker_table(grid: &SweepGrid, trackers: &[(&str, TrackerKind)]) -> Table {
 }
 
 fn main() {
-    let window = RunWindow::from_env();
+    let options = RunOptions::default();
+    let window = options.window();
 
     // --- 1. Trackers ---
     println!("# §4.2 ablation: reference-counting schemes (ME+SMB)\n");
-    let trackers: Vec<(&str, TrackerKind)> = vec![
-        ("isrb-32", TrackerKind::Isrb(IsrbConfig::hpca16())),
-        ("unlimited", TrackerKind::Unlimited),
+    let trackers: Vec<(&str, VariantSpec)> = vec![
+        ("isrb-32", VariantSpec::preset("me_smb")),
+        (
+            "unlimited",
+            VariantSpec::preset("me_smb").tracker("unlimited"),
+        ),
         (
             "counters-walk8",
-            TrackerKind::PerRegCounters { walk_width: 8 },
+            VariantSpec::preset("me_smb")
+                .tracker("counters")
+                .walk_width(8),
         ),
-        ("roth-matrix", TrackerKind::RothMatrix),
-        ("mit-8", TrackerKind::Mit { entries: 8 }),
+        ("roth-matrix", VariantSpec::preset("me_smb").tracker("roth")),
+        (
+            "mit-8",
+            VariantSpec::preset("me_smb")
+                .tracker("mit")
+                .tracker_entries(8),
+        ),
         (
             "rda-32",
-            TrackerKind::Rda {
-                entries: 32,
-                counter_bits: 3,
-            },
+            VariantSpec::preset("me_smb")
+                .tracker("rda")
+                .tracker_entries(32)
+                .counter_bits(3),
         ),
     ];
-    let mut spec = SweepSpec::new(subset(), window).variant("base", CoreConfig::hpca16());
-    for (name, kind) in &trackers {
-        spec = spec.variant(
-            *name,
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_tracker(kind.clone()),
-        );
+    let mut b = Scenario::builder("tab_trackers")
+        .options(options)
+        .workloads(&SUBSET)
+        .variant("base", VariantSpec::hpca16());
+    for (name, spec) in &trackers {
+        b = b.variant(*name, spec.clone());
     }
-    tracker_table(&spec.run(), &trackers).print();
+    let grid = b
+        .build()
+        .expect("tracker scenario validates")
+        .to_sweep()
+        .expect("validated")
+        .run();
+    tracker_table(&grid, &trackers).print();
 
     // --- 2 + 3. DDT sizing and load-load bypassing share one sweep over
-    // subset + stress workloads (and one baseline column).
-    let ddts: [(DdtConfig, &str); 3] = [
-        (DdtConfig::unlimited(), "ddt-unl"),
-        (DdtConfig::base16k(), "ddt-16k"),
-        (DdtConfig::opt1k(), "ddt-1k"),
+    // subset + stress workloads (and one baseline column). The stress
+    // workloads are unregistered custom profiles, so this drives SweepSpec
+    // directly; the configs still come from VariantSpec.
+    let ddts: [(&str, &str); 3] = [
+        ("unlimited", "ddt-unl"),
+        ("base16k", "ddt-16k"),
+        ("opt1k", "ddt-1k"),
     ];
+    let smb_unl = VariantSpec::preset("smb").isrb_entries(0);
     let mut spec = SweepSpec::new(
-        subset().into_iter().chain(stress_workloads()).collect(),
+        by_names(&SUBSET)
+            .into_iter()
+            .chain(stress_workloads())
+            .collect(),
         window,
     )
-    .variant("base", CoreConfig::hpca16());
+    .variant("base", VariantSpec::hpca16().to_config().expect("valid"));
     for (ddt, label) in ddts {
-        let mut cfg = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-        cfg.ddt = ddt;
-        spec = spec.variant(label, cfg);
+        spec = spec.variant(label, smb_unl.clone().ddt(ddt).to_config().expect("valid"));
     }
-    let mut sl_only = CoreConfig::hpca16().with_smb().with_isrb_entries(0);
-    sl_only.smb_load_load = false;
     let grid = spec
-        .variant("store-load-only", sl_only)
         .variant(
-            "with-load-load",
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
+            "store-load-only",
+            smb_unl
+                .clone()
+                .smb_load_load(false)
+                .to_config()
+                .expect("valid"),
         )
+        .variant("with-load-load", smb_unl.to_config().expect("valid"))
         .run();
 
     println!("\n# §3.1: DDT sizing (SMB, unlimited ISRB)\n");
     let mut t = Table::new(vec!["bench", "ddt_unlimited%", "ddt_16k%", "ddt_1k%"]);
     for row in grid.rows() {
-        let mut cells = vec![row.workload().name.to_string()];
+        let mut cells = vec![row.workload().name.clone()];
         for (_, label) in ddts {
             cells.push(format!("{:+.2}", row.speedup("base", label)));
         }
@@ -176,7 +201,7 @@ fn main() {
     let mut t = Table::new(vec!["bench", "store_load_only%", "with_load_load%"]);
     for row in grid.rows() {
         t.row(vec![
-            row.workload().name.to_string(),
+            row.workload().name.clone(),
             format!("{:+.2}", row.speedup("base", "store-load-only")),
             format!("{:+.2}", row.speedup("base", "with-load-load")),
         ]);
@@ -190,14 +215,19 @@ fn main() {
         (2, 6, "ports-2r-6c"),
         (1, 2, "ports-1r-2c"),
     ];
-    let mut spec = SweepSpec::new(subset(), window).variant("base", CoreConfig::hpca16());
+    let mut b = Scenario::builder("tab_ports")
+        .options(options)
+        .workloads(&SUBSET)
+        .variant("base", VariantSpec::hpca16());
     for (rp, cp, label) in ports {
-        let mut cfg = CoreConfig::hpca16().with_me().with_smb();
-        cfg.tracker_rename_ports = rp;
-        cfg.tracker_reclaim_ports = cp;
-        spec = spec.variant(label, cfg);
+        b = b.variant(label, VariantSpec::preset("me_smb").ports(rp, cp));
     }
-    let grid = spec.run();
+    let grid = b
+        .build()
+        .expect("ports scenario validates")
+        .to_sweep()
+        .expect("validated")
+        .run();
     let mut t = Table::new(vec![
         "bench",
         "ports_unl%",
@@ -207,7 +237,7 @@ fn main() {
         "cam_checked",
     ]);
     for row in grid.rows() {
-        let mut cells = vec![row.workload().name.to_string()];
+        let mut cells = vec![row.workload().name.clone()];
         for (_, _, label) in ports {
             cells.push(format!("{:+.2}", row.speedup("base", label)));
         }

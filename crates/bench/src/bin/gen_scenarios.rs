@@ -1,0 +1,21 @@
+//! Regenerates the checked-in `.scenario` files under `scenarios/` from
+//! the built-in presets, so the files and the presets can never drift
+//! (`crates/bench/tests/scenario_files.rs` asserts byte equality).
+//!
+//! ```sh
+//! cargo run -p regshare-bench --bin gen_scenarios
+//! ```
+
+use regshare_bench::{preset, SCENARIO_PRESETS};
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    std::fs::create_dir_all(&dir).expect("create scenarios/");
+    for (name, _) in SCENARIO_PRESETS {
+        let path = dir.join(format!("{name}.scenario"));
+        let text = preset(name).expect("built-in preset").render();
+        std::fs::write(&path, &text).expect("write scenario file");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,76 +1,31 @@
 //! Generates a compact paper-vs-measured report (the source material for
-//! EXPERIMENTS.md) across the headline experiments, using reduced windows.
+//! EXPERIMENTS.md). By default it runs the `headline` preset scenario; any
+//! other experiment can be selected with `--preset <name>` or driven from a
+//! checked-in `.scenario` file — the two front doors produce byte-identical
+//! output for equivalent definitions (CI asserts this against
+//! `scenarios/headline.scenario`).
 //!
 //! ```sh
-//! REGSHARE_MEASURE=120000 cargo run --release -p regshare-bench --bin paper_report
+//! cargo run --release -p regshare-bench --bin paper_report -- --measure 120000
+//! cargo run --release -p regshare-bench --bin paper_report -- \
+//!     --scenario scenarios/headline.scenario
+//! cargo run --release -p regshare-bench --bin paper_report -- --list-presets
 //! ```
 //!
 //! The whole (workload × config) matrix runs through the parallel sweep
-//! engine (`REGSHARE_JOBS` workers), so wall clock scales with cores while
-//! the report stays byte-identical to a serial run.
+//! engine (`--jobs` workers), so wall clock scales with cores while the
+//! report stays byte-identical to a serial run.
 
-use regshare_bench::{RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
-use regshare_workloads::suite;
+use regshare_bench::cli::run_front_door;
+use regshare_bench::run_scenario;
 
 fn main() {
-    let window = RunWindow::from_env();
-    println!("# Paper-vs-measured headline summary\n");
-    println!(
-        "window: {} warmup + {} measured µ-ops per run\n",
-        window.warmup, window.measure
-    );
-
-    let grid = SweepSpec::new(suite(), window)
-        .variant("base", CoreConfig::hpca16())
-        .variant("meUnl", CoreConfig::hpca16().with_me().with_isrb_entries(0))
-        .variant(
-            "smbUnl",
-            CoreConfig::hpca16().with_smb().with_isrb_entries(0),
-        )
-        .variant(
-            "both32",
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_isrb_entries(32),
-        )
-        .variant(
-            "bothUnl",
-            CoreConfig::hpca16()
-                .with_me()
-                .with_smb()
-                .with_isrb_entries(0),
-        )
-        .run();
-
-    let mut max32: (f64, &str) = (0.0, "-");
-    let mut t = Table::new(vec![
-        "bench",
-        "base_ipc",
-        "me_unl%",
-        "smb_unl%",
-        "both32%",
-        "both_unl%",
-    ]);
-    for row in grid.rows() {
-        let base = row.get("base");
-        let s32 = row.speedup("base", "both32");
-        if s32 > max32.0 {
-            max32 = (s32, row.workload().name);
+    let (_, scenario) = run_front_door("paper_report", "headline");
+    match run_scenario(&scenario) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("paper_report: {e}");
+            std::process::exit(1);
         }
-        t.row(vec![
-            row.workload().name.to_string(),
-            format!("{:.3}", base.ipc()),
-            format!("{:+.2}", row.speedup("base", "meUnl")),
-            format!("{:+.2}", row.speedup("base", "smbUnl")),
-            format!("{s32:+.2}"),
-            format!("{:+.2}", row.speedup("base", "bothUnl")),
-        ]);
     }
-    t.print();
-    let g32 = grid.geomean_speedup("base", "both32");
-    let gun = grid.geomean_speedup("base", "bothUnl");
-    println!("combined ME+SMB, 32-entry ISRB: geomean {g32:+.2}% (paper: +5.5%), max {:+.2}% on {} (paper: up to +39.6%)", max32.0, max32.1);
-    println!("combined ME+SMB, unlimited:     geomean {gun:+.2}% (paper: +5.6%)");
 }

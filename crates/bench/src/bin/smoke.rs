@@ -1,38 +1,53 @@
 //! Quick shape check: ME / SMB / combined speedups on a few workloads.
 //!
-//! Runs one representative sweep through the parallel engine; output is
-//! byte-identical at any `REGSHARE_JOBS` level.
+//! By default runs the `smoke` preset scenario and appends per-mechanism
+//! diagnostics (elimination / bypass rates, traps, false dependencies) to
+//! the standard report. `--scenario <file>` / `--preset <name>` swap in any
+//! other experiment (standard report only — the diagnostic columns need the
+//! smoke preset's `me`/`smb` variants). Output is byte-identical at any
+//! `--jobs` level; CI diffs a serial against a sharded run.
 
-use regshare_bench::{jobs_from_env, RunWindow, SweepSpec, Table};
-use regshare_core::CoreConfig;
-use regshare_workloads::by_names;
+use regshare_bench::cli::run_front_door;
+use regshare_bench::{render_report, run_scenario, Table};
 
 fn main() {
-    let window = RunWindow::from_env();
-    let workloads = by_names(&[
-        "crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf",
-    ]);
-    let grid = SweepSpec::new(workloads, window)
-        .variant("base", CoreConfig::hpca16())
-        .variant("me", CoreConfig::hpca16().with_me())
-        .variant("smb", CoreConfig::hpca16().with_smb())
-        .variant("both", CoreConfig::hpca16().with_me().with_smb())
-        .run();
+    let (args, scenario) = run_front_door("smoke", "smoke");
+
+    // Non-default experiments get the standard report; the built-in smoke
+    // preset additionally prints its per-mechanism diagnostics below. Gate
+    // on how the scenario was selected, not on its self-declared name — a
+    // user file named "smoke" need not have the preset's variant labels.
+    let is_builtin_smoke =
+        args.scenario_path.is_none() && args.preset.as_deref().unwrap_or("smoke") == "smoke";
+    if !is_builtin_smoke {
+        match run_scenario(&scenario) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("smoke: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let grid = match scenario.to_sweep() {
+        Ok(spec) => spec.run(),
+        Err(e) => {
+            eprintln!("smoke: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render_report(&scenario, &grid));
 
     let mut t = Table::new(vec![
-        "bench", "base_ipc", "me%", "smb%", "both%", "elim", "bypassed", "traps_b", "traps_s",
-        "fdep_b", "fdep_s",
+        "bench", "elim", "bypassed", "traps_b", "traps_s", "fdep_b", "fdep_s",
     ]);
     for row in grid.rows() {
         let base = row.get("base");
         let me = row.get("me");
         let smb = row.get("smb");
         t.row(vec![
-            row.workload().name.to_string(),
-            format!("{:.3}", base.ipc()),
-            format!("{:+.2}", row.speedup("base", "me")),
-            format!("{:+.2}", row.speedup("base", "smb")),
-            format!("{:+.2}", row.speedup("base", "both")),
+            row.workload().name.clone(),
             format!("{:.2}%", me.stats.pct_renamed_eliminated()),
             format!("{:.1}%", smb.stats.pct_loads_bypassed()),
             format!("{}", base.stats.memory_traps),
@@ -41,6 +56,7 @@ fn main() {
             format!("{}", smb.stats.false_dependencies),
         ]);
     }
+    println!("\n# per-mechanism diagnostics\n");
     t.print();
-    eprintln!("[smoke: {} jobs]", jobs_from_env());
+    eprintln!("[smoke: {} jobs]", scenario.options.job_count());
 }

@@ -5,7 +5,7 @@ use regshare_isa::Program;
 use regshare_workloads::Workload;
 
 /// Warmup/measurement window (µ-ops).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunWindow {
     /// µ-ops run before measurement starts (caches/predictors warm up).
     pub warmup: u64,
@@ -15,17 +15,13 @@ pub struct RunWindow {
 
 impl RunWindow {
     /// Default window, overridable via `REGSHARE_WARMUP`/`REGSHARE_MEASURE`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use RunOptions::window(); the env vars remain as deprecated \
+                fallbacks there"
+    )]
     pub fn from_env() -> RunWindow {
-        let get = |k: &str, d: u64| {
-            std::env::var(k)
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(d)
-        };
-        RunWindow {
-            warmup: get("REGSHARE_WARMUP", 60_000),
-            measure: get("REGSHARE_MEASURE", 240_000),
-        }
+        crate::options::RunOptions::default().window()
     }
 
     /// A fast window for smoke tests.
@@ -40,8 +36,9 @@ impl RunWindow {
 /// Result of one measured run.
 #[derive(Debug, Clone)]
 pub struct Measurement {
-    /// Workload name.
-    pub name: &'static str,
+    /// Workload name. Owned, so measurements can carry names that only
+    /// exist at runtime (workloads resolved from `.scenario` files).
+    pub name: String,
     /// Stats over the measured window only.
     pub stats: SimStats,
 }
@@ -63,7 +60,7 @@ pub fn measure(workload: &Workload, cfg: CoreConfig, window: RunWindow) -> Measu
 /// memoized-program path ([`crate::SweepSpec`] builds each workload's
 /// program once and shares it across every configuration variant).
 pub fn measure_program(
-    name: &'static str,
+    name: impl Into<String>,
     program: &Program,
     cfg: CoreConfig,
     window: RunWindow,
@@ -79,12 +76,18 @@ pub fn measure_with(
     window: RunWindow,
     inspect: impl FnOnce(&Simulator),
 ) -> Measurement {
-    measure_program_with(workload.name, &workload.build(), cfg, window, inspect)
+    measure_program_with(
+        workload.name.clone(),
+        &workload.build(),
+        cfg,
+        window,
+        inspect,
+    )
 }
 
 /// The one warmup → measure → delta protocol every entry point shares.
 fn measure_program_with(
-    name: &'static str,
+    name: impl Into<String>,
     program: &Program,
     cfg: CoreConfig,
     window: RunWindow,
@@ -95,7 +98,7 @@ fn measure_program_with(
     let end = sim.run(window.measure);
     inspect(&sim);
     Measurement {
-        name,
+        name: name.into(),
         stats: end.delta_since(&warm),
     }
 }

@@ -1,23 +1,37 @@
 //! Experiment harness: workload × configuration sweeps reproducing every
 //! table and figure of the paper's evaluation.
 //!
-//! Each bench target (`cargo bench --bench fig…`) declares its sweep as a
-//! [`SweepSpec`] — the workload list crossed with labelled configuration
-//! variants — and the engine in [`sweep`] expands it into independent jobs,
-//! runs them on a `std::thread` worker pool (`REGSHARE_JOBS` workers,
-//! default: available parallelism), and merges the results back in spec
-//! order, so output is byte-identical at any parallelism level. Each bench
-//! then prints the same rows/series the paper reports, plus a CSV block for
-//! plotting. Window sizes default to quick-but-stable values and can be
-//! scaled with the `REGSHARE_WARMUP` / `REGSHARE_MEASURE` environment
-//! variables (µ-ops per run).
+//! The front door is the **scenario layer** ([`scenario`]): a [`Scenario`]
+//! names an experiment — workloads × labelled configuration variants plus
+//! [`RunOptions`] — and can come from a built-in preset
+//! ([`scenario::preset`]), the validating [`ScenarioBuilder`], or a
+//! checked-in `.scenario` file ([`Scenario::load`], a dependency-free TOML
+//! subset). [`Scenario::to_sweep`] validates everything (typed
+//! [`ScenarioError`]s, no silent misconfigurations) and expands the matrix
+//! into a [`SweepSpec`] for the deterministic parallel engine in [`sweep`]:
+//! jobs run on a `std::thread` worker pool and merge back in spec order, so
+//! output is byte-identical at any parallelism level. [`report`] renders
+//! the shared report format, and [`cli`] gives every binary the same
+//! `--scenario` / `--preset` / `--warmup` / `--measure` / `--jobs` flags.
+//! The `REGSHARE_WARMUP` / `REGSHARE_MEASURE` / `REGSHARE_JOBS` environment
+//! variables survive as deprecated fallbacks behind [`RunOptions`].
 
 #![deny(missing_docs)]
 
+pub mod cli;
 pub mod harness;
+pub mod options;
+pub mod report;
+pub mod scenario;
 pub mod sweep;
 pub mod table;
 
 pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
+pub use options::{env_parse, RunOptions, DEFAULT_MEASURE, DEFAULT_WARMUP};
+pub use report::{render_report, run_scenario};
+pub use scenario::{
+    preset, valid_name, Scenario, ScenarioBuilder, ScenarioError, VariantSpec, CONFIG_PRESETS,
+    SCENARIO_PRESETS,
+};
 pub use sweep::{jobs_from_env, SweepGrid, SweepRow, SweepSpec, Variant};
 pub use table::Table;

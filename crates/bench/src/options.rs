@@ -1,0 +1,177 @@
+//! Run options: the one documented, programmatic knob set for warmup /
+//! measurement window sizes and sweep parallelism.
+//!
+//! Historically these three knobs were side-channel environment variables
+//! (`REGSHARE_WARMUP`, `REGSHARE_MEASURE`, `REGSHARE_JOBS`) parsed
+//! independently by the harness and the sweep engine. [`RunOptions`] absorbs
+//! them into one type that scenario files and CLIs set explicitly; the
+//! environment variables remain as **deprecated fallbacks** — an unset
+//! option still honours them — and will be removed once nothing depends on
+//! them. Resolution order for each knob:
+//!
+//! 1. the explicit [`RunOptions`] value (scenario file or CLI flag),
+//! 2. the deprecated environment variable,
+//! 3. the built-in default (60 000 warmup / 240 000 measured µ-ops,
+//!    all available cores).
+
+use crate::harness::RunWindow;
+use std::str::FromStr;
+
+/// Parses an environment variable, treating "unset" and "unparseable" the
+/// same way — the one `var → parse → default` helper behind every
+/// deprecated `REGSHARE_*` fallback (the harness window and the sweep
+/// engine's job count used to hand-roll this dance separately).
+pub fn env_parse<T: FromStr>(key: &str) -> Option<T> {
+    parse_opt(std::env::var(key).ok().as_deref())
+}
+
+/// The pure half of [`env_parse`]: trim, parse, and fold failure into
+/// `None` (kept separate so tests never have to mutate the process
+/// environment, which is unsound under the parallel test harness).
+fn parse_opt<T: FromStr>(v: Option<&str>) -> Option<T> {
+    v.and_then(|s| s.trim().parse().ok())
+}
+
+/// Default warmup window (µ-ops) when neither options nor environment say
+/// otherwise.
+pub const DEFAULT_WARMUP: u64 = 60_000;
+/// Default measured window (µ-ops).
+pub const DEFAULT_MEASURE: u64 = 240_000;
+
+/// Warmup / measurement window sizes and worker count for one experiment.
+///
+/// `None` fields defer to the deprecated environment variables and then to
+/// the defaults, so a scenario file only pins what it cares about.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_bench::RunOptions;
+///
+/// let opts = RunOptions::default().warmup(1_000).measure(4_000).jobs(2);
+/// let window = opts.window();
+/// assert_eq!((window.warmup, window.measure), (1_000, 4_000));
+/// assert_eq!(opts.job_count(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// µ-ops run before measurement starts (caches/predictors warm up).
+    pub warmup: Option<u64>,
+    /// µ-ops measured.
+    pub measure: Option<u64>,
+    /// Sweep worker threads.
+    pub jobs: Option<usize>,
+}
+
+impl RunOptions {
+    /// Sets the warmup window (µ-ops).
+    pub fn warmup(mut self, uops: u64) -> Self {
+        self.warmup = Some(uops);
+        self
+    }
+
+    /// Sets the measured window (µ-ops).
+    pub fn measure(mut self, uops: u64) -> Self {
+        self.measure = Some(uops);
+        self
+    }
+
+    /// Sets the sweep worker count (clamped to at least one).
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Overlays `self` on top of `base`: explicit fields win, unset fields
+    /// fall through (CLI flags over scenario-file options, say).
+    pub fn over(self, base: RunOptions) -> RunOptions {
+        RunOptions {
+            warmup: self.warmup.or(base.warmup),
+            measure: self.measure.or(base.measure),
+            jobs: self.jobs.or(base.jobs),
+        }
+    }
+
+    /// Resolves the measurement window, applying the deprecated
+    /// `REGSHARE_WARMUP` / `REGSHARE_MEASURE` fallbacks and then the
+    /// defaults.
+    pub fn window(&self) -> RunWindow {
+        RunWindow {
+            warmup: self
+                .warmup
+                .or_else(|| env_parse("REGSHARE_WARMUP"))
+                .unwrap_or(DEFAULT_WARMUP),
+            measure: self
+                .measure
+                .or_else(|| env_parse("REGSHARE_MEASURE"))
+                .unwrap_or(DEFAULT_MEASURE),
+        }
+    }
+
+    /// Resolves the worker count, applying the deprecated `REGSHARE_JOBS`
+    /// fallback and then defaulting to available parallelism. Always at
+    /// least one, whatever a hand-constructed `jobs` field says.
+    pub fn job_count(&self) -> usize {
+        self.jobs
+            .or_else(|| env_parse::<usize>("REGSHARE_JOBS"))
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_options_win_and_defaults_backstop() {
+        let opts = RunOptions::default().warmup(123).measure(456);
+        let w = opts.window();
+        assert_eq!((w.warmup, w.measure), (123, 456));
+        // jobs unset: whatever the fallback chain says, it is at least 1.
+        assert!(opts.job_count() >= 1);
+    }
+
+    #[test]
+    fn over_prefers_the_overlay() {
+        let file = RunOptions::default().warmup(10).jobs(3);
+        let cli = RunOptions::default().warmup(99);
+        let merged = cli.over(file);
+        assert_eq!(merged.warmup, Some(99));
+        assert_eq!(merged.jobs, Some(3));
+        assert_eq!(merged.measure, None);
+    }
+
+    #[test]
+    fn jobs_clamps_to_one() {
+        assert_eq!(RunOptions::default().jobs(0).jobs, Some(1));
+    }
+
+    #[test]
+    fn parse_opt_trims_and_rejects_garbage() {
+        // The pure half of env_parse is tested directly: mutating the real
+        // environment (set_var) races with getenv on other test threads.
+        assert_eq!(parse_opt::<u64>(Some(" 42 ")), Some(42));
+        assert_eq!(parse_opt::<u64>(Some("lots")), None);
+        assert_eq!(parse_opt::<u64>(Some("-1")), None);
+        assert_eq!(parse_opt::<u64>(None), None);
+        assert_eq!(
+            env_parse::<u64>("REGSHARE_TEST_UNSET_VARIABLE_NAME"),
+            None,
+            "unset variable folds to None"
+        );
+    }
+
+    #[test]
+    fn job_count_never_returns_zero() {
+        let zero = RunOptions {
+            jobs: Some(0),
+            ..RunOptions::default()
+        };
+        assert!(zero.job_count() >= 1, "hand-constructed 0 is ignored");
+    }
+}

@@ -1,0 +1,1146 @@
+//! The scenario layer: named, validated, file-backed experiment
+//! definitions.
+//!
+//! The paper's results are a matrix of (workload × core configuration ×
+//! tracker geometry) points. A [`Scenario`] captures one such matrix as
+//! *data* — a name, a workload list, run options, and an ordered list of
+//! labelled [`VariantSpec`]s — so an experiment can be named, validated,
+//! checked into the repo as a `.scenario` file ([`Scenario::parse`] /
+//! [`Scenario::render`], a dependency-free TOML subset), shared, and driven
+//! through the sweep engine ([`Scenario::to_sweep`]) without recompiling.
+//!
+//! Three entry points:
+//!
+//! - [`Scenario::builder`] — the programmatic route, with hard validation:
+//!   invalid configs fail with typed [`ScenarioError`]s at
+//!   [`ScenarioBuilder::build`] time instead of silently misbehaving;
+//! - [`preset`] — the named experiments every binary understands
+//!   (`headline`, `smoke`, the paper figures);
+//! - [`Scenario::load`] — the `.scenario` file front door used by
+//!   `paper_report --scenario` and `smoke --scenario`.
+
+mod text;
+
+use crate::options::RunOptions;
+use crate::sweep::SweepSpec;
+use regshare_core::{
+    ConfigError, CoreConfig, CoreConfigBuilder, DistancePredictorKind, TrackerKind,
+};
+use regshare_distance::{DdtConfig, NosqConfig};
+use regshare_refcount::IsrbConfig;
+use regshare_workloads::{suite, try_by_names, Workload};
+
+/// Any way a scenario can be malformed: syntax errors in a `.scenario`
+/// file, unknown names (presets, trackers, predictors, workloads), misused
+/// keys, or a variant whose resolved [`CoreConfig`] fails
+/// [`CoreConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// A line the text parser could not understand.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// A key that is not part of the scenario schema.
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// The rejected key.
+        key: String,
+    },
+    /// The same key given twice in one scope.
+    DuplicateKey {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A value of the wrong type for its key.
+    WrongType {
+        /// 1-based line number.
+        line: usize,
+        /// The key.
+        key: String,
+        /// What the schema expects there.
+        expected: &'static str,
+    },
+    /// A scenario file without a `name` key.
+    MissingName,
+    /// A name outside the `[A-Za-z0-9_.-]+` identifier charset (which is
+    /// what keeps the text format round-trip stable).
+    InvalidName {
+        /// Which kind of name (`"scenario"`, `"variant label"`, …).
+        what: &'static str,
+        /// The rejected name.
+        name: String,
+    },
+    /// A note containing a quote, backslash or control character — the
+    /// text format has no escape sequences, so it could not be rendered
+    /// to a parseable `.scenario` file.
+    InvalidNote(String),
+    /// A worker count of zero (`RunOptions::jobs` hand-set to `Some(0)`;
+    /// the text parser and CLI reject it at their own boundaries).
+    ZeroJobs,
+    /// A scenario with no variants: there is nothing to sweep.
+    NoVariants,
+    /// Two variants with the same label (the later one would be
+    /// unaddressable in every grid accessor).
+    DuplicateVariant(String),
+    /// A `preset` value that names no known configuration preset.
+    UnknownPreset(String),
+    /// A `tracker` value that names no [`TrackerKind`].
+    UnknownTracker(String),
+    /// A `distance` value that names no [`DistancePredictorKind`].
+    UnknownDistance(String),
+    /// A `ddt` value that names no known DDT geometry.
+    UnknownDdt(String),
+    /// A workload name absent from the suite registry.
+    UnknownWorkload(String),
+    /// A key that only makes sense for a tracker the variant did not
+    /// select (e.g. `walk_width` without `tracker = "counters"`).
+    KeyRequiresTracker {
+        /// The offending key.
+        key: &'static str,
+        /// The tracker(s) the key belongs to.
+        tracker: &'static str,
+    },
+    /// The resolved [`CoreConfig`] is structurally impossible.
+    Config(ConfigError),
+    /// An error in one specific variant, wrapped with its label.
+    InVariant {
+        /// The variant's label.
+        label: String,
+        /// The underlying error.
+        source: Box<ScenarioError>,
+    },
+    /// A `.scenario` file that could not be read.
+    Io {
+        /// The path given.
+        path: String,
+        /// The OS error text.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ScenarioError::UnknownKey { line, key } => {
+                write!(f, "line {line}: unknown key {key:?}")
+            }
+            ScenarioError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key {key:?}")
+            }
+            ScenarioError::WrongType {
+                line,
+                key,
+                expected,
+            } => write!(f, "line {line}: {key} expects {expected}"),
+            ScenarioError::MissingName => write!(f, "scenario has no `name` key"),
+            ScenarioError::InvalidName { what, name } => write!(
+                f,
+                "invalid {what} name {name:?} (allowed characters: A-Z a-z 0-9 _ . -)"
+            ),
+            ScenarioError::InvalidNote(note) => write!(
+                f,
+                "note {note:?} contains a quote, backslash or control character \
+                 (the scenario format has no escape sequences)"
+            ),
+            ScenarioError::ZeroJobs => write!(f, "jobs must be at least 1"),
+            ScenarioError::NoVariants => write!(f, "scenario declares no variants"),
+            ScenarioError::DuplicateVariant(label) => {
+                write!(f, "duplicate variant label {label:?}")
+            }
+            ScenarioError::UnknownPreset(name) => write!(
+                f,
+                "unknown config preset {name:?} (known: {})",
+                CONFIG_PRESETS
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            ScenarioError::UnknownTracker(name) => write!(
+                f,
+                "unknown tracker {name:?} (known: isrb, unlimited, counters, roth, mit, rda)"
+            ),
+            ScenarioError::UnknownDistance(name) => {
+                write!(f, "unknown distance predictor {name:?} (known: tage, nosq)")
+            }
+            ScenarioError::UnknownDdt(name) => write!(
+                f,
+                "unknown ddt geometry {name:?} (known: base16k, opt1k, unlimited)"
+            ),
+            ScenarioError::UnknownWorkload(name) => {
+                write!(
+                    f,
+                    "unknown workload {name:?} (see `regshare_workloads::names`)"
+                )
+            }
+            ScenarioError::KeyRequiresTracker { key, tracker } => {
+                write!(f, "{key} only applies to tracker = {tracker}")
+            }
+            ScenarioError::Config(e) => write!(f, "invalid core config: {e}"),
+            ScenarioError::InVariant { label, source } => {
+                write!(f, "variant {label:?}: {source}")
+            }
+            ScenarioError::Io { path, msg } => write!(f, "cannot read {path:?}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Config(e) => Some(e),
+            ScenarioError::InVariant { source, .. } => Some(&**source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ScenarioError {
+    fn from(e: ConfigError) -> ScenarioError {
+        ScenarioError::Config(e)
+    }
+}
+
+/// Checks the `[A-Za-z0-9_.-]+` identifier charset shared by scenario
+/// names, variant labels and workload names; it is what keeps the text
+/// format unambiguous and round-trip stable.
+pub fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+fn check_name(what: &'static str, name: &str) -> Result<(), ScenarioError> {
+    if valid_name(name) {
+        Ok(())
+    } else {
+        Err(ScenarioError::InvalidName {
+            what,
+            name: name.to_string(),
+        })
+    }
+}
+
+/// Checks free-text note content: the format has no escape sequences, so a
+/// quote, backslash or control character in a note would render to a
+/// `.scenario` file that cannot be parsed back.
+pub fn valid_note(note: &str) -> bool {
+    !note
+        .chars()
+        .any(|c| c == '"' || c == '\\' || c.is_control())
+}
+
+/// The configuration presets a [`VariantSpec`] can start from, with a
+/// one-line description each.
+pub const CONFIG_PRESETS: [(&str, &str); 5] = [
+    ("hpca16", "Table 1 baseline, all sharing off"),
+    ("me", "baseline + move elimination"),
+    ("smb", "baseline + speculative memory bypassing"),
+    ("me_smb", "baseline + both mechanisms"),
+    (
+        "lazy_reclaim",
+        "SMB + bypassing from committed µ-ops (lazy register reclaim)",
+    ),
+];
+
+fn config_preset(name: &str) -> Result<CoreConfig, ScenarioError> {
+    Ok(match name {
+        "hpca16" => CoreConfig::hpca16(),
+        "me" => CoreConfig::hpca16().with_me(),
+        "smb" => CoreConfig::hpca16().with_smb(),
+        "me_smb" => CoreConfig::hpca16().with_me().with_smb(),
+        "lazy_reclaim" => {
+            let mut cfg = CoreConfig::hpca16().with_smb();
+            cfg.smb_from_committed = true;
+            cfg
+        }
+        other => return Err(ScenarioError::UnknownPreset(other.to_string())),
+    })
+}
+
+/// One labelled configuration column of a scenario: a named preset plus
+/// explicit overrides. Everything is addressable by string — presets,
+/// every [`TrackerKind`], every [`DistancePredictorKind`], the DDT
+/// geometries — which is what lets `.scenario` files express the full
+/// configuration space.
+///
+/// Unset (`None`) fields keep the preset's value; [`VariantSpec::to_config`]
+/// resolves the spec into a validated [`CoreConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariantSpec {
+    /// Base preset name (see [`CONFIG_PRESETS`]).
+    pub preset: String,
+    /// Move elimination (§2).
+    pub me: Option<bool>,
+    /// FP-to-FP move elimination.
+    pub me_fp_moves: Option<bool>,
+    /// Speculative memory bypassing (§3).
+    pub smb: Option<bool>,
+    /// Load-load bypassing (§6.2).
+    pub smb_load_load: Option<bool>,
+    /// Bypassing from committed µ-ops under lazy reclaim (§3.3).
+    pub smb_from_committed: Option<bool>,
+    /// Tracker name: `isrb`, `unlimited`, `counters`, `roth`, `mit`, `rda`.
+    pub tracker: Option<String>,
+    /// ISRB entries (0 = unlimited). Selects the ISRB tracker if no
+    /// `tracker` key says otherwise.
+    pub isrb_entries: Option<usize>,
+    /// Sharing-counter width in bits (ISRB or RDA).
+    pub counter_bits: Option<u32>,
+    /// Tracker CAM ports available to rename per cycle (0 = unlimited);
+    /// bypasses beyond this abort (§4.3.4).
+    pub rename_ports: Option<usize>,
+    /// Tracker CAM ports available to reclaim per cycle (0 = unlimited);
+    /// reclaims beyond this stall commit (§4.3.4).
+    pub reclaim_ports: Option<usize>,
+    /// Squash-walk width; requires `tracker = "counters"`.
+    pub walk_width: Option<usize>,
+    /// Associative entries; requires `tracker = "mit"` or `"rda"`.
+    pub tracker_entries: Option<usize>,
+    /// Distance predictor name: `tage` or `nosq`.
+    pub distance: Option<String>,
+    /// DDT geometry name: `base16k`, `opt1k` or `unlimited`.
+    pub ddt: Option<String>,
+    /// Fetch/decode/rename width override.
+    pub frontend_width: Option<usize>,
+    /// Issue width override.
+    pub issue_width: Option<usize>,
+    /// Retire width override.
+    pub commit_width: Option<usize>,
+    /// ROB size override.
+    pub rob_entries: Option<usize>,
+    /// IQ size override.
+    pub iq_entries: Option<usize>,
+    /// Load-queue size override.
+    pub lq_entries: Option<usize>,
+    /// Store-queue size override.
+    pub sq_entries: Option<usize>,
+    /// Physical registers per class override.
+    pub pregs_per_class: Option<usize>,
+}
+
+impl VariantSpec {
+    /// A spec that is exactly the named preset (overrides can be chained on
+    /// top). The name is resolved — and rejected with a typed error — at
+    /// [`VariantSpec::to_config`] / [`ScenarioBuilder::build`] time.
+    pub fn preset(name: impl Into<String>) -> VariantSpec {
+        VariantSpec {
+            preset: name.into(),
+            me: None,
+            me_fp_moves: None,
+            smb: None,
+            smb_load_load: None,
+            smb_from_committed: None,
+            tracker: None,
+            isrb_entries: None,
+            counter_bits: None,
+            rename_ports: None,
+            reclaim_ports: None,
+            walk_width: None,
+            tracker_entries: None,
+            distance: None,
+            ddt: None,
+            frontend_width: None,
+            issue_width: None,
+            commit_width: None,
+            rob_entries: None,
+            iq_entries: None,
+            lq_entries: None,
+            sq_entries: None,
+            pregs_per_class: None,
+        }
+    }
+
+    /// The Table 1 baseline preset.
+    pub fn hpca16() -> VariantSpec {
+        VariantSpec::preset("hpca16")
+    }
+
+    /// Sets move elimination.
+    pub fn me(mut self, on: bool) -> Self {
+        self.me = Some(on);
+        self
+    }
+
+    /// Sets FP-to-FP move elimination.
+    pub fn me_fp_moves(mut self, on: bool) -> Self {
+        self.me_fp_moves = Some(on);
+        self
+    }
+
+    /// Sets speculative memory bypassing.
+    pub fn smb(mut self, on: bool) -> Self {
+        self.smb = Some(on);
+        self
+    }
+
+    /// Sets load-load bypassing.
+    pub fn smb_load_load(mut self, on: bool) -> Self {
+        self.smb_load_load = Some(on);
+        self
+    }
+
+    /// Sets bypassing from committed µ-ops (lazy reclaim).
+    pub fn smb_from_committed(mut self, on: bool) -> Self {
+        self.smb_from_committed = Some(on);
+        self
+    }
+
+    /// Selects a tracker by name.
+    pub fn tracker(mut self, name: impl Into<String>) -> Self {
+        self.tracker = Some(name.into());
+        self
+    }
+
+    /// Sets the ISRB entry count (0 = unlimited).
+    pub fn isrb_entries(mut self, entries: usize) -> Self {
+        self.isrb_entries = Some(entries);
+        self
+    }
+
+    /// Sets the sharing-counter width.
+    pub fn counter_bits(mut self, bits: u32) -> Self {
+        self.counter_bits = Some(bits);
+        self
+    }
+
+    /// Sets the tracker rename/reclaim CAM port counts (0 = unlimited).
+    pub fn ports(mut self, rename: usize, reclaim: usize) -> Self {
+        self.rename_ports = Some(rename);
+        self.reclaim_ports = Some(reclaim);
+        self
+    }
+
+    /// Sets the per-register-counter squash-walk width.
+    pub fn walk_width(mut self, width: usize) -> Self {
+        self.walk_width = Some(width);
+        self
+    }
+
+    /// Sets the MIT/RDA associative entry count.
+    pub fn tracker_entries(mut self, entries: usize) -> Self {
+        self.tracker_entries = Some(entries);
+        self
+    }
+
+    /// Selects a distance predictor by name.
+    pub fn distance(mut self, name: impl Into<String>) -> Self {
+        self.distance = Some(name.into());
+        self
+    }
+
+    /// Selects a DDT geometry by name.
+    pub fn ddt(mut self, name: impl Into<String>) -> Self {
+        self.ddt = Some(name.into());
+        self
+    }
+
+    /// Resolves the spec into a validated [`CoreConfig`].
+    pub fn to_config(&self) -> Result<CoreConfig, ScenarioError> {
+        let base = config_preset(&self.preset)?;
+        let mut b = CoreConfigBuilder::from(base);
+        if let Some(on) = self.me {
+            b = b.move_elimination(on);
+        }
+        if let Some(on) = self.me_fp_moves {
+            b = b.me_fp_moves(on);
+        }
+        if let Some(on) = self.smb {
+            b = b.smb(on);
+        }
+        if let Some(on) = self.smb_load_load {
+            b = b.smb_load_load(on);
+        }
+        if let Some(on) = self.smb_from_committed {
+            b = b.smb_from_committed(on);
+        }
+        b = self.apply_tracker(b)?;
+        if let Some(p) = self.rename_ports {
+            b = b.tweak(|c| c.tracker_rename_ports = p);
+        }
+        if let Some(p) = self.reclaim_ports {
+            b = b.tweak(|c| c.tracker_reclaim_ports = p);
+        }
+        if let Some(name) = &self.distance {
+            b = b.distance_predictor(match name.as_str() {
+                "tage" => DistancePredictorKind::default(),
+                "nosq" => DistancePredictorKind::Nosq(NosqConfig::hpca16()),
+                other => return Err(ScenarioError::UnknownDistance(other.to_string())),
+            });
+        }
+        if let Some(name) = &self.ddt {
+            b = b.ddt(match name.as_str() {
+                "base16k" => DdtConfig::base16k(),
+                "opt1k" => DdtConfig::opt1k(),
+                "unlimited" => DdtConfig::unlimited(),
+                other => return Err(ScenarioError::UnknownDdt(other.to_string())),
+            });
+        }
+        for (v, f) in [
+            (
+                self.frontend_width,
+                CoreConfigBuilder::frontend_width
+                    as fn(CoreConfigBuilder, usize) -> CoreConfigBuilder,
+            ),
+            (self.issue_width, CoreConfigBuilder::issue_width),
+            (self.commit_width, CoreConfigBuilder::commit_width),
+            (self.rob_entries, CoreConfigBuilder::rob_entries),
+            (self.iq_entries, CoreConfigBuilder::iq_entries),
+            (self.lq_entries, CoreConfigBuilder::lq_entries),
+            (self.sq_entries, CoreConfigBuilder::sq_entries),
+            (self.pregs_per_class, CoreConfigBuilder::pregs_per_class),
+        ] {
+            if let Some(v) = v {
+                b = f(b, v);
+            }
+        }
+        Ok(b.build()?)
+    }
+
+    /// Applies tracker selection + geometry, rejecting keys that do not
+    /// belong to the selected tracker instead of silently ignoring them.
+    fn apply_tracker(&self, b: CoreConfigBuilder) -> Result<CoreConfigBuilder, ScenarioError> {
+        let isrb_geometry = |cur: &TrackerKind, spec: &VariantSpec| -> IsrbConfig {
+            let mut cfg = match cur {
+                TrackerKind::Isrb(c) => *c,
+                _ => IsrbConfig::hpca16(),
+            };
+            if let Some(n) = spec.isrb_entries {
+                cfg.entries = n;
+            }
+            if let Some(bits) = spec.counter_bits {
+                cfg.counter_bits = bits;
+            }
+            cfg
+        };
+        let reject_isrb_keys = || -> Result<(), ScenarioError> {
+            if self.isrb_entries.is_some() {
+                return Err(ScenarioError::KeyRequiresTracker {
+                    key: "isrb_entries",
+                    tracker: "isrb",
+                });
+            }
+            Ok(())
+        };
+        let reject_walk = || -> Result<(), ScenarioError> {
+            if self.walk_width.is_some() {
+                return Err(ScenarioError::KeyRequiresTracker {
+                    key: "walk_width",
+                    tracker: "counters",
+                });
+            }
+            Ok(())
+        };
+        let reject_entries = || -> Result<(), ScenarioError> {
+            if self.tracker_entries.is_some() {
+                return Err(ScenarioError::KeyRequiresTracker {
+                    key: "tracker_entries",
+                    tracker: "mit / rda",
+                });
+            }
+            Ok(())
+        };
+        let reject_counter_bits = || -> Result<(), ScenarioError> {
+            if self.counter_bits.is_some() {
+                return Err(ScenarioError::KeyRequiresTracker {
+                    key: "counter_bits",
+                    tracker: "isrb / rda",
+                });
+            }
+            Ok(())
+        };
+        match self.tracker.as_deref() {
+            None | Some("isrb") => {
+                reject_walk()?;
+                reject_entries()?;
+                // With no tracker key, ISRB geometry keys re-shape (or
+                // switch to) the ISRB, mirroring `with_isrb_entries`.
+                let touches_isrb = self.tracker.is_some()
+                    || self.isrb_entries.is_some()
+                    || self.counter_bits.is_some();
+                if touches_isrb {
+                    let cfg = isrb_geometry(b.peek_tracker(), self);
+                    Ok(b.tracker(TrackerKind::Isrb(cfg)))
+                } else {
+                    Ok(b)
+                }
+            }
+            Some("unlimited") => {
+                reject_isrb_keys()?;
+                reject_counter_bits()?;
+                reject_walk()?;
+                reject_entries()?;
+                Ok(b.tracker(TrackerKind::Unlimited))
+            }
+            Some("roth") => {
+                reject_isrb_keys()?;
+                reject_counter_bits()?;
+                reject_walk()?;
+                reject_entries()?;
+                Ok(b.tracker(TrackerKind::RothMatrix))
+            }
+            Some("counters") => {
+                reject_isrb_keys()?;
+                reject_counter_bits()?;
+                reject_entries()?;
+                Ok(b.tracker(TrackerKind::PerRegCounters {
+                    walk_width: self.walk_width.unwrap_or(8),
+                }))
+            }
+            Some("mit") => {
+                reject_isrb_keys()?;
+                reject_counter_bits()?;
+                reject_walk()?;
+                Ok(b.tracker(TrackerKind::Mit {
+                    entries: self.tracker_entries.unwrap_or(8),
+                }))
+            }
+            Some("rda") => {
+                reject_isrb_keys()?;
+                reject_walk()?;
+                Ok(b.tracker(TrackerKind::Rda {
+                    entries: self.tracker_entries.unwrap_or(32),
+                    counter_bits: self.counter_bits.unwrap_or(3),
+                }))
+            }
+            Some(other) => Err(ScenarioError::UnknownTracker(other.to_string())),
+        }
+    }
+}
+
+/// A named, validated experiment: workloads × labelled variants, plus run
+/// options. The unit the sweep engine, the binaries' CLIs, and `.scenario`
+/// files all exchange.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (identifier charset, see [`valid_name`]).
+    pub name: String,
+    /// Free-text note printed in report headers (empty = none).
+    pub note: String,
+    /// Window sizes and parallelism; unset fields fall back to the
+    /// deprecated `REGSHARE_*` environment variables, then defaults.
+    pub options: RunOptions,
+    /// Workload names, resolved against the suite registry; empty means
+    /// the full 36-workload suite.
+    pub workloads: Vec<String>,
+    /// Ordered labelled variants; the first is the baseline column.
+    pub variants: Vec<(String, VariantSpec)>,
+}
+
+impl Scenario {
+    /// Starts a [`ScenarioBuilder`].
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            scenario: Scenario {
+                name: name.into(),
+                note: String::new(),
+                options: RunOptions::default(),
+                workloads: Vec::new(),
+                variants: Vec::new(),
+            },
+        }
+    }
+
+    /// Parses the `.scenario` text format. Inverse of [`Scenario::render`]:
+    /// `parse(render(s)) == s` for every valid scenario.
+    pub fn parse(text_src: &str) -> Result<Scenario, ScenarioError> {
+        text::parse(text_src)
+    }
+
+    /// Renders the canonical `.scenario` text. Stable: rendering, parsing
+    /// and rendering again is byte-identical.
+    pub fn render(&self) -> String {
+        text::render(self)
+    }
+
+    /// Reads and parses a `.scenario` file.
+    pub fn load(path: &str) -> Result<Scenario, ScenarioError> {
+        let text_src = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+            path: path.to_string(),
+            msg: e.to_string(),
+        })?;
+        Scenario::parse(&text_src)
+    }
+
+    /// One resolution pass shared by [`Scenario::validate`] and
+    /// [`Scenario::to_sweep`]: checks every name and option, and returns
+    /// the resolved workloads and per-variant configurations so callers
+    /// never resolve (or build the suite) twice.
+    fn resolved(&self) -> Result<(Vec<Workload>, Vec<CoreConfig>), ScenarioError> {
+        check_name("scenario", &self.name)?;
+        if !valid_note(&self.note) {
+            return Err(ScenarioError::InvalidNote(self.note.clone()));
+        }
+        if self.options.jobs == Some(0) {
+            // The text parser and CLI reject 0 too; a hand-constructed
+            // Some(0) would otherwise render to an unparseable file.
+            return Err(ScenarioError::ZeroJobs);
+        }
+        if self.variants.is_empty() {
+            return Err(ScenarioError::NoVariants);
+        }
+        let mut configs = Vec::with_capacity(self.variants.len());
+        for (i, (label, spec)) in self.variants.iter().enumerate() {
+            check_name("variant label", label)?;
+            if self.variants[..i].iter().any(|(l, _)| l == label) {
+                return Err(ScenarioError::DuplicateVariant(label.clone()));
+            }
+            configs.push(spec.to_config().map_err(|e| ScenarioError::InVariant {
+                label: label.clone(),
+                source: Box::new(e),
+            })?);
+        }
+        Ok((self.resolve_workloads()?, configs))
+    }
+
+    /// Full validation: names, labels, options, workload existence, and
+    /// every variant's resolved core configuration.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.resolved().map(|_| ())
+    }
+
+    /// The workload list this scenario runs over (the full suite when none
+    /// are named), with unknown names rejected as typed errors.
+    pub fn resolve_workloads(&self) -> Result<Vec<Workload>, ScenarioError> {
+        if self.workloads.is_empty() {
+            return Ok(suite());
+        }
+        for name in &self.workloads {
+            check_name("workload", name)?;
+        }
+        try_by_names(&self.workloads).map_err(ScenarioError::UnknownWorkload)
+    }
+
+    /// Validates the scenario and expands it into a ready-to-run
+    /// [`SweepSpec`] — the bridge from declarative scenario to the
+    /// deterministic parallel sweep engine.
+    pub fn to_sweep(&self) -> Result<SweepSpec, ScenarioError> {
+        let (workloads, configs) = self.resolved()?;
+        let mut spec = SweepSpec::new(workloads, self.options.window());
+        if let Some(jobs) = self.options.jobs {
+            spec = spec.jobs(jobs);
+        }
+        for ((label, _), cfg) in self.variants.iter().zip(configs) {
+            spec = spec.variant(label.clone(), cfg);
+        }
+        Ok(spec)
+    }
+}
+
+impl SweepSpec {
+    /// Expands a validated scenario into a sweep — equivalent to
+    /// [`Scenario::to_sweep`], for call sites that read better spec-first.
+    pub fn from_scenario(scenario: &Scenario) -> Result<SweepSpec, ScenarioError> {
+        scenario.to_sweep()
+    }
+}
+
+/// Fluent, validating constructor for [`Scenario`].
+///
+/// # Examples
+///
+/// ```
+/// use regshare_bench::{RunOptions, Scenario, VariantSpec};
+///
+/// let scenario = Scenario::builder("isrb_sizing")
+///     .options(RunOptions::default().warmup(1_000).measure(4_000))
+///     .workloads(&["crafty", "hmmer"])
+///     .variant("base", VariantSpec::hpca16())
+///     .variant("both24", VariantSpec::preset("me_smb").isrb_entries(24))
+///     .build()
+///     .unwrap();
+/// let grid = scenario.to_sweep().unwrap().run();
+/// assert!(grid.get(0, "both24").ipc() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    scenario: Scenario,
+}
+
+impl ScenarioBuilder {
+    /// Sets the free-text note shown in report headers.
+    pub fn note(mut self, note: impl Into<String>) -> Self {
+        self.scenario.note = note.into();
+        self
+    }
+
+    /// Sets the run options (window sizes, parallelism).
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.scenario.options = options;
+        self
+    }
+
+    /// Names the workloads to run (replacing any previous list).
+    pub fn workloads(mut self, names: &[&str]) -> Self {
+        self.scenario.workloads = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Runs over the full 36-workload suite (the default).
+    pub fn full_suite(mut self) -> Self {
+        self.scenario.workloads.clear();
+        self
+    }
+
+    /// Appends a labelled variant.
+    pub fn variant(mut self, label: impl Into<String>, spec: VariantSpec) -> Self {
+        self.scenario.variants.push((label.into(), spec));
+        self
+    }
+
+    /// Validates everything and returns the finished scenario; the error
+    /// pinpoints the offending variant, key or name.
+    pub fn build(self) -> Result<Scenario, ScenarioError> {
+        self.scenario.validate()?;
+        Ok(self.scenario)
+    }
+}
+
+/// The built-in named scenarios (`--list-presets` in the binaries). Each
+/// covers one of the paper's experiments end to end.
+pub const SCENARIO_PRESETS: [(&str, &str); 7] = [
+    (
+        "smoke",
+        "quick shape check: ME / SMB / combined on 9 representative workloads",
+    ),
+    (
+        "headline",
+        "paper-vs-measured headline matrix over the full suite",
+    ),
+    ("fig4_baseline", "Figure 4: baseline characterization"),
+    ("fig5_me", "Figure 5: move elimination vs ISRB size"),
+    (
+        "fig6_smb",
+        "Figure 6(a): SMB vs ISRB size (+ NoSQ predictor)",
+    ),
+    (
+        "fig6c_committed",
+        "Figure 6(c): eager vs lazy reclaim (bypass from committed)",
+    ),
+    ("fig7_combined", "Figure 7: ME+SMB combined vs ISRB size"),
+];
+
+/// Builds the named preset scenario, or `None` for an unknown name.
+pub fn preset(name: &str) -> Option<Scenario> {
+    let b = match name {
+        "smoke" => Scenario::builder("smoke")
+            .note("quick shape check: ME / SMB / combined speedups")
+            .workloads(&[
+                "crafty", "vortex", "hmmer", "astar", "bzip", "namd", "wupwise", "applu", "mcf",
+            ])
+            .variant("base", VariantSpec::hpca16())
+            .variant("me", VariantSpec::preset("me"))
+            .variant("smb", VariantSpec::preset("smb"))
+            .variant("both", VariantSpec::preset("me_smb")),
+        "headline" => Scenario::builder("headline")
+            .note(
+                "paper: ME+SMB geomean +5.5% at 32 ISRB entries, +5.6% unlimited, \
+                 up to +39.6% (applu)",
+            )
+            .variant("base", VariantSpec::hpca16())
+            .variant("meUnl", VariantSpec::preset("me").isrb_entries(0))
+            .variant("smbUnl", VariantSpec::preset("smb").isrb_entries(0))
+            .variant("both32", VariantSpec::preset("me_smb").isrb_entries(32))
+            .variant("bothUnl", VariantSpec::preset("me_smb").isrb_entries(0)),
+        "fig4_baseline" => Scenario::builder("fig4_baseline")
+            .note("paper: IPC spread ~0.5-3.5; trap counts span orders of magnitude")
+            .variant("base", VariantSpec::hpca16()),
+        "fig5_me" => Scenario::builder("fig5_me")
+            .note("paper: a handful of ISRB entries suffice; ~1% gmean, up to ~5%")
+            .variant("base", VariantSpec::hpca16())
+            .variant("me8", VariantSpec::preset("me").isrb_entries(8))
+            .variant("me16", VariantSpec::preset("me").isrb_entries(16))
+            .variant("me32", VariantSpec::preset("me").isrb_entries(32))
+            .variant("meUnl", VariantSpec::preset("me").isrb_entries(0)),
+        "fig6_smb" => Scenario::builder("fig6_smb")
+            .note("paper: SMB needs ~24 entries; TAGE-like > NoSQ-style predictor")
+            .variant("base", VariantSpec::hpca16())
+            .variant("smb16", VariantSpec::preset("smb").isrb_entries(16))
+            .variant("smb24", VariantSpec::preset("smb").isrb_entries(24))
+            .variant("smb32", VariantSpec::preset("smb").isrb_entries(32))
+            .variant("smbUnl", VariantSpec::preset("smb").isrb_entries(0))
+            .variant(
+                "nosqUnl",
+                VariantSpec::preset("smb").isrb_entries(0).distance("nosq"),
+            ),
+        "fig6c_committed" => Scenario::builder("fig6c_committed")
+            .note("paper: generally marginal, harmful at 24 entries, helps latency-bound outliers")
+            .variant("base", VariantSpec::hpca16())
+            .variant("eager-unl", VariantSpec::preset("smb").isrb_entries(0))
+            .variant(
+                "lazy-unl",
+                VariantSpec::preset("lazy_reclaim").isrb_entries(0),
+            )
+            .variant("eager-24", VariantSpec::preset("smb").isrb_entries(24))
+            .variant(
+                "lazy-24",
+                VariantSpec::preset("lazy_reclaim").isrb_entries(24),
+            ),
+        "fig7_combined" => Scenario::builder("fig7_combined")
+            .note("paper: 32 entries ~= unlimited (5.5% vs 5.6% gmean); 24 a good tradeoff")
+            .variant("base", VariantSpec::hpca16())
+            .variant("both16", VariantSpec::preset("me_smb").isrb_entries(16))
+            .variant("both24", VariantSpec::preset("me_smb").isrb_entries(24))
+            .variant("both32", VariantSpec::preset("me_smb").isrb_entries(32))
+            .variant("bothUnl", VariantSpec::preset("me_smb").isrb_entries(0))
+            .variant("meUnl", VariantSpec::preset("me").isrb_entries(0))
+            .variant("smbUnl", VariantSpec::preset("smb").isrb_entries(0)),
+        _ => return None,
+    };
+    Some(b.build().expect("presets are valid by construction"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_builds_and_validates() {
+        for (name, _) in SCENARIO_PRESETS {
+            let s = preset(name).expect("preset exists");
+            assert_eq!(s.name, name);
+            s.validate().expect("preset validates");
+        }
+        assert!(preset("nope").is_none());
+    }
+
+    #[test]
+    fn preset_matrix_matches_the_hand_built_config() {
+        let s = preset("headline").unwrap();
+        let (label, spec) = &s.variants[3];
+        assert_eq!(label, "both32");
+        let cfg = spec.to_config().unwrap();
+        let hand = CoreConfig::hpca16()
+            .with_me()
+            .with_smb()
+            .with_isrb_entries(32);
+        assert!(cfg.move_elimination && cfg.smb);
+        match (cfg.tracker, hand.tracker) {
+            (TrackerKind::Isrb(a), TrackerKind::Isrb(b)) => assert_eq!(a, b),
+            _ => panic!("both ISRB"),
+        }
+
+        // fig6c's eager/lazy pairs must reproduce the old hand-mutated
+        // configs: lazy = smb + smb_from_committed at the same ISRB size.
+        let s = preset("fig6c_committed").unwrap();
+        for (label, entries, lazy) in [
+            ("eager-unl", 0usize, false),
+            ("lazy-unl", 0, true),
+            ("eager-24", 24, false),
+            ("lazy-24", 24, true),
+        ] {
+            let spec = &s.variants.iter().find(|(l, _)| l == label).unwrap().1;
+            let cfg = spec.to_config().unwrap();
+            assert!(cfg.smb && !cfg.move_elimination, "{label}");
+            assert_eq!(cfg.smb_from_committed, lazy, "{label}");
+            match cfg.tracker {
+                TrackerKind::Isrb(i) => assert_eq!(i.entries, entries, "{label}"),
+                _ => panic!("{label}: ISRB expected"),
+            }
+        }
+    }
+
+    #[test]
+    fn every_tracker_and_predictor_is_addressable_by_name() {
+        for (tracker, expect) in [
+            ("isrb", "ISRB"),
+            ("unlimited", "unlimited"),
+            ("counters", "counters"),
+            ("roth", "matrix"),
+            ("mit", "MIT"),
+            ("rda", "RDA"),
+        ] {
+            let cfg = VariantSpec::hpca16().tracker(tracker).to_config().unwrap();
+            let built = cfg.tracker.build(cfg.pregs_per_class, cfg.rob_entries);
+            assert!(
+                built.name().to_lowercase().contains(&expect.to_lowercase()),
+                "tracker {tracker:?} resolved to {:?}",
+                built.name()
+            );
+        }
+        for distance in ["tage", "nosq"] {
+            VariantSpec::hpca16()
+                .distance(distance)
+                .to_config()
+                .unwrap();
+        }
+        for ddt in ["base16k", "opt1k", "unlimited"] {
+            VariantSpec::hpca16().ddt(ddt).to_config().unwrap();
+        }
+    }
+
+    #[test]
+    fn unknown_names_fail_with_typed_errors() {
+        assert_eq!(
+            VariantSpec::preset("hpca17").to_config().unwrap_err(),
+            ScenarioError::UnknownPreset("hpca17".into())
+        );
+        assert_eq!(
+            VariantSpec::hpca16()
+                .tracker("lru")
+                .to_config()
+                .unwrap_err(),
+            ScenarioError::UnknownTracker("lru".into())
+        );
+        assert_eq!(
+            VariantSpec::hpca16()
+                .distance("oracle")
+                .to_config()
+                .unwrap_err(),
+            ScenarioError::UnknownDistance("oracle".into())
+        );
+        assert_eq!(
+            VariantSpec::hpca16().ddt("huge").to_config().unwrap_err(),
+            ScenarioError::UnknownDdt("huge".into())
+        );
+    }
+
+    #[test]
+    fn invalid_configs_fail_with_typed_errors_not_silent_runs() {
+        // ISRB larger than the PRF.
+        let err = Scenario::builder("bad")
+            .variant("v", VariantSpec::hpca16().isrb_entries(4096))
+            .build()
+            .unwrap_err();
+        match err {
+            ScenarioError::InVariant { label, source } => {
+                assert_eq!(label, "v");
+                assert_eq!(
+                    *source,
+                    ScenarioError::Config(ConfigError::IsrbExceedsPrf {
+                        entries: 4096,
+                        pregs: 256
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Zero walk width.
+        let err = VariantSpec::hpca16()
+            .tracker("counters")
+            .walk_width(0)
+            .to_config()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::Config(ConfigError::ZeroWalkWidth));
+    }
+
+    #[test]
+    fn misplaced_tracker_keys_are_rejected() {
+        assert_eq!(
+            VariantSpec::hpca16().walk_width(4).to_config().unwrap_err(),
+            ScenarioError::KeyRequiresTracker {
+                key: "walk_width",
+                tracker: "counters"
+            }
+        );
+        assert_eq!(
+            VariantSpec::hpca16()
+                .tracker("unlimited")
+                .isrb_entries(8)
+                .to_config()
+                .unwrap_err(),
+            ScenarioError::KeyRequiresTracker {
+                key: "isrb_entries",
+                tracker: "isrb"
+            }
+        );
+        assert_eq!(
+            VariantSpec::hpca16()
+                .tracker_entries(8)
+                .to_config()
+                .unwrap_err(),
+            ScenarioError::KeyRequiresTracker {
+                key: "tracker_entries",
+                tracker: "mit / rda"
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_workloads_and_duplicate_labels_are_rejected() {
+        let err = Scenario::builder("bad")
+            .workloads(&["crafty", "doom"])
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownWorkload("doom".into()));
+
+        let err = Scenario::builder("bad")
+            .variant("base", VariantSpec::hpca16())
+            .variant("base", VariantSpec::preset("me"))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::DuplicateVariant("base".into()));
+
+        let err = Scenario::builder("bad").build().unwrap_err();
+        assert_eq!(err, ScenarioError::NoVariants);
+
+        let err = Scenario::builder("no spaces allowed")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidName { .. }));
+    }
+
+    #[test]
+    fn hand_set_zero_jobs_is_rejected_before_it_can_render() {
+        // The jobs() setter clamps and the parser/CLI reject 0; a
+        // pub-field construction is the only way in, and validate()
+        // closes it so render() can never emit an unparseable file.
+        let mut s = Scenario::builder("x")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        s.options.jobs = Some(0);
+        assert_eq!(s.validate().unwrap_err(), ScenarioError::ZeroJobs);
+        assert!(matches!(
+            Scenario::parse(&s.render()).unwrap_err(),
+            ScenarioError::Syntax { .. }
+        ));
+    }
+
+    #[test]
+    fn unescapable_notes_are_rejected_not_rendered_broken() {
+        // The format has no escape sequences: a quote, backslash or
+        // newline in the note would render to unparseable text, so
+        // validation rejects it up front.
+        for note in ["say \"hi\"", "back\\slash", "two\nlines"] {
+            let err = Scenario::builder("x")
+                .note(note)
+                .variant("base", VariantSpec::hpca16())
+                .build()
+                .unwrap_err();
+            assert_eq!(err, ScenarioError::InvalidNote(note.to_string()));
+        }
+        // Ordinary punctuation and non-ASCII text stay allowed.
+        let s = Scenario::builder("x")
+            .note("geomean +5.5% (µ-ops, ISRB=32)")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+    }
+
+    #[test]
+    fn scenario_drives_the_sweep_engine() {
+        let s = Scenario::builder("tiny")
+            .options(RunOptions::default().warmup(500).measure(1_500).jobs(2))
+            .workloads(&["crafty"])
+            .variant("base", VariantSpec::hpca16())
+            .variant("both", VariantSpec::preset("me_smb"))
+            .build()
+            .unwrap();
+        let grid = SweepSpec::from_scenario(&s).unwrap().run();
+        assert_eq!(grid.labels(), &["base".to_string(), "both".to_string()]);
+        assert!(grid.get(0, "both").ipc() > 0.0);
+        assert_eq!(grid.get(0, "base").name, "crafty");
+    }
+}

@@ -1,0 +1,477 @@
+//! The `.scenario` text format: a dependency-free TOML subset.
+//!
+//! ```text
+//! # comment
+//! name = "isrb_sizing"
+//! note = "free text"
+//! warmup = 1000
+//! measure = 4000
+//! jobs = 2
+//! workloads = ["crafty", "hmmer"]
+//!
+//! [variant.base]
+//! preset = "hpca16"
+//!
+//! [variant.both24]
+//! preset = "me_smb"
+//! isrb_entries = 24
+//! ```
+//!
+//! Supported values: unsigned integers, `true`/`false`, quoted strings
+//! (identifier charset plus spaces for `note`), and arrays of quoted
+//! strings. [`render`] emits keys in one canonical order and only when
+//! set, so `render(parse(text))` is a canonical form and
+//! `parse(render(scenario))` is the identity — the round-trip guarantees
+//! the proptest in `tests/scenario_roundtrip.rs` pins down.
+
+use super::{Scenario, ScenarioError, VariantSpec};
+use crate::options::RunOptions;
+
+/// One parsed right-hand-side value.
+enum Value {
+    Int(u64),
+    Bool(bool),
+    Str(String),
+    StrArray(Vec<String>),
+}
+
+fn syntax(line: usize, msg: impl Into<String>) -> ScenarioError {
+    ScenarioError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parses a quoted string; rejects embedded quotes/backslashes (the
+/// renderer never emits them, keeping round trips unambiguous).
+fn parse_quoted(line: usize, s: &str) -> Result<(String, &str), ScenarioError> {
+    let rest = s
+        .strip_prefix('"')
+        .ok_or_else(|| syntax(line, format!("expected a quoted string at {s:?}")))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| syntax(line, "unterminated string"))?;
+    let content = &rest[..end];
+    if content.contains('\\') {
+        return Err(syntax(line, "escape sequences are not supported"));
+    }
+    Ok((content.to_string(), &rest[end + 1..]))
+}
+
+fn parse_value(line: usize, s: &str) -> Result<Value, ScenarioError> {
+    let s = s.trim();
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.starts_with('"') {
+        let (v, rest) = parse_quoted(line, s)?;
+        if !rest.trim().is_empty() {
+            return Err(syntax(
+                line,
+                format!("trailing input after string: {rest:?}"),
+            ));
+        }
+        return Ok(Value::Str(v));
+    }
+    if let Some(inner) = s.strip_prefix('[') {
+        let inner = inner
+            .strip_suffix(']')
+            .ok_or_else(|| syntax(line, "unterminated array"))?
+            .trim();
+        let mut items = Vec::new();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            let (item, after) = parse_quoted(line, rest)?;
+            items.push(item);
+            rest = after.trim_start();
+            if let Some(after_comma) = rest.strip_prefix(',') {
+                rest = after_comma.trim_start();
+                if rest.is_empty() {
+                    return Err(syntax(line, "trailing comma in array"));
+                }
+            } else if !rest.is_empty() {
+                return Err(syntax(line, "expected `,` between array items"));
+            }
+        }
+        return Ok(Value::StrArray(items));
+    }
+    if s.bytes().all(|b| b.is_ascii_digit()) && !s.is_empty() {
+        return s
+            .parse::<u64>()
+            .map(Value::Int)
+            .map_err(|e| syntax(line, format!("bad integer {s:?}: {e}")));
+    }
+    Err(syntax(line, format!("cannot parse value {s:?}")))
+}
+
+fn expect_int(line: usize, key: &str, v: Value) -> Result<u64, ScenarioError> {
+    match v {
+        Value::Int(n) => Ok(n),
+        _ => Err(ScenarioError::WrongType {
+            line,
+            key: key.to_string(),
+            expected: "an integer",
+        }),
+    }
+}
+
+fn expect_bool(line: usize, key: &str, v: Value) -> Result<bool, ScenarioError> {
+    match v {
+        Value::Bool(b) => Ok(b),
+        _ => Err(ScenarioError::WrongType {
+            line,
+            key: key.to_string(),
+            expected: "a boolean",
+        }),
+    }
+}
+
+fn expect_str(line: usize, key: &str, v: Value) -> Result<String, ScenarioError> {
+    match v {
+        Value::Str(s) => Ok(s),
+        _ => Err(ScenarioError::WrongType {
+            line,
+            key: key.to_string(),
+            expected: "a string",
+        }),
+    }
+}
+
+/// Tracks duplicate keys within one scope (top level or one variant).
+struct SeenKeys(Vec<String>);
+
+impl SeenKeys {
+    fn new() -> SeenKeys {
+        SeenKeys(Vec::new())
+    }
+
+    fn check(&mut self, line: usize, key: &str) -> Result<(), ScenarioError> {
+        if self.0.iter().any(|k| k == key) {
+            return Err(ScenarioError::DuplicateKey {
+                line,
+                key: key.to_string(),
+            });
+        }
+        self.0.push(key.to_string());
+        Ok(())
+    }
+}
+
+fn apply_variant_key(
+    spec: &mut VariantSpec,
+    line: usize,
+    key: &str,
+    value: Value,
+) -> Result<(), ScenarioError> {
+    match key {
+        "preset" => spec.preset = expect_str(line, key, value)?,
+        "me" => spec.me = Some(expect_bool(line, key, value)?),
+        "me_fp_moves" => spec.me_fp_moves = Some(expect_bool(line, key, value)?),
+        "smb" => spec.smb = Some(expect_bool(line, key, value)?),
+        "smb_load_load" => spec.smb_load_load = Some(expect_bool(line, key, value)?),
+        "smb_from_committed" => spec.smb_from_committed = Some(expect_bool(line, key, value)?),
+        "tracker" => spec.tracker = Some(expect_str(line, key, value)?),
+        "isrb_entries" => spec.isrb_entries = Some(expect_int(line, key, value)? as usize),
+        "counter_bits" => spec.counter_bits = Some(expect_int(line, key, value)? as u32),
+        "rename_ports" => spec.rename_ports = Some(expect_int(line, key, value)? as usize),
+        "reclaim_ports" => spec.reclaim_ports = Some(expect_int(line, key, value)? as usize),
+        "walk_width" => spec.walk_width = Some(expect_int(line, key, value)? as usize),
+        "tracker_entries" => spec.tracker_entries = Some(expect_int(line, key, value)? as usize),
+        "distance" => spec.distance = Some(expect_str(line, key, value)?),
+        "ddt" => spec.ddt = Some(expect_str(line, key, value)?),
+        "frontend_width" => spec.frontend_width = Some(expect_int(line, key, value)? as usize),
+        "issue_width" => spec.issue_width = Some(expect_int(line, key, value)? as usize),
+        "commit_width" => spec.commit_width = Some(expect_int(line, key, value)? as usize),
+        "rob_entries" => spec.rob_entries = Some(expect_int(line, key, value)? as usize),
+        "iq_entries" => spec.iq_entries = Some(expect_int(line, key, value)? as usize),
+        "lq_entries" => spec.lq_entries = Some(expect_int(line, key, value)? as usize),
+        "sq_entries" => spec.sq_entries = Some(expect_int(line, key, value)? as usize),
+        "pregs_per_class" => spec.pregs_per_class = Some(expect_int(line, key, value)? as usize),
+        _ => {
+            return Err(ScenarioError::UnknownKey {
+                line,
+                key: key.to_string(),
+            })
+        }
+    }
+    Ok(())
+}
+
+/// Parses `.scenario` text into a [`Scenario`].
+pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+    let mut name: Option<String> = None;
+    let mut note = String::new();
+    let mut options = RunOptions::default();
+    let mut workloads: Vec<String> = Vec::new();
+    let mut variants: Vec<(String, VariantSpec)> = Vec::new();
+    // None = top level; Some(i) = inside variants[i].
+    let mut current: Option<usize> = None;
+    let mut top_seen = SeenKeys::new();
+    let mut variant_seen = SeenKeys::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(section) = line.strip_prefix('[') {
+            let section = section
+                .strip_suffix(']')
+                .ok_or_else(|| syntax(lineno, "unterminated section header"))?
+                .trim();
+            let label = section.strip_prefix("variant.").ok_or_else(|| {
+                syntax(
+                    lineno,
+                    format!("unknown section [{section}] (expected [variant.<label>])"),
+                )
+            })?;
+            super::check_name("variant label", label)?;
+            if variants.iter().any(|(l, _)| l == label) {
+                return Err(ScenarioError::DuplicateVariant(label.to_string()));
+            }
+            variants.push((label.to_string(), VariantSpec::preset("hpca16")));
+            current = Some(variants.len() - 1);
+            variant_seen = SeenKeys::new();
+            continue;
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| syntax(lineno, format!("expected `key = value`, got {line:?}")))?;
+        let key = line[..eq].trim();
+        let value = parse_value(lineno, &line[eq + 1..])?;
+        match current {
+            Some(v) => {
+                variant_seen.check(lineno, key)?;
+                apply_variant_key(&mut variants[v].1, lineno, key, value)?;
+            }
+            None => {
+                top_seen.check(lineno, key)?;
+                match key {
+                    "name" => name = Some(expect_str(lineno, key, value)?),
+                    "note" => note = expect_str(lineno, key, value)?,
+                    "warmup" => options.warmup = Some(expect_int(lineno, key, value)?),
+                    "measure" => options.measure = Some(expect_int(lineno, key, value)?),
+                    "jobs" => {
+                        let n = expect_int(lineno, key, value)? as usize;
+                        if n == 0 {
+                            return Err(syntax(lineno, "jobs must be at least 1"));
+                        }
+                        options.jobs = Some(n);
+                    }
+                    "workloads" => match value {
+                        Value::StrArray(items) => workloads = items,
+                        _ => {
+                            return Err(ScenarioError::WrongType {
+                                line: lineno,
+                                key: key.to_string(),
+                                expected: "an array of strings",
+                            })
+                        }
+                    },
+                    _ => {
+                        return Err(ScenarioError::UnknownKey {
+                            line: lineno,
+                            key: key.to_string(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Scenario {
+        name: name.ok_or(ScenarioError::MissingName)?,
+        note,
+        options,
+        workloads,
+        variants,
+    })
+}
+
+fn push_variant_key(out: &mut String, key: &str, value: String) {
+    out.push_str(key);
+    out.push_str(" = ");
+    out.push_str(&value);
+    out.push('\n');
+}
+
+/// Renders the canonical `.scenario` text for a scenario.
+pub fn render(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str("# regshare scenario — see README \"Defining scenarios\".\n");
+    out.push_str(&format!("name = \"{}\"\n", s.name));
+    if !s.note.is_empty() {
+        out.push_str(&format!("note = \"{}\"\n", s.note));
+    }
+    if let Some(v) = s.options.warmup {
+        out.push_str(&format!("warmup = {v}\n"));
+    }
+    if let Some(v) = s.options.measure {
+        out.push_str(&format!("measure = {v}\n"));
+    }
+    if let Some(v) = s.options.jobs {
+        out.push_str(&format!("jobs = {v}\n"));
+    }
+    if !s.workloads.is_empty() {
+        let quoted: Vec<String> = s.workloads.iter().map(|w| format!("\"{w}\"")).collect();
+        out.push_str(&format!("workloads = [{}]\n", quoted.join(", ")));
+    }
+    for (label, spec) in &s.variants {
+        out.push_str(&format!("\n[variant.{label}]\n"));
+        push_variant_key(&mut out, "preset", format!("\"{}\"", spec.preset));
+        for (key, v) in [
+            ("me", spec.me),
+            ("me_fp_moves", spec.me_fp_moves),
+            ("smb", spec.smb),
+            ("smb_load_load", spec.smb_load_load),
+            ("smb_from_committed", spec.smb_from_committed),
+        ] {
+            if let Some(v) = v {
+                push_variant_key(&mut out, key, v.to_string());
+            }
+        }
+        if let Some(t) = &spec.tracker {
+            push_variant_key(&mut out, "tracker", format!("\"{t}\""));
+        }
+        if let Some(v) = spec.isrb_entries {
+            push_variant_key(&mut out, "isrb_entries", v.to_string());
+        }
+        if let Some(v) = spec.counter_bits {
+            push_variant_key(&mut out, "counter_bits", v.to_string());
+        }
+        for (key, v) in [
+            ("rename_ports", spec.rename_ports),
+            ("reclaim_ports", spec.reclaim_ports),
+            ("walk_width", spec.walk_width),
+            ("tracker_entries", spec.tracker_entries),
+        ] {
+            if let Some(v) = v {
+                push_variant_key(&mut out, key, v.to_string());
+            }
+        }
+        if let Some(d) = &spec.distance {
+            push_variant_key(&mut out, "distance", format!("\"{d}\""));
+        }
+        if let Some(d) = &spec.ddt {
+            push_variant_key(&mut out, "ddt", format!("\"{d}\""));
+        }
+        for (key, v) in [
+            ("frontend_width", spec.frontend_width),
+            ("issue_width", spec.issue_width),
+            ("commit_width", spec.commit_width),
+            ("rob_entries", spec.rob_entries),
+            ("iq_entries", spec.iq_entries),
+            ("lq_entries", spec.lq_entries),
+            ("sq_entries", spec.sq_entries),
+            ("pregs_per_class", spec.pregs_per_class),
+        ] {
+            if let Some(v) = v {
+                push_variant_key(&mut out, key, v.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{preset, Scenario, ScenarioError, VariantSpec, SCENARIO_PRESETS};
+
+    #[test]
+    fn worked_example_parses() {
+        let text = r#"
+            # ISRB sizing sweep on two workloads.
+            name = "isrb_sizing"
+            warmup = 1000
+            measure = 4000
+            workloads = ["crafty", "hmmer"]
+
+            [variant.base]
+            preset = "hpca16"
+
+            [variant.both24]
+            preset = "me_smb"
+            isrb_entries = 24
+        "#;
+        let s = Scenario::parse(text).unwrap();
+        assert_eq!(s.name, "isrb_sizing");
+        assert_eq!(s.workloads, vec!["crafty", "hmmer"]);
+        assert_eq!(s.variants.len(), 2);
+        assert_eq!(s.variants[1].1.isrb_entries, Some(24));
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn every_preset_round_trips_exactly() {
+        for (name, _) in SCENARIO_PRESETS {
+            let s = preset(name).unwrap();
+            let text = s.render();
+            let back = Scenario::parse(&text).unwrap();
+            assert_eq!(back, s, "value round trip for {name}");
+            assert_eq!(back.render(), text, "byte-identical render for {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_keys_duplicates_and_bad_types_are_typed_errors() {
+        let base = "name = \"x\"\n[variant.v]\npreset = \"hpca16\"\n";
+        assert_eq!(
+            Scenario::parse(&format!("{base}isrb_size = 3\n")).unwrap_err(),
+            ScenarioError::UnknownKey {
+                line: 4,
+                key: "isrb_size".into()
+            }
+        );
+        assert_eq!(
+            Scenario::parse(&format!("{base}me = true\nme = false\n")).unwrap_err(),
+            ScenarioError::DuplicateKey {
+                line: 5,
+                key: "me".into()
+            }
+        );
+        assert_eq!(
+            Scenario::parse(&format!("{base}me = 3\n")).unwrap_err(),
+            ScenarioError::WrongType {
+                line: 4,
+                key: "me".into(),
+                expected: "a boolean"
+            }
+        );
+        assert_eq!(
+            Scenario::parse("note = \"no name\"\n").unwrap_err(),
+            ScenarioError::MissingName
+        );
+        assert!(matches!(
+            Scenario::parse("name = \"x\"\n[section]\n").unwrap_err(),
+            ScenarioError::Syntax { line: 2, .. }
+        ));
+        assert_eq!(
+            Scenario::parse("name = \"x\"\n[variant.v]\n[variant.v]\n").unwrap_err(),
+            ScenarioError::DuplicateVariant("v".into())
+        );
+        // jobs = 0 is rejected here just like the CLI rejects --jobs 0,
+        // keeping the Some(n) => n >= 1 invariant from every front door.
+        assert!(matches!(
+            Scenario::parse("name = \"x\"\njobs = 0\n").unwrap_err(),
+            ScenarioError::Syntax { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn default_spec_renders_only_its_preset() {
+        let s = Scenario {
+            name: "min".into(),
+            note: String::new(),
+            options: Default::default(),
+            workloads: vec![],
+            variants: vec![("only".into(), VariantSpec::hpca16())],
+        };
+        let text = s.render();
+        assert!(text.contains("[variant.only]\npreset = \"hpca16\"\n"));
+        assert_eq!(Scenario::parse(&text).unwrap(), s);
+    }
+}

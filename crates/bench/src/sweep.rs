@@ -35,19 +35,12 @@ pub struct Variant {
     pub cfg: CoreConfig,
 }
 
-/// Parses a `REGSHARE_JOBS`-style value; `None` means "not set / invalid".
-fn parse_jobs(v: Option<&str>) -> Option<usize> {
-    v.and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-}
-
-/// Worker count from `REGSHARE_JOBS`, defaulting to available parallelism.
+/// Worker count from the deprecated `REGSHARE_JOBS` fallback, defaulting
+/// to available parallelism — equivalent to
+/// [`RunOptions::job_count`](crate::options::RunOptions::job_count) with no
+/// explicit jobs value.
 pub fn jobs_from_env() -> usize {
-    parse_jobs(std::env::var("REGSHARE_JOBS").ok().as_deref()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    })
+    crate::options::RunOptions::default().job_count()
 }
 
 /// A declarative (workloads × variants) sweep.
@@ -155,7 +148,7 @@ impl SweepSpec {
                     let (w, v) = (i / n_variants, i % n_variants);
                     let program = programs[w].get_or_init(|| workloads[w].build());
                     let m = measure_program(
-                        workloads[w].name,
+                        workloads[w].name.as_str(),
                         program,
                         variants[v].cfg.clone(),
                         window,
@@ -278,16 +271,6 @@ mod tests {
             warmup: 500,
             measure: 1_500,
         }
-    }
-
-    #[test]
-    fn parse_jobs_accepts_positive_integers_only() {
-        assert_eq!(parse_jobs(Some("4")), Some(4));
-        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
-        assert_eq!(parse_jobs(Some("0")), None);
-        assert_eq!(parse_jobs(Some("-1")), None);
-        assert_eq!(parse_jobs(Some("lots")), None);
-        assert_eq!(parse_jobs(None), None);
     }
 
     #[test]

@@ -7,6 +7,90 @@ use regshare_predictors::{StoreSetsConfig, TageConfig};
 use regshare_refcount::{
     Isrb, IsrbConfig, Mit, PerRegCounters, Rda, RothMatrix, SharingTracker, UnlimitedTracker,
 };
+use regshare_types::ARCH_REGS_PER_CLASS;
+
+/// A structural problem in a [`CoreConfig`] that would make the simulator
+/// deadlock, panic, or silently model a machine that cannot exist.
+///
+/// Returned by [`CoreConfig::validate`] and [`CoreConfigBuilder::build`];
+/// each variant names the offending field so callers (and scenario files)
+/// get an actionable message instead of a hung or nonsensical run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A pipeline width is zero (`frontend_width`, `issue_width`,
+    /// `commit_width`): no µ-op could ever advance through that stage.
+    ZeroWidth(&'static str),
+    /// A window structure has no entries (`rob_entries`, `iq_entries`,
+    /// `lq_entries`, `sq_entries`): dispatch would stall forever.
+    ZeroCapacity(&'static str),
+    /// A functional-unit or port count is zero (`alu_units`, `muldiv_units`,
+    /// `fp_units`, `fpmuldiv_units`, `mem_ports`): µ-ops of that class
+    /// could never issue.
+    ZeroUnits(&'static str),
+    /// Fewer physical registers per class than architectural registers plus
+    /// one: rename could never allocate a destination.
+    PrfTooSmall {
+        /// Configured `pregs_per_class`.
+        pregs: usize,
+        /// Minimum legal value (`ARCH_REGS_PER_CLASS + 1`).
+        min: usize,
+    },
+    /// A finite ISRB with more entries than physical registers: each entry
+    /// tracks one shared register, so the excess entries are unreachable
+    /// (and the paper's storage accounting becomes meaningless).
+    IsrbExceedsPrf {
+        /// Configured ISRB entries.
+        entries: usize,
+        /// Configured `pregs_per_class`.
+        pregs: usize,
+    },
+    /// A sharing counter width of zero bits, or wider than the 31 bits the
+    /// checkpointed counters can represent.
+    CounterBitsOutOfRange {
+        /// Which tracker declared the width (`"isrb"` or `"rda"`).
+        tracker: &'static str,
+        /// The rejected width.
+        bits: u32,
+    },
+    /// Per-register counters with a squash-walk width of zero: recovery
+    /// would stall forever on the first squashed µ-op.
+    ZeroWalkWidth,
+    /// A fully-associative tracker (`mit`, `rda`) with zero entries: it
+    /// could never record a sharing, so enabling it is a silent no-op.
+    ZeroTrackerEntries(&'static str),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroWidth(field) => write!(f, "{field} must be non-zero"),
+            ConfigError::ZeroCapacity(field) => write!(f, "{field} must have at least one entry"),
+            ConfigError::ZeroUnits(field) => write!(f, "{field} must be non-zero"),
+            ConfigError::PrfTooSmall { pregs, min } => write!(
+                f,
+                "pregs_per_class = {pregs} cannot cover the {} architectural registers \
+                 (minimum {min})",
+                ARCH_REGS_PER_CLASS
+            ),
+            ConfigError::IsrbExceedsPrf { entries, pregs } => write!(
+                f,
+                "ISRB with {entries} entries is larger than the {pregs}-register PRF \
+                 (use 0 for an unlimited ISRB)"
+            ),
+            ConfigError::CounterBitsOutOfRange { tracker, bits } => {
+                write!(f, "{tracker} counter width {bits} is outside 1..=31 bits")
+            }
+            ConfigError::ZeroWalkWidth => {
+                write!(f, "per-register counter walk_width must be non-zero")
+            }
+            ConfigError::ZeroTrackerEntries(tracker) => {
+                write!(f, "{tracker} tracker must have at least one entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which register reference-counting scheme backs sharing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -225,6 +309,262 @@ impl CoreConfig {
         };
         self.tracker = TrackerKind::Isrb(cfg);
         self
+    }
+
+    /// Checks the configuration for structural impossibilities — zero
+    /// widths, empty windows, an ISRB larger than the PRF, zero-width
+    /// counters, a zero squash-walk width — returning the first problem as
+    /// a typed [`ConfigError`]. Hand-mutated configs used to silently
+    /// deadlock or model nonsense machines; every builder and scenario
+    /// entry point now funnels through this check.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [
+            ("frontend_width", self.frontend_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroWidth(field));
+            }
+        }
+        for (field, v) in [
+            ("rob_entries", self.rob_entries),
+            ("iq_entries", self.iq_entries),
+            ("lq_entries", self.lq_entries),
+            ("sq_entries", self.sq_entries),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroCapacity(field));
+            }
+        }
+        for (field, v) in [
+            ("alu_units", self.alu_units),
+            ("muldiv_units", self.muldiv_units),
+            ("fp_units", self.fp_units),
+            ("fpmuldiv_units", self.fpmuldiv_units),
+            ("mem_ports", self.mem_ports),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroUnits(field));
+            }
+        }
+        let min_pregs = ARCH_REGS_PER_CLASS + 1;
+        if self.pregs_per_class < min_pregs {
+            return Err(ConfigError::PrfTooSmall {
+                pregs: self.pregs_per_class,
+                min: min_pregs,
+            });
+        }
+        match &self.tracker {
+            TrackerKind::Isrb(cfg) => {
+                if cfg.entries > self.pregs_per_class {
+                    return Err(ConfigError::IsrbExceedsPrf {
+                        entries: cfg.entries,
+                        pregs: self.pregs_per_class,
+                    });
+                }
+                if cfg.counter_bits == 0 || cfg.counter_bits > 31 {
+                    return Err(ConfigError::CounterBitsOutOfRange {
+                        tracker: "isrb",
+                        bits: cfg.counter_bits,
+                    });
+                }
+            }
+            TrackerKind::PerRegCounters { walk_width } => {
+                if *walk_width == 0 {
+                    return Err(ConfigError::ZeroWalkWidth);
+                }
+            }
+            TrackerKind::Mit { entries } => {
+                if *entries == 0 {
+                    return Err(ConfigError::ZeroTrackerEntries("mit"));
+                }
+            }
+            TrackerKind::Rda {
+                entries,
+                counter_bits,
+            } => {
+                if *entries == 0 {
+                    return Err(ConfigError::ZeroTrackerEntries("rda"));
+                }
+                if *counter_bits == 0 || *counter_bits > 31 {
+                    return Err(ConfigError::CounterBitsOutOfRange {
+                        tracker: "rda",
+                        bits: *counter_bits,
+                    });
+                }
+            }
+            TrackerKind::Unlimited | TrackerKind::RothMatrix => {}
+        }
+        Ok(())
+    }
+
+    /// Starts a validated [`CoreConfigBuilder`] from the Table 1 machine.
+    pub fn builder() -> CoreConfigBuilder {
+        CoreConfigBuilder {
+            cfg: CoreConfig::hpca16(),
+        }
+    }
+}
+
+/// Validated builder over [`CoreConfig`].
+///
+/// The free-form struct stays available for exotic studies, but the builder
+/// is the supported way to assemble a config: every setter is chainable and
+/// [`CoreConfigBuilder::build`] rejects structurally impossible machines
+/// with a typed [`ConfigError`] instead of letting them silently deadlock.
+///
+/// # Examples
+///
+/// ```
+/// use regshare_core::{ConfigError, CoreConfig};
+///
+/// let cfg = CoreConfig::builder()
+///     .move_elimination(true)
+///     .smb(true)
+///     .isrb_entries(32)
+///     .build()
+///     .unwrap();
+/// assert!(cfg.move_elimination && cfg.smb);
+///
+/// let err = CoreConfig::builder().isrb_entries(4096).build().unwrap_err();
+/// assert!(matches!(err, ConfigError::IsrbExceedsPrf { .. }));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreConfigBuilder {
+    cfg: CoreConfig,
+}
+
+impl From<CoreConfig> for CoreConfigBuilder {
+    /// Resumes building from an existing configuration (e.g. a preset).
+    fn from(cfg: CoreConfig) -> CoreConfigBuilder {
+        CoreConfigBuilder { cfg }
+    }
+}
+
+impl CoreConfigBuilder {
+    /// The tracker currently selected (before [`CoreConfigBuilder::build`]),
+    /// so layered builders can refine its geometry.
+    pub fn peek_tracker(&self) -> &TrackerKind {
+        &self.cfg.tracker
+    }
+
+    /// Sets the fetch/decode/rename width.
+    pub fn frontend_width(mut self, w: usize) -> Self {
+        self.cfg.frontend_width = w;
+        self
+    }
+
+    /// Sets the issue width.
+    pub fn issue_width(mut self, w: usize) -> Self {
+        self.cfg.issue_width = w;
+        self
+    }
+
+    /// Sets the retire width.
+    pub fn commit_width(mut self, w: usize) -> Self {
+        self.cfg.commit_width = w;
+        self
+    }
+
+    /// Sets the ROB size.
+    pub fn rob_entries(mut self, n: usize) -> Self {
+        self.cfg.rob_entries = n;
+        self
+    }
+
+    /// Sets the unified IQ size.
+    pub fn iq_entries(mut self, n: usize) -> Self {
+        self.cfg.iq_entries = n;
+        self
+    }
+
+    /// Sets the load-queue size.
+    pub fn lq_entries(mut self, n: usize) -> Self {
+        self.cfg.lq_entries = n;
+        self
+    }
+
+    /// Sets the store-queue size.
+    pub fn sq_entries(mut self, n: usize) -> Self {
+        self.cfg.sq_entries = n;
+        self
+    }
+
+    /// Sets the physical-register count per class.
+    pub fn pregs_per_class(mut self, n: usize) -> Self {
+        self.cfg.pregs_per_class = n;
+        self
+    }
+
+    /// Enables or disables move elimination (§2).
+    pub fn move_elimination(mut self, on: bool) -> Self {
+        self.cfg.move_elimination = on;
+        self
+    }
+
+    /// Enables or disables FP-to-FP move elimination.
+    pub fn me_fp_moves(mut self, on: bool) -> Self {
+        self.cfg.me_fp_moves = on;
+        self
+    }
+
+    /// Enables or disables speculative memory bypassing (§3).
+    pub fn smb(mut self, on: bool) -> Self {
+        self.cfg.smb = on;
+        self
+    }
+
+    /// Enables or disables load-load bypassing (§6.2).
+    pub fn smb_load_load(mut self, on: bool) -> Self {
+        self.cfg.smb_load_load = on;
+        self
+    }
+
+    /// Enables or disables bypassing from committed µ-ops under lazy
+    /// reclaim (§3.3).
+    pub fn smb_from_committed(mut self, on: bool) -> Self {
+        self.cfg.smb_from_committed = on;
+        self
+    }
+
+    /// Replaces the sharing tracker.
+    pub fn tracker(mut self, tracker: TrackerKind) -> Self {
+        self.cfg.tracker = tracker;
+        self
+    }
+
+    /// Resizes the ISRB (0 = unlimited), switching to an ISRB tracker if a
+    /// different scheme was selected.
+    pub fn isrb_entries(mut self, entries: usize) -> Self {
+        self.cfg = self.cfg.with_isrb_entries(entries);
+        self
+    }
+
+    /// Replaces the distance predictor.
+    pub fn distance_predictor(mut self, kind: DistancePredictorKind) -> Self {
+        self.cfg.distance_predictor = kind;
+        self
+    }
+
+    /// Replaces the DDT geometry.
+    pub fn ddt(mut self, ddt: DdtConfig) -> Self {
+        self.cfg.ddt = ddt;
+        self
+    }
+
+    /// Escape hatch for fields without a dedicated setter (predictor
+    /// geometries, latencies, port counts); the closure mutates the config
+    /// in place and [`CoreConfigBuilder::build`] still validates the result.
+    pub fn tweak(mut self, f: impl FnOnce(&mut CoreConfig)) -> Self {
+        f(&mut self.cfg);
+        self
+    }
+
+    /// Validates and returns the finished configuration.
+    pub fn build(self) -> Result<CoreConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 

@@ -1,0 +1,219 @@
+//! Every structurally impossible configuration the builder must reject,
+//! and the exact typed error it must reject it with. Before validation
+//! existed these configs silently deadlocked the simulator or modelled
+//! machines that cannot exist.
+
+use regshare_core::{ConfigError, CoreConfig, TrackerKind};
+use regshare_refcount::IsrbConfig;
+
+#[test]
+fn table1_machine_is_valid() {
+    assert_eq!(CoreConfig::hpca16().validate(), Ok(()));
+    assert_eq!(CoreConfig::hpca16().with_me().with_smb().validate(), Ok(()));
+}
+
+#[test]
+fn builder_accepts_every_paper_design_point() {
+    for entries in [0, 8, 16, 24, 32] {
+        let cfg = CoreConfig::builder()
+            .move_elimination(true)
+            .smb(true)
+            .isrb_entries(entries)
+            .build()
+            .expect("paper design point");
+        cfg.validate().expect("built configs are valid");
+    }
+}
+
+#[test]
+fn zero_widths_are_rejected_with_the_field_name() {
+    for (field, f) in [
+        (
+            "frontend_width",
+            Box::new(|c: &mut CoreConfig| c.frontend_width = 0) as Box<dyn Fn(&mut CoreConfig)>,
+        ),
+        (
+            "issue_width",
+            Box::new(|c: &mut CoreConfig| c.issue_width = 0),
+        ),
+        (
+            "commit_width",
+            Box::new(|c: &mut CoreConfig| c.commit_width = 0),
+        ),
+    ] {
+        let err = CoreConfig::builder().tweak(&*f).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroWidth(field));
+        assert!(err.to_string().contains(field), "message names the field");
+    }
+}
+
+#[test]
+fn empty_windows_are_rejected_with_the_field_name() {
+    for (field, f) in [
+        (
+            "rob_entries",
+            Box::new(|c: &mut CoreConfig| c.rob_entries = 0) as Box<dyn Fn(&mut CoreConfig)>,
+        ),
+        (
+            "iq_entries",
+            Box::new(|c: &mut CoreConfig| c.iq_entries = 0),
+        ),
+        (
+            "lq_entries",
+            Box::new(|c: &mut CoreConfig| c.lq_entries = 0),
+        ),
+        (
+            "sq_entries",
+            Box::new(|c: &mut CoreConfig| c.sq_entries = 0),
+        ),
+    ] {
+        let err = CoreConfig::builder().tweak(&*f).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroCapacity(field));
+    }
+}
+
+#[test]
+fn zero_functional_units_are_rejected() {
+    for (field, f) in [
+        (
+            "alu_units",
+            Box::new(|c: &mut CoreConfig| c.alu_units = 0) as Box<dyn Fn(&mut CoreConfig)>,
+        ),
+        (
+            "muldiv_units",
+            Box::new(|c: &mut CoreConfig| c.muldiv_units = 0),
+        ),
+        ("fp_units", Box::new(|c: &mut CoreConfig| c.fp_units = 0)),
+        (
+            "fpmuldiv_units",
+            Box::new(|c: &mut CoreConfig| c.fpmuldiv_units = 0),
+        ),
+        ("mem_ports", Box::new(|c: &mut CoreConfig| c.mem_ports = 0)),
+    ] {
+        let err = CoreConfig::builder().tweak(&*f).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroUnits(field));
+    }
+}
+
+#[test]
+fn prf_must_cover_the_architectural_registers() {
+    // 16 architectural registers per class: 16 pregs leaves rename no
+    // destination to allocate, 17 is the floor.
+    let err = CoreConfig::builder()
+        .pregs_per_class(16)
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::PrfTooSmall { pregs: 16, min: 17 });
+    // (unlimited ISRB: a 32-entry ISRB over a 17-register PRF would trip
+    // the IsrbExceedsPrf check first)
+    assert!(CoreConfig::builder()
+        .pregs_per_class(17)
+        .isrb_entries(0)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn isrb_larger_than_prf_is_rejected() {
+    let err = CoreConfig::builder()
+        .pregs_per_class(64)
+        .isrb_entries(65)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ConfigError::IsrbExceedsPrf {
+            entries: 65,
+            pregs: 64
+        }
+    );
+    // entries == pregs is the degenerate-but-legal maximum, and 0 means
+    // unlimited rather than "zero entries".
+    assert!(CoreConfig::builder()
+        .pregs_per_class(64)
+        .isrb_entries(64)
+        .build()
+        .is_ok());
+    assert!(CoreConfig::builder()
+        .pregs_per_class(64)
+        .isrb_entries(0)
+        .build()
+        .is_ok());
+}
+
+#[test]
+fn isrb_counter_width_must_fit_a_checkpointable_counter() {
+    for bits in [0u32, 32, 64] {
+        let err = CoreConfig::builder()
+            .tracker(TrackerKind::Isrb(IsrbConfig {
+                counter_bits: bits,
+                ..IsrbConfig::hpca16()
+            }))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::CounterBitsOutOfRange {
+                tracker: "isrb",
+                bits
+            }
+        );
+    }
+    for bits in [1u32, 3, 31] {
+        assert!(CoreConfig::builder()
+            .tracker(TrackerKind::Isrb(IsrbConfig {
+                counter_bits: bits,
+                ..IsrbConfig::hpca16()
+            }))
+            .build()
+            .is_ok());
+    }
+}
+
+#[test]
+fn zero_walk_width_is_rejected() {
+    let err = CoreConfig::builder()
+        .tracker(TrackerKind::PerRegCounters { walk_width: 0 })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroWalkWidth);
+}
+
+#[test]
+fn empty_associative_trackers_are_rejected() {
+    let err = CoreConfig::builder()
+        .tracker(TrackerKind::Mit { entries: 0 })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroTrackerEntries("mit"));
+
+    let err = CoreConfig::builder()
+        .tracker(TrackerKind::Rda {
+            entries: 0,
+            counter_bits: 3,
+        })
+        .build()
+        .unwrap_err();
+    assert_eq!(err, ConfigError::ZeroTrackerEntries("rda"));
+
+    let err = CoreConfig::builder()
+        .tracker(TrackerKind::Rda {
+            entries: 32,
+            counter_bits: 0,
+        })
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        ConfigError::CounterBitsOutOfRange {
+            tracker: "rda",
+            bits: 0
+        }
+    );
+}
+
+#[test]
+fn config_error_implements_std_error() {
+    let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroWalkWidth);
+    assert!(!err.to_string().is_empty());
+}

@@ -38,4 +38,7 @@ pub mod motifs;
 pub mod profile;
 pub mod rng;
 
-pub use profile::{by_names, custom, mini, suite, Workload, WorkloadClass, WorkloadProfile};
+pub use profile::{
+    by_names, custom, find, mini, names, suite, try_by_names, Workload, WorkloadClass,
+    WorkloadProfile,
+};

@@ -111,10 +111,14 @@ impl Default for WorkloadProfile {
 }
 
 /// A named workload.
+///
+/// Names are owned strings so workloads can come from anywhere — the
+/// built-in suite, [`custom`] profiles, or names read out of `.scenario`
+/// files at runtime.
 #[derive(Debug, Clone)]
 pub struct Workload {
     /// SPEC-style name.
-    pub name: &'static str,
+    pub name: String,
     /// INT or FP flavour.
     pub class: WorkloadClass,
     /// Motif parameters.
@@ -199,7 +203,7 @@ fn w(name: &'static str, class: WorkloadClass, f: impl FnOnce(&mut WorkloadProfi
     }
     f(&mut profile);
     Workload {
-        name,
+        name: name.to_string(),
         class,
         profile,
     }
@@ -482,8 +486,22 @@ pub fn suite() -> Vec<Workload> {
     ]
 }
 
+/// Looks up one suite workload by name (builds the suite each call; batch
+/// lookups should use [`by_names`] / [`try_by_names`], which is how
+/// scenario files resolve their workload lists).
+pub fn find(name: &str) -> Option<Workload> {
+    suite().into_iter().find(|w| w.name == name)
+}
+
+/// Every suite workload name, in suite order — the `--list-workloads`
+/// registry listing, and the names a scenario file may reference.
+pub fn names() -> Vec<String> {
+    suite().into_iter().map(|w| w.name).collect()
+}
+
 /// The named subset of [`suite`], in `names` order — the sweep-spec way of
-/// picking representative workloads.
+/// picking representative workloads. [`try_by_names`] is the non-panicking
+/// variant for runtime-supplied (scenario file) names.
 ///
 /// # Panics
 ///
@@ -502,12 +520,28 @@ pub fn by_names(names: &[&str]) -> Vec<Workload> {
         .collect()
 }
 
+/// Like [`by_names`], but returns the first unknown name instead of
+/// panicking — scenario files surface it as a typed error.
+pub fn try_by_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Workload>, String> {
+    let all = suite();
+    names
+        .iter()
+        .map(|name| {
+            let name = name.as_ref();
+            all.iter()
+                .find(|w| w.name == name)
+                .cloned()
+                .ok_or_else(|| name.to_string())
+        })
+        .collect()
+}
+
 /// Builds a custom named workload from an explicit profile (for studies
 /// that need structure outside the 36-entry suite, e.g. the load-load
 /// ablation's long redundant chains).
-pub fn custom(name: &'static str, class: WorkloadClass, profile: WorkloadProfile) -> Workload {
+pub fn custom(name: impl Into<String>, class: WorkloadClass, profile: WorkloadProfile) -> Workload {
     Workload {
-        name,
+        name: name.into(),
         class,
         profile,
     }
@@ -536,7 +570,7 @@ mod tests {
     fn suite_has_36_unique_names() {
         let s = suite();
         assert_eq!(s.len(), 36);
-        let mut names: Vec<&str> = s.iter().map(|w| w.name).collect();
+        let mut names: Vec<&str> = s.iter().map(|w| w.name.as_str()).collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 36, "duplicate workload names");

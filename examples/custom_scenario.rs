@@ -1,0 +1,48 @@
+//! Drive the sweep engine from a `.scenario` file — no recompiling, no
+//! environment variables: the experiment definition is data.
+//!
+//! ```sh
+//! cargo run --release --example custom_scenario
+//! ```
+//!
+//! Loads `scenarios/isrb_sizing.scenario` (the worked example from the
+//! README's "Defining scenarios" section), validates it, prints the
+//! standard report, then shows the programmatic route: the same experiment
+//! built with `ScenarioBuilder`, extended with one more variant, and
+//! re-rendered as scenario text you could check in.
+
+use regshare::bench::{render_report, Scenario, VariantSpec};
+
+fn main() {
+    // --- 1. The file front door. ---
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/scenarios/isrb_sizing.scenario"
+    );
+    let scenario = Scenario::load(path).expect("scenario file parses");
+    // Validation is hard: unknown workloads, trackers or impossible
+    // configurations would have failed `load`-then-`to_sweep` with a typed
+    // ScenarioError instead of silently running nonsense.
+    let grid = scenario.to_sweep().expect("scenario validates").run();
+    print!("{}", render_report(&scenario, &grid));
+
+    // --- 2. The programmatic route: extend the experiment in code. ---
+    let mut extended = scenario.clone();
+    extended.name = "isrb_sizing_plus_rda".to_string();
+    extended.variants.push((
+        "rda32".to_string(),
+        VariantSpec::preset("me_smb")
+            .tracker("rda")
+            .tracker_entries(32)
+            .counter_bits(3),
+    ));
+    let grid = extended.to_sweep().expect("still valid").run();
+    println!();
+    print!("{}", render_report(&extended, &grid));
+
+    // --- 3. Round trip: the extended experiment as checked-in text. ---
+    println!("\n# extended scenario as .scenario text:\n");
+    print!("{}", extended.render());
+    let reparsed = Scenario::parse(&extended.render()).expect("canonical text parses");
+    assert_eq!(reparsed, extended, "render/parse round trip is identity");
+}

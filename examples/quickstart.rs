@@ -7,14 +7,11 @@
 
 use regshare::core::{CoreConfig, Simulator};
 use regshare::types::stats::speedup_pct;
-use regshare::workloads::suite;
+use regshare::workloads;
 
 fn main() {
-    // Pick a workload from the 36-entry suite.
-    let workload = suite()
-        .into_iter()
-        .find(|w| w.name == "crafty")
-        .expect("known workload");
+    // Pick a workload from the 36-entry suite by name.
+    let workload = workloads::find("crafty").expect("known workload");
     let program = workload.build();
 
     // Baseline: Table 1 machine, no sharing optimizations.

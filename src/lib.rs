@@ -22,9 +22,17 @@
 //! | [`refcount`] | `regshare-refcount` | the ISRB and the baseline sharing trackers |
 //! | [`core`] | `regshare-core` | the cycle-level out-of-order core simulator |
 //! | [`workloads`] | `regshare-workloads` | synthetic SPEC-like workload suite |
-//! | [`mod@bench`] | `regshare-bench` | measurement harness and the deterministic parallel sweep engine |
+//! | [`mod@bench`] | `regshare-bench` | scenario layer, measurement harness and the deterministic parallel sweep engine |
+//!
+//! The experiment front door is the scenario layer: a [`Scenario`] names a
+//! (workloads × configurations) experiment, validates it with typed errors,
+//! and round-trips through checked-in `.scenario` files — the types below
+//! are re-exported at the crate root so downstream experiment drivers can
+//! use them without digging into `bench`.
 //!
 //! # Examples
+//!
+//! Direct simulation:
 //!
 //! ```
 //! use regshare::core::{CoreConfig, Simulator};
@@ -32,9 +40,32 @@
 //!
 //! let wl = workloads::mini();
 //! let program = wl.build();
-//! let mut sim = Simulator::new(&program, CoreConfig::hpca16().with_me().with_smb());
+//! let cfg = CoreConfig::builder()
+//!     .move_elimination(true)
+//!     .smb(true)
+//!     .build()
+//!     .expect("valid config");
+//! let mut sim = Simulator::new(&program, cfg);
 //! let run = sim.run(1_000);
 //! assert_eq!(run.committed, 1_000);
+//! ```
+//!
+//! A whole experiment as data:
+//!
+//! ```
+//! use regshare::{RunOptions, Scenario, VariantSpec};
+//!
+//! let scenario = Scenario::builder("quick")
+//!     .options(RunOptions::default().warmup(500).measure(1_500).jobs(2))
+//!     .workloads(&["crafty"])
+//!     .variant("base", VariantSpec::hpca16())
+//!     .variant("both", VariantSpec::preset("me_smb").isrb_entries(32))
+//!     .build()
+//!     .expect("validated scenario");
+//! let grid = scenario.to_sweep().expect("resolvable").run();
+//! assert!(grid.get(0, "both").ipc() > 0.0);
+//! // ...and the same experiment as a checked-in .scenario file:
+//! assert_eq!(Scenario::parse(&scenario.render()).unwrap(), scenario);
 //! ```
 
 #![deny(missing_docs)]
@@ -48,3 +79,8 @@ pub use regshare_predictors as predictors;
 pub use regshare_refcount as refcount;
 pub use regshare_types as types;
 pub use regshare_workloads as workloads;
+
+pub use regshare_bench::{
+    preset, RunOptions, Scenario, ScenarioBuilder, ScenarioError, VariantSpec,
+};
+pub use regshare_core::{ConfigError, CoreConfigBuilder};

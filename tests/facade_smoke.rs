@@ -37,6 +37,17 @@ fn facade_reexports_resolve() {
         regshare::bench::jobs_from_env() >= 1,
         "sweep engine reachable through facade"
     );
+    // The scenario layer is re-exported both under `bench` and at the
+    // facade root.
+    let s: regshare::Scenario = regshare::preset("headline").expect("built-in preset");
+    assert_eq!(s.name, "headline");
+    let _spec: regshare::VariantSpec = regshare::VariantSpec::hpca16();
+    let _opts: regshare::RunOptions = regshare::RunOptions::default();
+    let _builder: regshare::CoreConfigBuilder = regshare::core::CoreConfig::builder();
+    assert!(matches!(
+        regshare::bench::Scenario::parse("no name here"),
+        Err(regshare::ScenarioError::Syntax { .. })
+    ));
 }
 
 /// A share/reclaim round-trip through the facade: sharing a register makes

@@ -70,7 +70,7 @@ fn simulator_matches_oracle_across_configs() {
 #[test]
 fn aggressive_sharing_matches_oracle() {
     for wl in by_names(&["astar", "hmmer", "applu"]) {
-        let name = wl.name;
+        let name = wl.name.clone();
         let expected = oracle_digest(&wl, UOPS);
         let program = wl.build();
         let mut cfg = CoreConfig::hpca16()
