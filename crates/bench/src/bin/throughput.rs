@@ -1,0 +1,202 @@
+//! Simulator throughput harness: kuops/sec per preset, the `BENCH_pr4.json`
+//! writer, and the CI regression gate.
+//!
+//! ```text
+//! throughput [--preset <name>]... [--warmup <uops>] [--measure <uops>]
+//!            [--workload-cap <n>] [--json <path>]
+//!            [--baseline-kuops <x>] [--check <BENCH_pr4.json>] [--tolerance <pct>]
+//! ```
+//!
+//! Default: measure every built-in preset with a 2000 + 8000 µ-op window,
+//! capped at 6 workloads per preset, and print the table. `--json` also
+//! writes the `BENCH_pr4.json` document. `--baseline-kuops` pins the
+//! pre-refactor headline number into that document. `--check` re-reads a
+//! previously written document and exits non-zero if the fresh `headline`
+//! throughput fell more than `--tolerance` percent (default 20) below it —
+//! the CI `perf-smoke` gate.
+
+use regshare_bench::scenario::SCENARIO_PRESETS;
+use regshare_bench::throughput::{
+    kuops_from_json, measure_preset, window_from_json, ThroughputReport,
+};
+
+struct Args {
+    presets: Vec<String>,
+    warmup: u64,
+    measure: u64,
+    workload_cap: usize,
+    json: Option<String>,
+    baseline_kuops: Option<f64>,
+    check: Option<String>,
+    tolerance_pct: f64,
+}
+
+fn usage() -> &'static str {
+    "usage: throughput [--preset <name>]... [--warmup <uops>] [--measure <uops>]\n\
+     \x20                 [--workload-cap <n>] [--json <path>]\n\
+     \x20                 [--baseline-kuops <x>] [--check <BENCH.json>] [--tolerance <pct>]\n\
+     default: all presets, --warmup 2000 --measure 8000 --workload-cap 6 --tolerance 20"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        presets: Vec::new(),
+        warmup: 2_000,
+        measure: 8_000,
+        workload_cap: 6,
+        json: None,
+        baseline_kuops: None,
+        check: None,
+        tolerance_pct: 20.0,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--preset" => args.presets.push(value(&mut i)?),
+            "--warmup" => {
+                let v = value(&mut i)?;
+                args.warmup = v.parse().map_err(|_| format!("bad --warmup {v:?}"))?;
+            }
+            "--measure" => {
+                let v = value(&mut i)?;
+                args.measure = v.parse().map_err(|_| format!("bad --measure {v:?}"))?;
+            }
+            "--workload-cap" => {
+                let v = value(&mut i)?;
+                args.workload_cap = v.parse().map_err(|_| format!("bad --workload-cap {v:?}"))?;
+            }
+            "--json" => args.json = Some(value(&mut i)?),
+            "--baseline-kuops" => {
+                let v = value(&mut i)?;
+                args.baseline_kuops = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --baseline-kuops {v:?}"))?,
+                );
+            }
+            "--check" => args.check = Some(value(&mut i)?),
+            "--tolerance" => {
+                let v = value(&mut i)?;
+                args.tolerance_pct = v.parse().map_err(|_| format!("bad --tolerance {v:?}"))?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+        i += 1;
+    }
+    if args.presets.is_empty() {
+        args.presets = SCENARIO_PRESETS
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("throughput: {msg}");
+            eprintln!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    let mut report = ThroughputReport {
+        warmup: args.warmup,
+        measure: args.measure,
+        workload_cap: args.workload_cap,
+        presets: Vec::new(),
+        baseline_headline_kuops: args.baseline_kuops,
+    };
+    for name in &args.presets {
+        match measure_preset(name, args.warmup, args.measure, args.workload_cap) {
+            Some(p) => {
+                eprintln!(
+                    "[throughput: {name}: {} runs, {} uops, {:.3}s, {:.1} kuops/s]",
+                    p.runs,
+                    p.uops,
+                    p.wall_secs,
+                    p.kuops_per_sec()
+                );
+                report.presets.push(p);
+            }
+            None => {
+                eprintln!("throughput: unknown preset {name:?} (see --list in smoke/paper_report)");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    print!("{}", report.render_table());
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("throughput: cannot write {path:?}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("[throughput: wrote {path}]");
+    }
+
+    if let Some(path) = &args.check {
+        let recorded = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("throughput: cannot read {path:?}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(recorded_kuops) = kuops_from_json(&recorded, "headline") else {
+            eprintln!("throughput: {path:?} has no headline kuops_per_sec");
+            std::process::exit(1);
+        };
+        // kuops/sec depends on the window (per-run setup amortizes
+        // differently), so comparing across windows is meaningless: a short
+        // fresh window reads as a spurious regression, a long one masks a
+        // real one.
+        let fresh_window = (args.warmup, args.measure, args.workload_cap);
+        match window_from_json(&recorded) {
+            Some(w) if w == fresh_window => {}
+            Some(w) => {
+                eprintln!(
+                    "throughput: window mismatch: this run measured \
+                     (warmup, measure, cap) = {fresh_window:?} but {path} \
+                     records {w:?}; re-run with the recorded window"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("throughput: {path:?} has no parseable window");
+                std::process::exit(1);
+            }
+        }
+        let Some(fresh) = report.headline() else {
+            eprintln!("throughput: --check needs the headline preset in this run");
+            std::process::exit(1);
+        };
+        let fresh_kuops = fresh.kuops_per_sec();
+        let floor = recorded_kuops * (1.0 - args.tolerance_pct / 100.0);
+        if fresh_kuops < floor {
+            eprintln!(
+                "throughput: REGRESSION: headline {fresh_kuops:.1} kuops/s is below \
+                 {floor:.1} ({recorded_kuops:.1} recorded in {path}, -{}% tolerance)",
+                args.tolerance_pct
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[throughput: check ok: headline {fresh_kuops:.1} kuops/s vs {recorded_kuops:.1} \
+             recorded (floor {floor:.1})]"
+        );
+    }
+}

@@ -25,6 +25,7 @@ pub mod report;
 pub mod scenario;
 pub mod sweep;
 pub mod table;
+pub mod throughput;
 
 pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
 pub use options::{env_parse, RunOptions, DEFAULT_MEASURE, DEFAULT_WARMUP};
@@ -35,3 +36,4 @@ pub use scenario::{
 };
 pub use sweep::{jobs_from_env, SweepGrid, SweepRow, SweepSpec, Variant};
 pub use table::Table;
+pub use throughput::{measure_preset, measure_scenario, PresetThroughput, ThroughputReport};

@@ -17,19 +17,52 @@
 use crate::harness::RunWindow;
 use std::str::FromStr;
 
-/// Parses an environment variable, treating "unset" and "unparseable" the
-/// same way — the one `var → parse → default` helper behind every
-/// deprecated `REGSHARE_*` fallback (the harness window and the sweep
-/// engine's job count used to hand-roll this dance separately).
+/// Parses an environment variable — the one `var → parse → default` helper
+/// behind every deprecated `REGSHARE_*` fallback (the harness window and
+/// the sweep engine's job count used to hand-roll this dance separately).
+///
+/// A *set but malformed* value (e.g. `REGSHARE_JOBS=lots`) falls back like
+/// an unset one, but warns on stderr — once per variable, not once per
+/// lookup — instead of silently ignoring what the user asked for. Unset
+/// and empty values stay silent.
 pub fn env_parse<T: FromStr>(key: &str) -> Option<T> {
-    parse_opt(std::env::var(key).ok().as_deref())
+    let raw = std::env::var(key).ok();
+    let (value, malformed) = parse_flagged(raw.as_deref());
+    if malformed {
+        warn_once(key, raw.as_deref().unwrap_or(""));
+    }
+    value
 }
 
-/// The pure half of [`env_parse`]: trim, parse, and fold failure into
-/// `None` (kept separate so tests never have to mutate the process
-/// environment, which is unsound under the parallel test harness).
-fn parse_opt<T: FromStr>(v: Option<&str>) -> Option<T> {
-    v.and_then(|s| s.trim().parse().ok())
+/// The pure half of [`env_parse`]: trim and parse, reporting `(value,
+/// malformed)` — `malformed` is true only for a non-empty value that fails
+/// to parse. Kept separate so tests never have to mutate the process
+/// environment, which is unsound under the parallel test harness.
+fn parse_flagged<T: FromStr>(v: Option<&str>) -> (Option<T>, bool) {
+    match v.map(str::trim) {
+        None | Some("") => (None, false),
+        Some(s) => match s.parse() {
+            Ok(t) => (Some(t), false),
+            Err(_) => (None, true),
+        },
+    }
+}
+
+/// Warns about a malformed environment value exactly once per variable.
+fn warn_once(key: &str, raw: &str) {
+    use std::collections::BTreeSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    let mut warned = WARNED
+        .get_or_init(Default::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner());
+    if warned.insert(key.to_string()) {
+        eprintln!(
+            "regshare: ignoring malformed {key}={raw:?} (expected a number); \
+             falling back to the default"
+        );
+    }
 }
 
 /// Default warmup window (µ-ops) when neither options nor environment say
@@ -152,18 +185,29 @@ mod tests {
     }
 
     #[test]
-    fn parse_opt_trims_and_rejects_garbage() {
+    fn unset_variable_folds_to_none() {
+        assert_eq!(env_parse::<u64>("REGSHARE_TEST_UNSET_VARIABLE_NAME"), None);
+    }
+
+    #[test]
+    fn malformed_values_are_flagged_but_fall_back() {
         // The pure half of env_parse is tested directly: mutating the real
         // environment (set_var) races with getenv on other test threads.
-        assert_eq!(parse_opt::<u64>(Some(" 42 ")), Some(42));
-        assert_eq!(parse_opt::<u64>(Some("lots")), None);
-        assert_eq!(parse_opt::<u64>(Some("-1")), None);
-        assert_eq!(parse_opt::<u64>(None), None);
-        assert_eq!(
-            env_parse::<u64>("REGSHARE_TEST_UNSET_VARIABLE_NAME"),
-            None,
-            "unset variable folds to None"
-        );
+        // Malformed (set, non-empty, unparseable): falls back AND flags —
+        // this is what drives the once-per-variable stderr warning.
+        assert_eq!(parse_flagged::<u64>(Some("lots")), (None, true));
+        assert_eq!(parse_flagged::<u64>(Some("-1")), (None, true));
+        assert_eq!(parse_flagged::<usize>(Some("3.5")), (None, true));
+        // Unset / empty / whitespace: silent fallback, no warning.
+        assert_eq!(parse_flagged::<u64>(None), (None, false));
+        assert_eq!(parse_flagged::<u64>(Some("")), (None, false));
+        assert_eq!(parse_flagged::<u64>(Some("   ")), (None, false));
+        // Well-formed: parsed, no warning.
+        assert_eq!(parse_flagged::<u64>(Some(" 42 ")), (Some(42), false));
+        // And warn_once itself is idempotent per key (second call is a
+        // no-op; this also exercises the locked-set path directly).
+        warn_once("REGSHARE_TEST_WARN_ONCE", "lots");
+        warn_once("REGSHARE_TEST_WARN_ONCE", "lots");
     }
 
     #[test]

@@ -1,0 +1,315 @@
+//! Host-throughput harness: how many simulated kilo-µ-ops per second of
+//! *wall-clock* time the simulator sustains, per scenario preset.
+//!
+//! Every other number in this repository is a guest-side metric (IPC,
+//! traps, storage bits) and is deterministic by construction. Throughput is
+//! the one host-side metric: it measures the simulator itself, and it is
+//! what the "as fast as the hardware allows" line of the ROADMAP is judged
+//! against. The harness runs a preset's (workload × variant) matrix
+//! **serially** on one thread — a throughput number taken under a sharded
+//! sweep would measure the scheduler, not the core loop — and reports
+//!
+//! ```text
+//! kuops/sec = (committed µ-ops across all cells) / wall seconds / 1000
+//! ```
+//!
+//! [`ThroughputReport::to_json`] renders the `BENCH_pr4.json` format: the
+//! measured presets plus a pinned pre-refactor baseline, so CI can gate on
+//! regressions (see the `perf-smoke` job) and future PRs inherit a recorded
+//! trajectory instead of an empty one.
+
+use crate::scenario::{preset, Scenario};
+use crate::table::Table;
+use regshare_core::Simulator;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Wall-clock measurement of one preset's full matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresetThroughput {
+    /// Preset (scenario) name.
+    pub name: String,
+    /// Simulator instances run (workloads × variants).
+    pub runs: usize,
+    /// Total µ-ops committed across all runs (warmup + measure windows).
+    pub uops: u64,
+    /// Wall-clock seconds for the whole matrix (excluding program builds).
+    pub wall_secs: f64,
+}
+
+impl PresetThroughput {
+    /// Committed kilo-µ-ops per wall-clock second.
+    pub fn kuops_per_sec(&self) -> f64 {
+        if self.wall_secs <= 0.0 {
+            0.0
+        } else {
+            self.uops as f64 / self.wall_secs / 1000.0
+        }
+    }
+}
+
+/// A full harness run: the window used, each measured preset, and an
+/// optional pinned baseline to compare against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Warmup window per cell (µ-ops).
+    pub warmup: u64,
+    /// Measured window per cell (µ-ops).
+    pub measure: u64,
+    /// Per-preset cap on workloads (0 = uncapped).
+    pub workload_cap: usize,
+    /// Measured presets, in run order.
+    pub presets: Vec<PresetThroughput>,
+    /// Pinned `headline` kuops/sec of the pre-refactor core (PR 4), for
+    /// speedup accounting; `None` while capturing that very baseline.
+    pub baseline_headline_kuops: Option<f64>,
+}
+
+/// Runs `scenario`'s matrix serially with the given window and returns the
+/// wall-clock measurement. `workload_cap` truncates the workload list
+/// (0 = run them all); program construction happens outside the timed
+/// region — this measures the simulator, not the workload generator.
+pub fn measure_scenario(
+    scenario: &Scenario,
+    warmup: u64,
+    measure: u64,
+    workload_cap: usize,
+) -> Result<PresetThroughput, crate::scenario::ScenarioError> {
+    let mut workloads = scenario.resolve_workloads()?;
+    if workload_cap > 0 {
+        workloads.truncate(workload_cap);
+    }
+    let mut configs = Vec::with_capacity(scenario.variants.len());
+    for (_, spec) in &scenario.variants {
+        configs.push(spec.to_config()?);
+    }
+    let programs: Vec<_> = workloads.iter().map(|w| w.build()).collect();
+
+    let mut runs = 0usize;
+    let mut uops = 0u64;
+    let start = Instant::now();
+    for program in &programs {
+        for cfg in &configs {
+            let mut sim = Simulator::new(program, cfg.clone());
+            sim.run(warmup);
+            let s = sim.run(measure);
+            runs += 1;
+            uops += s.committed;
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    Ok(PresetThroughput {
+        name: scenario.name.clone(),
+        runs,
+        uops,
+        wall_secs,
+    })
+}
+
+/// [`measure_scenario`] for a built-in preset name.
+pub fn measure_preset(
+    name: &str,
+    warmup: u64,
+    measure: u64,
+    workload_cap: usize,
+) -> Option<PresetThroughput> {
+    let scenario = preset(name)?;
+    Some(measure_scenario(&scenario, warmup, measure, workload_cap).expect("presets are valid"))
+}
+
+impl ThroughputReport {
+    /// The `headline` row, if measured.
+    pub fn headline(&self) -> Option<&PresetThroughput> {
+        self.presets.iter().find(|p| p.name == "headline")
+    }
+
+    /// headline kuops/sec ÷ pinned baseline, when both are present.
+    pub fn headline_speedup(&self) -> Option<f64> {
+        let base = self.baseline_headline_kuops?;
+        if base <= 0.0 {
+            return None;
+        }
+        Some(self.headline()?.kuops_per_sec() / base)
+    }
+
+    /// Renders the human-readable table (`kuops/s` per preset).
+    pub fn render_table(&self) -> String {
+        let mut t = Table::new(vec!["preset", "runs", "uops", "wall_s", "kuops/s"]);
+        for p in &self.presets {
+            t.row(vec![
+                p.name.clone(),
+                format!("{}", p.runs),
+                format!("{}", p.uops),
+                format!("{:.3}", p.wall_secs),
+                format!("{:.1}", p.kuops_per_sec()),
+            ]);
+        }
+        if let Some(speedup) = self.headline_speedup() {
+            t.footer(format!(
+                "headline vs pre-refactor baseline ({:.1} kuops/s): {:.2}x",
+                self.baseline_headline_kuops.unwrap_or(0.0),
+                speedup
+            ));
+        }
+        t.render()
+    }
+
+    /// Renders the `BENCH_pr4.json` document (hand-rolled: the workspace is
+    /// dependency-free, and the schema is flat).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"bench\": \"pr4_throughput\",\n");
+        out.push_str(
+            "  \"unit\": \"kuops_per_sec (committed guest uops / wall second / 1000)\",\n",
+        );
+        let _ = writeln!(
+            out,
+            "  \"window\": {{ \"warmup\": {}, \"measure\": {}, \"workload_cap\": {} }},",
+            self.warmup, self.measure, self.workload_cap
+        );
+        out.push_str("  \"presets\": [\n");
+        for (i, p) in self.presets.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{ \"name\": \"{}\", \"runs\": {}, \"uops\": {}, \
+                 \"wall_secs\": {:.4}, \"kuops_per_sec\": {:.1} }}",
+                p.name,
+                p.runs,
+                p.uops,
+                p.wall_secs,
+                p.kuops_per_sec()
+            );
+            out.push_str(if i + 1 < self.presets.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n");
+        match self.baseline_headline_kuops {
+            Some(base) => {
+                let _ = writeln!(
+                    out,
+                    "  \"baseline\": {{ \"headline_kuops_per_sec\": {base:.1}, \
+                     \"captured\": \"pre-refactor core (PR 4), same window and host\" }},"
+                );
+                let _ = writeln!(
+                    out,
+                    "  \"speedup_headline\": {:.2}",
+                    self.headline_speedup().unwrap_or(0.0)
+                );
+            }
+            None => {
+                out.push_str("  \"baseline\": null,\n");
+                out.push_str("  \"speedup_headline\": null\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts `"kuops_per_sec": <x>` for the named preset from a
+/// `BENCH_pr4.json` document — the `perf-smoke` CI gate's only parsing
+/// need, kept dependency-free on purpose. Returns `None` when the preset
+/// (or a parseable number) is absent.
+pub fn kuops_from_json(json: &str, preset_name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{preset_name}\"");
+    let obj = json.split('{').find(|chunk| chunk.contains(&needle))?;
+    number_after(obj, "\"kuops_per_sec\":")
+}
+
+/// Extracts the `(warmup, measure, workload_cap)` window a `BENCH_pr4.json`
+/// document was measured with. kuops/sec depends on the window (fixed
+/// per-run setup amortizes differently), so the `--check` gate refuses to
+/// compare numbers taken under different windows.
+pub fn window_from_json(json: &str) -> Option<(u64, u64, usize)> {
+    let obj = json.split("\"window\":").nth(1)?;
+    let obj = &obj[..obj.find('}')?];
+    Some((
+        number_after(obj, "\"warmup\":")? as u64,
+        number_after(obj, "\"measure\":")? as u64,
+        number_after(obj, "\"workload_cap\":")? as usize,
+    ))
+}
+
+fn number_after(text: &str, key: &str) -> Option<f64> {
+    let after = text.split(key).nth(1)?;
+    let num: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_report() -> ThroughputReport {
+        ThroughputReport {
+            warmup: 100,
+            measure: 400,
+            workload_cap: 1,
+            presets: vec![PresetThroughput {
+                name: "headline".into(),
+                runs: 5,
+                uops: 2_500,
+                wall_secs: 0.5,
+            }],
+            baseline_headline_kuops: Some(2.5),
+        }
+    }
+
+    #[test]
+    fn kuops_and_speedup_arithmetic() {
+        let r = tiny_report();
+        let h = r.headline().unwrap();
+        assert!((h.kuops_per_sec() - 5.0).abs() < 1e-9);
+        assert!((r.headline_speedup().unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_ci_extractor() {
+        let r = tiny_report();
+        let json = r.to_json();
+        assert!(json.contains("\"bench\": \"pr4_throughput\""));
+        assert!(json.contains("\"speedup_headline\": 2.00"));
+        let k = kuops_from_json(&json, "headline").unwrap();
+        assert!((k - 5.0).abs() < 0.1);
+        assert_eq!(kuops_from_json(&json, "absent"), None);
+        assert_eq!(window_from_json(&json), Some((100, 400, 1)));
+        assert_eq!(window_from_json("{}"), None);
+    }
+
+    #[test]
+    fn null_baseline_renders_and_extracts() {
+        let mut r = tiny_report();
+        r.baseline_headline_kuops = None;
+        let json = r.to_json();
+        assert!(json.contains("\"baseline\": null"));
+        assert!(kuops_from_json(&json, "headline").is_some());
+    }
+
+    #[test]
+    fn zero_wall_time_does_not_divide_by_zero() {
+        let p = PresetThroughput {
+            name: "x".into(),
+            runs: 0,
+            uops: 0,
+            wall_secs: 0.0,
+        };
+        assert_eq!(p.kuops_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn measures_a_real_preset_matrix() {
+        let p = measure_preset("smoke", 200, 800, 1).expect("smoke preset exists");
+        // 1 workload × 4 variants, each committing warmup+measure µ-ops.
+        assert_eq!(p.runs, 4);
+        assert_eq!(p.uops, 4 * 1_000);
+        assert!(p.kuops_per_sec() > 0.0);
+    }
+}

@@ -58,6 +58,15 @@ pub enum ConfigError {
     /// A fully-associative tracker (`mit`, `rda`) with zero entries: it
     /// could never record a sharing, so enabling it is a silent no-op.
     ZeroTrackerEntries(&'static str),
+    /// A TAGE geometry the predictor cannot carry inline: more tagged
+    /// components than `regshare_predictors::tage::MAX_COMPONENTS`, or a
+    /// component with `log_entries >= 32` (prediction indices are `u32`).
+    TageGeometry {
+        /// Configured tagged components.
+        components: usize,
+        /// The largest configured `log_entries`.
+        max_log_entries: u32,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -86,6 +95,16 @@ impl std::fmt::Display for ConfigError {
             ConfigError::ZeroTrackerEntries(tracker) => {
                 write!(f, "{tracker} tracker must have at least one entry")
             }
+            ConfigError::TageGeometry {
+                components,
+                max_log_entries,
+            } => write!(
+                f,
+                "TAGE geometry with {components} tagged components / max log_entries \
+                 {max_log_entries} exceeds the inline-prediction limits \
+                 ({} components, log_entries < 32)",
+                regshare_predictors::tage::MAX_COMPONENTS
+            ),
         }
     }
 }
@@ -396,6 +415,21 @@ impl CoreConfig {
             }
             TrackerKind::Unlimited | TrackerKind::RothMatrix => {}
         }
+        let max_log = self
+            .tage
+            .components
+            .iter()
+            .map(|c| c.log_entries)
+            .max()
+            .unwrap_or(0);
+        if self.tage.components.len() > regshare_predictors::tage::MAX_COMPONENTS || max_log >= 32 {
+            // `Tage::new` would panic on these; surface them as the typed
+            // error the builder contract promises.
+            return Err(ConfigError::TageGeometry {
+                components: self.tage.components.len(),
+                max_log_entries: max_log,
+            });
+        }
         Ok(())
     }
 
@@ -571,6 +605,32 @@ impl CoreConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn oversized_tage_geometry_is_a_typed_error_not_a_panic() {
+        // `Tage::new` asserts these limits; validate() must catch them
+        // first so the builder keeps its typed-error contract.
+        let mut cfg = CoreConfig::hpca16();
+        let extra = cfg.tage.components[0];
+        while cfg.tage.components.len() <= regshare_predictors::tage::MAX_COMPONENTS {
+            cfg.tage.components.push(extra);
+        }
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TageGeometry { components, .. })
+                if components == cfg.tage.components.len()
+        ));
+
+        let mut cfg = CoreConfig::hpca16();
+        cfg.tage.components[0].log_entries = 32;
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TageGeometry {
+                max_log_entries: 32,
+                ..
+            })
+        ));
+    }
 
     #[test]
     fn table1_defaults() {

@@ -66,7 +66,7 @@ pub struct BypassInfo {
 
 /// Control-flow bookkeeping of a branch µ-op. The predictor-side checkpoint
 /// payloads live in the simulator (type-erased here via the `ckpt` index).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct BranchInfo {
     /// Branch kind.
     pub kind: BranchKind,

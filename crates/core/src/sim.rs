@@ -50,7 +50,7 @@ enum Event {
     Complete { seq: SeqNum, uid: u64 },
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct IqEntry {
     seq: SeqNum,
     class: ExecClass,
@@ -71,13 +71,45 @@ struct FetchSnap {
 }
 
 /// Rename-time checkpoint (merged with the fetch snapshot).
+///
+/// The rename map is tiny (two 16-entry classes), so a flat copy *is* the
+/// compact checkpoint — it carries no heap. The fetch snapshot keeps the
+/// `Box` it was predicted into; dead checkpoints return it to the
+/// simulator's snapshot pool, so steady-state checkpoint traffic neither
+/// allocates nor frees.
 #[derive(Debug)]
 struct Checkpoint {
     rm: RenameMap,
     fl_heads: [u64; 2],
     tracker: u64,
-    fetch: FetchSnap,
+    fetch: Box<FetchSnap>,
 }
+
+/// Reusable buffers for the per-cycle and per-recovery work lists. All of
+/// them follow the same discipline: `mem::take` out of the simulator,
+/// fill/drain locally (sidestepping closure-vs-method borrow conflicts),
+/// clear, and put back — so `step()` never allocates in steady state.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Squashed µ-ops' accepted shares (squash-walk pass 1).
+    shares: Vec<(RegClass, PhysReg)>,
+    /// Squashed µ-ops' fresh allocations (squash-walk pass 2).
+    allocs: Vec<(RegClass, PhysReg)>,
+    /// Registers freed by a tracker restore.
+    freed: Vec<(RegClass, PhysReg)>,
+    /// Checkpoints owned by squashed branches.
+    dead_ckpts: Vec<u64>,
+    /// Parked loads to re-pump this cycle.
+    retry: Vec<SeqNum>,
+    /// IQ indices issued this cycle (ascending).
+    issued: Vec<usize>,
+    /// Event list of the wheel slot being drained.
+    events: Vec<Event>,
+}
+
+/// Upper bound on pooled fetch snapshots: enough for every live checkpoint
+/// plus the whole fetch pipe; beyond that, retiring snapshots simply drop.
+const SNAP_POOL_CAP: usize = 256;
 
 #[derive(Debug)]
 struct PipeUop {
@@ -144,6 +176,17 @@ pub struct Simulator {
     // checkpoints
     ckpts: FastMap<u64, Checkpoint>,
     next_ckpt: u64,
+
+    // hot-loop buffer reuse
+    scratch: Scratch,
+    /// Pool of retired fetch snapshots. Deliberately boxed: the boxes move
+    /// whole into `PredInfo`/`Checkpoint` and back, so reuse costs a
+    /// pointer, not a `FetchSnap` copy.
+    #[allow(clippy::vec_box)]
+    snap_pool: Vec<Box<FetchSnap>>,
+    /// Whether any load may be parked (AGU done, completion not yet
+    /// scheduled) — lets the pump skip its ROB scan on quiet cycles.
+    loads_parked: bool,
 
     now: u64,
     next_uid: u64,
@@ -229,6 +272,9 @@ impl Simulator {
             arch_hist: HistorySnapshot::default(),
             ckpts: FastMap::default(),
             next_ckpt: 0,
+            scratch: Scratch::default(),
+            snap_pool: Vec::new(),
+            loads_parked: false,
             now: 0,
             next_uid: 0,
             commit_budget: None,
@@ -316,9 +362,7 @@ impl Simulator {
             );
         }
         self.commit_budget = None;
-        let mut s = self.stats.clone();
-        s.tracker = self.tracker.stats();
-        s
+        self.snapshot_stats()
     }
 
     /// Runs exactly `n` cycles.
@@ -326,7 +370,14 @@ impl Simulator {
         for _ in 0..n {
             self.step();
         }
-        let mut s = self.stats.clone();
+        self.snapshot_stats()
+    }
+
+    /// The stats snapshot `run`/`run_cycles` return: `SimStats` is `Copy`
+    /// (plain counters), so this is a flat copy with the live tracker
+    /// counters spliced in — no per-call heap clone.
+    fn snapshot_stats(&self) -> SimStats {
+        let mut s = self.stats;
         s.tracker = self.tracker.stats();
         s
     }
@@ -411,7 +462,7 @@ impl Simulator {
         let store_data = e.store_data;
         let history = e.history;
         let result = e.result;
-        let branch = e.branch.clone();
+        let branch = e.branch;
         let lq_idx = e.lq;
         let sq_idx = e.sq;
         let bypass = e.bypass;
@@ -437,6 +488,7 @@ impl Simulator {
             if let Some(id) = b.ckpt {
                 if let Some(ck) = self.ckpts.remove(&id) {
                     self.tracker.release_checkpoint(ck.tracker);
+                    self.recycle_snap(ck.fetch);
                 }
             }
         }
@@ -564,15 +616,18 @@ impl Simulator {
             renews: d.new_preg == d.old_preg,
         };
         let decision = self.tracker.on_reclaim(&req);
-        self.trace_preg(
-            "reclaim",
-            class,
-            d.old_preg,
-            &format!(
-                "{decision:?} seq={seq} arch={} renews={} new={}",
-                d.arch, req.renews, d.new_preg
-            ),
-        );
+        if self.trace_target.is_some() {
+            // Lazy: the format! must not run untraced — reclaim is per-µ-op.
+            self.trace_preg(
+                "reclaim",
+                class,
+                d.old_preg,
+                &format!(
+                    "{decision:?} seq={seq} arch={} renews={} new={}",
+                    d.arch, req.renews, d.new_preg
+                ),
+            );
+        }
         match decision {
             ReclaimDecision::Free => {
                 self.prf_ready[class.index()][d.old_preg.index()] = NOT_READY;
@@ -612,8 +667,8 @@ impl Simulator {
 
         // Squash everything in flight.
         let mut squashed = 0usize;
-        let mut shares = Vec::new();
-        let mut allocs = Vec::new();
+        let mut shares = std::mem::take(&mut self.scratch.shares);
+        let mut allocs = std::mem::take(&mut self.scratch.allocs);
         self.rob.squash_all_inflight(|e| {
             squashed += 1;
             Self::collect_squash(e, &mut shares, &mut allocs);
@@ -624,24 +679,31 @@ impl Simulator {
         self.stats.squashed_uops += squashed as u64;
 
         // Restore architectural register state.
-        self.rm = self.crm.clone();
+        self.rm.clone_from(&self.crm);
         for c in 0..2 {
             self.fl[c].restore_to_committed();
         }
-        self.run_squash_walk(shares, allocs);
-        let mut freed = Vec::new();
+        self.run_squash_walk(&mut shares, &mut allocs);
+        self.scratch.shares = shares;
+        self.scratch.allocs = allocs;
+        let mut freed = std::mem::take(&mut self.scratch.freed);
         self.tracker.restore_to_committed(&mut freed);
-        for (class, preg) in freed {
+        for (class, preg) in freed.drain(..) {
             self.prf_ready[class.index()][preg.index()] = NOT_READY;
             self.fl[class.index()].push(preg);
         }
-        self.ckpts.clear();
+        self.scratch.freed = freed;
+        let mut ckpts = std::mem::take(&mut self.ckpts);
+        for (_, ck) in ckpts.drain() {
+            self.recycle_snap(ck.fetch);
+        }
+        self.ckpts = ckpts;
 
         // Restore front-end state from the architectural images.
         self.tage.restore(&self.arch_tage);
-        self.ras = self.arch_ras.clone();
+        self.ras.restore(&self.arch_ras);
         self.spec_hist = self.arch_hist;
-        self.pipe.clear();
+        self.clear_pipe();
         self.pending_fetch = None;
         self.last_fetch_line = Addr::MAX;
         self.stream.recover_to(seq);
@@ -654,13 +716,13 @@ impl Simulator {
 
     /// Drives the tracker's squash walk in two passes (shares first, then
     /// allocations — see `SharingTracker::on_squash_share`) and frees any
-    /// registers the walk uncovers.
+    /// registers the walk uncovers. Drains the caller's (scratch) buffers.
     fn run_squash_walk(
         &mut self,
-        shares: Vec<(RegClass, PhysReg)>,
-        allocs: Vec<(RegClass, PhysReg)>,
+        shares: &mut Vec<(RegClass, PhysReg)>,
+        allocs: &mut Vec<(RegClass, PhysReg)>,
     ) {
-        for (c, p) in shares {
+        for (c, p) in shares.drain(..) {
             self.trace_preg("squash-share", c, p, "");
             if let Some((fc, fp)) = self.tracker.on_squash_share(c, p) {
                 self.trace_preg("squash-free", fc, fp, "");
@@ -668,8 +730,25 @@ impl Simulator {
                 self.fl[fc.index()].push(fp);
             }
         }
-        for (c, p) in allocs {
+        for (c, p) in allocs.drain(..) {
             self.tracker.on_squash_alloc(c, p);
+        }
+    }
+
+    /// Hands a retired fetch snapshot back to the pool (bounded).
+    fn recycle_snap(&mut self, snap: Box<FetchSnap>) {
+        if self.snap_pool.len() < SNAP_POOL_CAP {
+            self.snap_pool.push(snap);
+        }
+    }
+
+    /// Empties the fetch pipe, recycling any snapshots it still carries so
+    /// recovery paths return them to the pool instead of freeing them.
+    fn clear_pipe(&mut self) {
+        while let Some(p) = self.pipe.pop_front() {
+            if let Some(snap) = p.pred.and_then(|pr| pr.snap) {
+                self.recycle_snap(snap);
+            }
         }
     }
 
@@ -702,13 +781,21 @@ impl Simulator {
 
     fn process_events(&mut self) {
         let slot = (self.now % WHEEL as u64) as usize;
-        let events = std::mem::take(&mut self.wheel[slot]);
-        for ev in events {
+        if self.wheel[slot].is_empty() {
+            return;
+        }
+        // Swap the slot's buffer with the (empty) scratch list and swap it
+        // back drained: both allocations survive the cycle, so the wheel
+        // reaches a steady state where scheduling never allocates.
+        let mut events = std::mem::take(&mut self.scratch.events);
+        std::mem::swap(&mut events, &mut self.wheel[slot]);
+        for ev in events.drain(..) {
             match ev {
                 Event::Agu { seq, uid } => self.on_agu(seq, uid),
                 Event::Complete { seq, uid } => self.on_complete(seq, uid),
             }
         }
+        self.scratch.events = events;
     }
 
     fn on_agu(&mut self, seq: SeqNum, uid: u64) {
@@ -746,7 +833,14 @@ impl Simulator {
                     e.completed = true;
                 }
             }
-            UopKind::Load => self.resolve_load(seq),
+            UopKind::Load => {
+                self.resolve_load(seq);
+                // Parked (forward blocked or MSHRs exhausted): flag the pump
+                // so its ROB scan runs only when there is work to retry.
+                if self.rob.get(seq).is_some_and(|e| !e.read_scheduled) {
+                    self.loads_parked = true;
+                }
+            }
             _ => unreachable!("AGU event for non-memory µ-op"),
         }
     }
@@ -828,19 +922,17 @@ impl Simulator {
     fn recover_branch(&mut self, seq: SeqNum) {
         self.stats.branch_mispredicts += 1;
         let e = self.rob.get(seq).expect("branch entry");
-        let b = e.branch.clone().expect("branch info");
+        let b = e.branch.expect("branch info");
         let pc = e.pc;
         debug_assert!(!e.wrong_path, "wrong-path branches never trigger recovery");
 
         // 1. Squash younger µ-ops.
         let mut squashed = 0usize;
-        let mut iq_drop: Vec<SeqNum> = Vec::new();
-        let mut dead_ckpts: Vec<u64> = Vec::new();
-        let mut shares = Vec::new();
-        let mut allocs = Vec::new();
+        let mut dead_ckpts = std::mem::take(&mut self.scratch.dead_ckpts);
+        let mut shares = std::mem::take(&mut self.scratch.shares);
+        let mut allocs = std::mem::take(&mut self.scratch.allocs);
         self.rob.squash_younger(seq, |victim| {
             squashed += 1;
-            iq_drop.push(victim.seq);
             if let Some(vb) = &victim.branch {
                 if let Some(id) = vb.ckpt {
                     dead_ckpts.push(id);
@@ -848,14 +940,22 @@ impl Simulator {
             }
             Self::collect_squash(victim, &mut shares, &mut allocs);
         });
-        self.iq.retain(|q| !iq_drop.contains(&q.seq));
+        // Every IQ entry is in flight and paired with a ROB entry, so the
+        // squashed set is exactly the suffix younger than the branch: one
+        // ordered retain, not an O(IQ × squashed) membership scan.
+        self.iq.retain(|q| q.seq <= seq);
         self.lq.squash_younger(seq);
         self.sq.squash_younger(seq);
         self.stats.squashed_uops += squashed as u64;
-        for id in dead_ckpts {
-            self.ckpts.remove(&id);
+        for id in dead_ckpts.drain(..) {
+            if let Some(ck) = self.ckpts.remove(&id) {
+                self.recycle_snap(ck.fetch);
+            }
         }
-        self.run_squash_walk(shares, allocs);
+        self.scratch.dead_ckpts = dead_ckpts;
+        self.run_squash_walk(&mut shares, &mut allocs);
+        self.scratch.shares = shares;
+        self.scratch.allocs = allocs;
 
         // 2. Restore rename state from the branch's checkpoint.
         let ck = b
@@ -866,13 +966,14 @@ impl Simulator {
         for c in 0..2 {
             self.fl[c].restore_head(ck.fl_heads[c]);
         }
-        let mut freed = Vec::new();
+        let mut freed = std::mem::take(&mut self.scratch.freed);
         self.tracker.restore(ck.tracker, &mut freed);
-        for (class, preg) in freed {
+        for (class, preg) in freed.drain(..) {
             self.trace_preg("restore-free", class, preg, "");
             self.prf_ready[class.index()][preg.index()] = NOT_READY;
             self.fl[class.index()].push(preg);
         }
+        self.scratch.freed = freed;
 
         // 3. Restore front-end history and push the *actual* outcome.
         let taken = b.taken || b.kind != BranchKind::Conditional;
@@ -884,9 +985,10 @@ impl Simulator {
         }
         self.spec_hist = ck.fetch.hist.push(taken, pc);
         self.btb.update(pc, b.actual_next);
+        self.recycle_snap(ck.fetch);
 
         // 4. Redirect fetch past the branch.
-        self.pipe.clear();
+        self.clear_pipe();
         self.pending_fetch = None;
         self.last_fetch_line = Addr::MAX;
         self.stream.recover_to(seq.next());
@@ -909,24 +1011,34 @@ impl Simulator {
     // ------------------------------------------------------------------
 
     fn lsq_pump(&mut self) {
+        // The scan below walks the whole ROB; `loads_parked` is a
+        // conservative flag (set whenever a load fails to schedule its
+        // read, cleared only by a scan that leaves nothing parked), so
+        // skipping when it is unset can never strand a load.
+        if !self.loads_parked {
+            return;
+        }
         // Collect loads that have issued (AGU done) but not yet started
         // reading and have no scheduled completion: retry them.
-        let retry: Vec<SeqNum> = self
-            .rob
-            .iter()
-            .filter(|e| {
-                e.kind == UopKind::Load
-                    && !e.completed
-                    && !e.committed
-                    && e.agu_done
-                    && e.lq.is_some()
-                    && !e.read_scheduled
-            })
-            .map(|e| e.seq)
-            .collect();
-        for seq in retry {
+        let parked = |e: &RobEntry| {
+            e.kind == UopKind::Load
+                && !e.completed
+                && !e.committed
+                && e.agu_done
+                && e.lq.is_some()
+                && !e.read_scheduled
+        };
+        let mut retry = std::mem::take(&mut self.scratch.retry);
+        retry.extend(self.rob.iter().filter(|e| parked(e)).map(|e| e.seq));
+        for &seq in &retry {
             self.resolve_load(seq);
         }
+        // Still-parked retries keep the flag up for the next cycle.
+        self.loads_parked = retry
+            .iter()
+            .any(|&seq| self.rob.get(seq).is_some_and(&parked));
+        retry.clear();
+        self.scratch.retry = retry;
     }
 
     // ------------------------------------------------------------------
@@ -937,7 +1049,11 @@ impl Simulator {
         if self.iq.is_empty() {
             return;
         }
-        self.iq.sort_unstable_by_key(|q| q.seq);
+        // The IQ is sorted by sequence number by construction: rename
+        // appends monotonically increasing seqs, squashes retain an ordered
+        // prefix, and issue compacts in order below — so oldest-first
+        // selection needs no per-cycle sort.
+        debug_assert!(self.iq.windows(2).all(|w| w[0].seq < w[1].seq));
         let mut issued = 0usize;
         let mut alu = 0usize;
         let mut mul = 0usize;
@@ -945,7 +1061,7 @@ impl Simulator {
         let mut fpmul = 0usize;
         let mut mem_shared = 0usize;
         let mut store_only = 0usize;
-        let mut remove: Vec<usize> = Vec::new();
+        let mut remove = std::mem::take(&mut self.scratch.issued);
 
         for i in 0..self.iq.len() {
             if issued >= self.cfg.issue_width {
@@ -1048,12 +1164,26 @@ impl Simulator {
             }
             issued += 1;
             remove.push(i);
-            let q = self.iq[i].clone();
+            let q = self.iq[i];
             self.dispatch_execution(&q);
         }
-        for &i in remove.iter().rev() {
-            self.iq.swap_remove(i);
+        // Order-preserving compaction (`remove` is ascending), keeping the
+        // sorted-by-seq invariant that lets the next cycle skip sorting.
+        if !remove.is_empty() {
+            let mut keep = 0usize;
+            let mut r = 0usize;
+            for i in 0..self.iq.len() {
+                if r < remove.len() && remove[r] == i {
+                    r += 1;
+                    continue;
+                }
+                self.iq[keep] = self.iq[i];
+                keep += 1;
+            }
+            self.iq.truncate(keep);
         }
+        remove.clear();
+        self.scratch.issued = remove;
     }
 
     /// Schedules execution events for an issued µ-op.
@@ -1145,12 +1275,14 @@ impl Simulator {
         let mut n_srcs = 0u8;
         for s in uop.sources() {
             let p = self.rm.lookup(s);
-            self.trace_preg(
-                "read-src",
-                s.class(),
-                p,
-                &format!("seq={seq} arch={s} wp={}", uop.wrong_path),
-            );
+            if self.trace_target.is_some() {
+                self.trace_preg(
+                    "read-src",
+                    s.class(),
+                    p,
+                    &format!("seq={seq} arch={s} wp={}", uop.wrong_path),
+                );
+            }
             srcs[n_srcs as usize] = (s.class().index() as u8, p.index() as u16);
             n_srcs += 1;
         }
@@ -1198,12 +1330,14 @@ impl Simulator {
                         },
                     };
                     if self.tracker.try_share(&req) {
-                        self.trace_preg(
-                            "share-me",
-                            dst.class(),
-                            src_preg,
-                            &format!("seq={seq} dst={dst} src={src}"),
-                        );
+                        if self.trace_target.is_some() {
+                            self.trace_preg(
+                                "share-me",
+                                dst.class(),
+                                src_preg,
+                                &format!("seq={seq} dst={dst} src={src}"),
+                            );
+                        }
                         eliminated = true;
                         share = Some(req);
                         new_preg = Some(src_preg);
@@ -1250,12 +1384,14 @@ impl Simulator {
                                     kind: ShareKind::Bypass { arch_dst: dst },
                                 };
                                 if self.tracker.try_share(&req) {
-                                    self.trace_preg(
-                                        "share-smb",
-                                        dst.class(),
-                                        preg,
-                                        &format!("seq={seq} dst={dst}"),
-                                    );
+                                    if self.trace_target.is_some() {
+                                        self.trace_preg(
+                                            "share-smb",
+                                            dst.class(),
+                                            preg,
+                                            &format!("seq={seq} dst={dst}"),
+                                        );
+                                    }
                                     let correct = self.prf_value[dst.class().index()][preg.index()]
                                         == uop.result;
                                     bypass = Some(BypassInfo {
@@ -1289,7 +1425,9 @@ impl Simulator {
                 Some(p) => p,
                 None => {
                     let p = self.fl[class.index()].pop().expect("FL checked nonempty");
-                    self.trace_preg("alloc", class, p, &format!("seq={seq} dst={dst}"));
+                    if self.trace_target.is_some() {
+                        self.trace_preg("alloc", class, p, &format!("seq={seq} dst={dst}"));
+                    }
                     self.tracker.on_alloc(class, p);
                     self.prf_value[class.index()][p.index()] = uop.result;
                     self.prf_ready[class.index()][p.index()] = NOT_READY;
@@ -1341,7 +1479,7 @@ impl Simulator {
                         rm: self.rm.clone(),
                         fl_heads: [self.fl[0].head(), self.fl[1].head()],
                         tracker: self.tracker.checkpoint(),
-                        fetch: *snap,
+                        fetch: snap,
                     },
                 );
                 self.stats.peak_checkpoints = self.stats.peak_checkpoints.max(self.ckpts.len());
@@ -1526,13 +1664,23 @@ impl Simulator {
         let b = uop.branch.expect("branch outcome");
         let pc = uop.pc;
         let fallthrough = b.fallthrough_sidx;
-        // Snapshot (pre-update) for mispredictable kinds.
+        // Snapshot (pre-update) for mispredictable kinds. Reuses a pooled
+        // box when one is available — `snapshot_into` and the RAS restore
+        // overwrite in place, so the steady state takes no allocations.
         let snap = if matches!(kind, BranchKind::Conditional | BranchKind::Return) {
-            Some(Box::new(FetchSnap {
-                tage: self.tage.snapshot(),
-                ras: self.ras.clone(),
-                hist: self.spec_hist,
-            }))
+            Some(match self.snap_pool.pop() {
+                Some(mut s) => {
+                    self.tage.snapshot_into(&mut s.tage);
+                    s.ras.restore(&self.ras);
+                    s.hist = self.spec_hist;
+                    s
+                }
+                None => Box::new(FetchSnap {
+                    tage: self.tage.snapshot(),
+                    ras: self.ras.clone(),
+                    hist: self.spec_hist,
+                }),
+            })
         } else {
             None
         };

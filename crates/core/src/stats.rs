@@ -4,7 +4,11 @@ use regshare_refcount::TrackerStats;
 use regshare_types::stats::RunningMean;
 
 /// Counters collected over a measured simulation window.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Plain counters all the way down (`Copy`): snapshotting stats — as
+/// [`Simulator::run`](crate::Simulator::run) does at every call — is a
+/// flat memcpy, never a heap allocation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles elapsed.
     pub cycles: u64,

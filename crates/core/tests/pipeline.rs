@@ -157,7 +157,7 @@ fn memory_traps_occur_and_store_sets_learn() {
     let wl = suite().into_iter().find(|w| w.name == "bzip").unwrap();
     let program = wl.build();
     let mut sim = Simulator::new(&program, CoreConfig::hpca16());
-    let first = sim.run(40_000).clone();
+    let first = sim.run(40_000);
     let early = first.memory_traps;
     let second = sim.run(40_000);
     let late = second.memory_traps - early;

@@ -103,3 +103,42 @@ fn memory_bound_workload_with_sharing_on_small_machine() {
     assert!(s.committed >= 5_000);
     sim.audit_registers().expect("audit");
 }
+
+#[test]
+fn wide_squashes_cut_exactly_the_younger_iq_suffix() {
+    // Regression test for the IQ squash path: recovery drops squashed
+    // µ-ops from the IQ with one ordered suffix retain (`seq <= branch`),
+    // not an O(IQ × squashed) membership scan. A branch-heavy workload on
+    // a machine with an oversized IQ makes individual squashes wide; a
+    // mis-cut suffix would either issue squashed µ-ops (diverging the
+    // architectural digest from the stock configuration) or strand live
+    // ones (deadlock → `run` panics).
+    let wl = regshare_workloads::by_names(&["astar"]).remove(0);
+    let program = wl.build();
+
+    let mut reference = Simulator::new(&program, CoreConfig::hpca16());
+    reference.run(40_000);
+
+    let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+    cfg.iq_entries = 128; // deep IQ: squashes cut long suffixes
+    let mut sim = Simulator::new(&program, cfg);
+    let s = sim.run(40_000);
+
+    assert!(
+        s.branch_mispredicts > 100,
+        "workload not branchy enough to exercise squashes ({} recoveries)",
+        s.branch_mispredicts
+    );
+    assert!(
+        s.squashed_uops > 64 * s.branch_mispredicts / 10,
+        "squashes too narrow to stress the suffix cut ({} uops / {} recoveries)",
+        s.squashed_uops,
+        s.branch_mispredicts
+    );
+    assert_eq!(
+        sim.arch_digest(),
+        reference.arch_digest(),
+        "wide squashes corrupted the committed architectural trace"
+    );
+    sim.audit_registers().expect("audit after wide squashes");
+}

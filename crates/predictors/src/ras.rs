@@ -74,9 +74,18 @@ impl ReturnAddressStack {
         self.clone()
     }
 
-    /// Restores a snapshot taken with [`Self::snapshot`].
+    /// Restores a snapshot taken with [`Self::snapshot`]. In-place: when
+    /// the capacities match (the simulator's case — every snapshot comes
+    /// from the same configuration) the entries are copied without
+    /// allocating, which keeps snapshot pooling on the recovery path free.
     pub fn restore(&mut self, snap: &ReturnAddressStack) {
-        self.clone_from(snap);
+        if self.entries.len() == snap.entries.len() {
+            self.entries.copy_from_slice(&snap.entries);
+        } else {
+            self.entries.clone_from(&snap.entries);
+        }
+        self.top = snap.top;
+        self.depth = snap.depth;
     }
 }
 

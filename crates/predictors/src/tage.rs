@@ -120,8 +120,15 @@ pub struct TageHistory {
     folds: Vec<(FoldedHistory, FoldedHistory, FoldedHistory)>,
 }
 
+/// Maximum tagged components a [`Tage`] may have. Predictions carry
+/// per-component indices/tags inline (no heap) at this capacity; the
+/// paper's geometry uses 12.
+pub const MAX_COMPONENTS: usize = 16;
+
 /// The information recorded at prediction time, needed to train the tables
-/// when the branch commits.
+/// when the branch commits. Stored inline (fixed arrays, no heap): one of
+/// these is produced per predicted conditional branch and lives in the ROB
+/// until commit, so it sits on the simulator's steady-state path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TagePrediction {
     /// Predicted direction.
@@ -132,10 +139,12 @@ pub struct TagePrediction {
     alt_taken: bool,
     /// Whether the provider entry was a fresh allocation (weak counter).
     provider_weak: bool,
-    /// Table indices captured at prediction time (per component + base).
-    indices: Vec<usize>,
+    /// Live components (slots beyond this are zero).
+    n_comps: u8,
+    /// Table indices captured at prediction time (per component).
+    indices: [u32; MAX_COMPONENTS],
     /// Tags captured at prediction time.
-    tags: Vec<u32>,
+    tags: [u32; MAX_COMPONENTS],
     /// Base table index.
     base_index: usize,
 }
@@ -174,7 +183,21 @@ pub struct Tage {
 
 impl Tage {
     /// Creates a predictor with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than [`MAX_COMPONENTS`] tagged
+    /// components or a component with `log_entries >= 32` (prediction
+    /// indices are carried as `u32`).
     pub fn new(cfg: TageConfig) -> Tage {
+        assert!(
+            cfg.components.len() <= MAX_COMPONENTS,
+            "TAGE geometry exceeds MAX_COMPONENTS"
+        );
+        assert!(
+            cfg.components.iter().all(|c| c.log_entries < 32),
+            "TAGE component too large for u32 indices"
+        );
         Tage {
             base: vec![SignedCounter::new(2); 1 << cfg.log_base_entries],
             comps: cfg.components.iter().map(|c| Component::new(*c)).collect(),
@@ -209,15 +232,15 @@ impl Tage {
         let base_index = self.base_index(pc);
         let base_taken = self.base[base_index].is_taken();
 
-        let mut indices = Vec::with_capacity(self.comps.len());
-        let mut tags = Vec::with_capacity(self.comps.len());
+        let mut indices = [0u32; MAX_COMPONENTS];
+        let mut tags = [0u32; MAX_COMPONENTS];
         let mut provider = None;
         let mut alt = None;
         for (i, c) in self.comps.iter().enumerate() {
             let idx = c.index(pc, self.path);
             let tag = c.tag(pc);
-            indices.push(idx);
-            tags.push(tag);
+            indices[i] = idx as u32;
+            tags[i] = tag;
             if c.entries[idx].tag == tag {
                 alt = provider;
                 provider = Some(i);
@@ -225,9 +248,9 @@ impl Tage {
         }
         let (taken, alt_taken, provider_weak) = match provider {
             Some(p) => {
-                let e = &self.comps[p].entries[indices[p]];
+                let e = &self.comps[p].entries[indices[p] as usize];
                 let alt_taken = match alt {
-                    Some(a) => self.comps[a].entries[indices[a]].ctr.is_taken(),
+                    Some(a) => self.comps[a].entries[indices[a] as usize].ctr.is_taken(),
                     None => base_taken,
                 };
                 // "Weak" provider: newly allocated, low confidence — use alt
@@ -243,6 +266,7 @@ impl Tage {
             provider,
             alt_taken,
             provider_weak,
+            n_comps: self.comps.len() as u8,
             indices,
             tags,
             base_index,
@@ -274,6 +298,20 @@ impl Tage {
                 .map(|c| (c.folded_idx, c.folded_tag0, c.folded_tag1))
                 .collect(),
         }
+    }
+
+    /// [`Tage::snapshot`] into an existing `TageHistory`, reusing its
+    /// buffer — the allocation-free path for pooled snapshots (one is taken
+    /// per predicted branch, so this sits on the simulator's hot loop).
+    pub fn snapshot_into(&self, out: &mut TageHistory) {
+        out.ghist = self.ghist;
+        out.path = self.path;
+        out.folds.clear();
+        out.folds.extend(
+            self.comps
+                .iter()
+                .map(|c| (c.folded_idx, c.folded_tag0, c.folded_tag1)),
+        );
     }
 
     /// Restores a speculative-history snapshot.
@@ -327,7 +365,7 @@ impl Tage {
 
         match pred.provider {
             Some(p) => {
-                let e = &mut self.comps[p].entries[pred.indices[p]];
+                let e = &mut self.comps[p].entries[pred.indices[p] as usize];
                 e.ctr.update(taken);
                 // Useful bit: provider differed from alternate and was right.
                 let provider_dir_taken = {
@@ -363,7 +401,7 @@ impl Tage {
                 let mut allocated = false;
                 let mut i = start + (r as usize % 2).min(self.comps.len() - 1 - start);
                 while i < self.comps.len() {
-                    let idx = pred.indices[i];
+                    let idx = pred.indices[i] as usize;
                     let e = &mut self.comps[i].entries[idx];
                     if e.useful.value() == 0 {
                         e.tag = pred.tags[i];
@@ -376,7 +414,7 @@ impl Tage {
                 if !allocated {
                     // Decay useful counters on the allocation path.
                     for i in start..self.comps.len() {
-                        let idx = pred.indices[i];
+                        let idx = pred.indices[i] as usize;
                         self.comps[i].entries[idx].useful.decrement();
                     }
                 }

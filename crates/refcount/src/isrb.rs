@@ -99,6 +99,11 @@ struct Checkpoint {
     referenced: Vec<u32>,
 }
 
+/// Retired checkpoint buffers kept for reuse: one checkpoint is taken per
+/// predicted branch, so recycling the `referenced` vectors keeps the
+/// branch-rename path allocation-free in steady state.
+const CKPT_POOL_CAP: usize = 64;
+
 /// The Inflight Shared Register Buffer. See the module docs for semantics
 /// and [`IsrbConfig`] for sizing.
 #[derive(Debug)]
@@ -108,6 +113,8 @@ pub struct Isrb {
     /// Free entry slots (index stack).
     free_slots: Vec<usize>,
     checkpoints: VecDeque<Checkpoint>,
+    /// Recycled checkpoint buffers (see [`CKPT_POOL_CAP`]).
+    ckpt_pool: Vec<Vec<u32>>,
     next_ckpt: CheckpointId,
     max_counter: u32,
     stats: TrackerStats,
@@ -126,6 +133,7 @@ impl Isrb {
             entries: vec![Entry::default(); n],
             free_slots: (0..n).rev().collect(),
             checkpoints: VecDeque::new(),
+            ckpt_pool: Vec::new(),
             next_ckpt: 0,
             max_counter: (1u32 << cfg.counter_bits) - 1,
             cfg,
@@ -189,6 +197,13 @@ impl Isrb {
             },
             PhysReg::new(e.preg as usize),
         )
+    }
+
+    /// Returns a retired checkpoint buffer to the pool.
+    fn recycle(&mut self, referenced: Vec<u32>) {
+        if self.ckpt_pool.len() < CKPT_POOL_CAP {
+            self.ckpt_pool.push(referenced);
+        }
     }
 
     /// Applies the paper's per-entry restore rule given a checkpointed
@@ -291,14 +306,14 @@ impl SharingTracker for Isrb {
     fn checkpoint(&mut self) -> CheckpointId {
         let id = self.next_ckpt;
         self.next_ckpt += 1;
-        self.checkpoints.push_back(Checkpoint {
-            id,
-            referenced: self
-                .entries
+        let mut referenced = self.ckpt_pool.pop().unwrap_or_default();
+        referenced.clear();
+        referenced.extend(
+            self.entries
                 .iter()
-                .map(|e| if e.valid { e.referenced } else { 0 })
-                .collect(),
-        });
+                .map(|e| if e.valid { e.referenced } else { 0 }),
+        );
+        self.checkpoints.push_back(Checkpoint { id, referenced });
         self.stats.checkpoints_taken += 1;
         id
     }
@@ -308,7 +323,8 @@ impl SharingTracker for Isrb {
         // Drop checkpoints younger than `id`, then take `id` itself.
         while let Some(back) = self.checkpoints.back() {
             if back.id > id {
-                self.checkpoints.pop_back();
+                let dead = self.checkpoints.pop_back().expect("just peeked");
+                self.recycle(dead.referenced);
             } else {
                 break;
             }
@@ -326,18 +342,23 @@ impl SharingTracker for Isrb {
                 freed.push(p);
             }
         }
+        self.recycle(ck.referenced);
     }
 
     fn release_checkpoint(&mut self, id: CheckpointId) {
         if let Some(pos) = self.checkpoints.iter().position(|c| c.id == id) {
             debug_assert_eq!(pos, 0, "checkpoints must be released oldest-first");
-            self.checkpoints.remove(pos);
+            if let Some(ck) = self.checkpoints.remove(pos) {
+                self.recycle(ck.referenced);
+            }
         }
     }
 
     fn restore_to_committed(&mut self, freed: &mut Vec<(RegClass, PhysReg)>) {
         self.stats.restores += 1;
-        self.checkpoints.clear();
+        while let Some(ck) = self.checkpoints.pop_back() {
+            self.recycle(ck.referenced);
+        }
         for slot in 0..self.entries.len() {
             let ref_arch = if self.entries[slot].valid {
                 self.entries[slot].referenced_committed

@@ -32,6 +32,10 @@ struct Checkpoint {
     counts: Vec<u32>,
 }
 
+/// Retired checkpoint buffers kept for reuse (one checkpoint per predicted
+/// branch — recycling keeps the rename path allocation-free).
+const CKPT_POOL_CAP: usize = 64;
+
 /// The RDA tracker. See the module docs.
 ///
 /// # Examples
@@ -53,6 +57,8 @@ struct Checkpoint {
 pub struct Rda {
     entries: Vec<Entry>,
     checkpoints: VecDeque<Checkpoint>,
+    /// Recycled checkpoint buffers (see [`CKPT_POOL_CAP`]).
+    ckpt_pool: Vec<Vec<u32>>,
     next_ckpt: CheckpointId,
     max_count: u32,
     counter_bits: u32,
@@ -71,6 +77,7 @@ impl Rda {
         Rda {
             entries: vec![Entry::default(); entries],
             checkpoints: VecDeque::new(),
+            ckpt_pool: Vec::new(),
             next_ckpt: 0,
             max_count: (1 << counter_bits) - 1,
             counter_bits,
@@ -96,6 +103,13 @@ impl Rda {
 
     fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Returns a retired checkpoint buffer to the pool.
+    fn recycle(&mut self, counts: Vec<u32>) {
+        if self.ckpt_pool.len() < CKPT_POOL_CAP {
+            self.ckpt_pool.push(counts);
+        }
     }
 }
 
@@ -173,14 +187,14 @@ impl SharingTracker for Rda {
     fn checkpoint(&mut self) -> CheckpointId {
         let id = self.next_ckpt;
         self.next_ckpt += 1;
-        self.checkpoints.push_back(Checkpoint {
-            id,
-            counts: self
-                .entries
+        let mut counts = self.ckpt_pool.pop().unwrap_or_default();
+        counts.clear();
+        counts.extend(
+            self.entries
                 .iter()
-                .map(|e| if e.valid { e.count } else { 0 })
-                .collect(),
-        });
+                .map(|e| if e.valid { e.count } else { 0 }),
+        );
+        self.checkpoints.push_back(Checkpoint { id, counts });
         self.stats.checkpoints_taken += 1;
         id
     }
@@ -189,7 +203,8 @@ impl SharingTracker for Rda {
         self.stats.restores += 1;
         while let Some(back) = self.checkpoints.back() {
             if back.id > id {
-                self.checkpoints.pop_back();
+                let dead = self.checkpoints.pop_back().expect("just peeked");
+                self.recycle(dead.counts);
             } else {
                 break;
             }
@@ -207,17 +222,22 @@ impl SharingTracker for Rda {
                 self.entries[slot].count = c;
             }
         }
+        self.recycle(ck.counts);
     }
 
     fn release_checkpoint(&mut self, id: CheckpointId) {
         if let Some(pos) = self.checkpoints.iter().position(|c| c.id == id) {
-            self.checkpoints.remove(pos);
+            if let Some(ck) = self.checkpoints.remove(pos) {
+                self.recycle(ck.counts);
+            }
         }
     }
 
     fn restore_to_committed(&mut self, _freed: &mut Vec<(RegClass, PhysReg)>) {
         self.stats.restores += 1;
-        self.checkpoints.clear();
+        while let Some(ck) = self.checkpoints.pop_back() {
+            self.recycle(ck.counts);
+        }
         for slot in 0..self.entries.len() {
             if !self.entries[slot].valid {
                 continue;

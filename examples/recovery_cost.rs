@@ -15,7 +15,7 @@ use regshare::workloads::suite;
 fn run(program: &regshare::isa::Program, cfg: CoreConfig) -> (f64, u64, u64) {
     let mut sim = Simulator::new(program, cfg);
     sim.run(40_000);
-    let warm = sim.stats().clone();
+    let warm = *sim.stats();
     sim.run(160_000);
     let s = sim.stats().delta_since(&warm);
     (s.ipc(), s.branch_mispredicts, s.tracker_recovery_stalls)

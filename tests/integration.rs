@@ -13,7 +13,7 @@ const MEASURE: u64 = 80_000;
 fn ipc(program: &regshare::isa::Program, cfg: CoreConfig) -> f64 {
     let mut sim = Simulator::new(program, cfg);
     sim.run(WARM);
-    let warm = sim.stats().clone();
+    let warm = *sim.stats();
     sim.run(MEASURE);
     sim.stats().delta_since(&warm).ipc()
 }
