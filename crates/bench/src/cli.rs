@@ -68,10 +68,11 @@ impl CliArgs {
                 "--jobs" => {
                     let v = value(&mut i)?;
                     let n: usize = v.parse().map_err(|_| format!("bad --jobs value {v:?}"))?;
-                    if n == 0 {
-                        return Err("--jobs must be at least 1".to_string());
-                    }
-                    out.overrides.jobs = Some(n);
+                    // Same typed rejection as scenario files and RunOptions.
+                    out.overrides = out
+                        .overrides
+                        .try_jobs(n)
+                        .map_err(|e| format!("--jobs: {e}"))?;
                 }
                 "--list-presets" => out.list_presets = true,
                 "--list-workloads" => out.list_workloads = true,
@@ -110,12 +111,19 @@ pub fn preset_listing() -> String {
     out
 }
 
-/// The `--list-workloads` listing: the suite registry, in suite order —
-/// the names a scenario file's `workloads = [...]` may use.
+/// The `--list-workloads` listing: the suite registry, in suite order,
+/// plus the fuzz generator's naming scheme — everything a scenario file's
+/// `workloads = [...]` may reference.
 pub fn workload_listing() -> String {
     let mut out = String::from("workload registry (scenario `workloads = [...]` names):\n");
     for name in regshare_workloads::names() {
         out.push_str(&format!("  {name}\n"));
+    }
+    out.push_str(
+        "generated workloads: fuzz-<profile>-<seed> (see README \"Fuzzing\"); profiles:\n",
+    );
+    for p in regshare_workloads::fuzz::profiles() {
+        out.push_str(&format!("  {:<10} {}\n", p.name, p.description));
     }
     out
 }

@@ -19,6 +19,7 @@
 #![deny(missing_docs)]
 
 pub mod cli;
+pub mod fuzz;
 pub mod harness;
 pub mod options;
 pub mod report;
@@ -27,12 +28,13 @@ pub mod sweep;
 pub mod table;
 pub mod throughput;
 
+pub use fuzz::FuzzOptions;
 pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
-pub use options::{env_parse, RunOptions, DEFAULT_MEASURE, DEFAULT_WARMUP};
+pub use options::{env_parse, RunOptions, ZeroJobsError, DEFAULT_MEASURE, DEFAULT_WARMUP};
 pub use report::{render_report, run_scenario};
 pub use scenario::{
-    preset, valid_name, Scenario, ScenarioBuilder, ScenarioError, VariantSpec, CONFIG_PRESETS,
-    SCENARIO_PRESETS,
+    preset, valid_name, FuzzSource, Scenario, ScenarioBuilder, ScenarioError, VariantSpec,
+    CONFIG_PRESETS, SCENARIO_PRESETS,
 };
 pub use sweep::{jobs_from_env, SweepGrid, SweepRow, SweepSpec, Variant};
 pub use table::Table;

@@ -96,6 +96,23 @@ pub struct RunOptions {
     pub jobs: Option<usize>,
 }
 
+/// Typed rejection of a zero worker count — the shared error every front
+/// door (`--jobs 0`, `jobs = 0` in a scenario file, [`RunOptions::try_jobs`])
+/// reports instead of silently clamping or degenerating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroJobsError;
+
+impl std::fmt::Display for ZeroJobsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jobs must be at least 1 (leave it unset for available parallelism)"
+        )
+    }
+}
+
+impl std::error::Error for ZeroJobsError {}
+
 impl RunOptions {
     /// Sets the warmup window (µ-ops).
     pub fn warmup(mut self, uops: u64) -> Self {
@@ -109,10 +126,23 @@ impl RunOptions {
         self
     }
 
-    /// Sets the sweep worker count (clamped to at least one).
+    /// Sets the sweep worker count (clamped to at least one). Prefer
+    /// [`RunOptions::try_jobs`] where a zero can come from user input —
+    /// it reports the zero instead of papering over it.
     pub fn jobs(mut self, jobs: usize) -> Self {
         self.jobs = Some(jobs.max(1));
         self
+    }
+
+    /// Sets the sweep worker count, rejecting zero with a typed error —
+    /// the validating twin of [`RunOptions::jobs`] used by the CLI and the
+    /// scenario parser.
+    pub fn try_jobs(mut self, jobs: usize) -> Result<Self, ZeroJobsError> {
+        if jobs == 0 {
+            return Err(ZeroJobsError);
+        }
+        self.jobs = Some(jobs);
+        Ok(self)
     }
 
     /// Overlays `self` on top of `base`: explicit fields win, unset fields
@@ -182,6 +212,16 @@ mod tests {
     #[test]
     fn jobs_clamps_to_one() {
         assert_eq!(RunOptions::default().jobs(0).jobs, Some(1));
+    }
+
+    #[test]
+    fn try_jobs_rejects_zero_with_a_typed_error() {
+        assert_eq!(RunOptions::default().try_jobs(0), Err(ZeroJobsError));
+        assert!(ZeroJobsError.to_string().contains("at least 1"));
+        let ok = RunOptions::default().try_jobs(3).unwrap();
+        assert_eq!(ok.jobs, Some(3));
+        // The error is a std error so front doors can `?` it.
+        let _: Box<dyn std::error::Error> = Box::new(ZeroJobsError);
     }
 
     #[test]

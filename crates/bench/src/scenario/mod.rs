@@ -28,6 +28,7 @@ use regshare_core::{
 };
 use regshare_distance::{DdtConfig, NosqConfig};
 use regshare_refcount::IsrbConfig;
+use regshare_workloads::fuzz::FuzzSpec;
 use regshare_workloads::{suite, try_by_names, Workload};
 
 /// Any way a scenario can be malformed: syntax errors in a `.scenario`
@@ -98,6 +99,21 @@ pub enum ScenarioError {
     UnknownDdt(String),
     /// A workload name absent from the suite registry.
     UnknownWorkload(String),
+    /// A `kind` value that is neither `"suite"` nor `"fuzz"`.
+    UnknownKind(String),
+    /// A fuzz-only key (`seed`, `profile`, `programs`) without
+    /// `kind = "fuzz"`.
+    FuzzKeyWithoutKind {
+        /// The offending key.
+        key: &'static str,
+    },
+    /// A fuzz scenario that also lists `workloads` (the generated family
+    /// *is* the workload list).
+    FuzzWithWorkloads,
+    /// A `profile` value naming no fuzz generator profile.
+    UnknownFuzzProfile(String),
+    /// A fuzz scenario generating zero programs.
+    ZeroFuzzPrograms,
     /// A key that only makes sense for a tracker the variant did not
     /// select (e.g. `walk_width` without `tracker = "counters"`).
     KeyRequiresTracker {
@@ -177,9 +193,26 @@ impl std::fmt::Display for ScenarioError {
             ScenarioError::UnknownWorkload(name) => {
                 write!(
                     f,
-                    "unknown workload {name:?} (see `regshare_workloads::names`)"
+                    "unknown workload {name:?} (see `regshare_workloads::names`, \
+                     or fuzz-<profile>-<seed>)"
                 )
             }
+            ScenarioError::UnknownKind(kind) => {
+                write!(f, "unknown scenario kind {kind:?} (known: suite, fuzz)")
+            }
+            ScenarioError::FuzzKeyWithoutKind { key } => {
+                write!(f, "{key} requires kind = \"fuzz\"")
+            }
+            ScenarioError::FuzzWithWorkloads => write!(
+                f,
+                "a fuzz scenario generates its workload list; drop `workloads = [...]`"
+            ),
+            ScenarioError::UnknownFuzzProfile(name) => write!(
+                f,
+                "unknown fuzz profile {name:?} (known: {})",
+                regshare_workloads::fuzz::profile_names().join(", ")
+            ),
+            ScenarioError::ZeroFuzzPrograms => write!(f, "programs must be at least 1"),
             ScenarioError::KeyRequiresTracker { key, tracker } => {
                 write!(f, "{key} only applies to tracker = {tracker}")
             }
@@ -616,6 +649,20 @@ impl VariantSpec {
     }
 }
 
+/// A generated workload family: `kind = "fuzz"` in a `.scenario` file.
+/// Expands to `programs` consecutive fuzz cases
+/// (`fuzz-<profile>-<seed>` … `fuzz-<profile>-<seed+programs-1>`) in place
+/// of a hand-listed workload set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSource {
+    /// Generator profile name (see `regshare_workloads::fuzz::profiles`).
+    pub profile: String,
+    /// First seed of the family.
+    pub seed: u64,
+    /// Family size.
+    pub programs: u32,
+}
+
 /// A named, validated experiment: workloads × labelled variants, plus run
 /// options. The unit the sweep engine, the binaries' CLIs, and `.scenario`
 /// files all exchange.
@@ -628,9 +675,13 @@ pub struct Scenario {
     /// Window sizes and parallelism; unset fields fall back to the
     /// deprecated `REGSHARE_*` environment variables, then defaults.
     pub options: RunOptions,
-    /// Workload names, resolved against the suite registry; empty means
-    /// the full 36-workload suite.
+    /// Workload names, resolved against the registry (suite names and
+    /// `fuzz-<profile>-<seed>`); empty means the full 36-workload suite —
+    /// unless [`Scenario::fuzz`] supplies a generated family instead.
     pub workloads: Vec<String>,
+    /// Generated workload family (`kind = "fuzz"`); mutually exclusive
+    /// with a non-empty `workloads` list.
+    pub fuzz: Option<FuzzSource>,
     /// Ordered labelled variants; the first is the baseline column.
     pub variants: Vec<(String, VariantSpec)>,
 }
@@ -644,6 +695,7 @@ impl Scenario {
                 note: String::new(),
                 options: RunOptions::default(),
                 workloads: Vec::new(),
+                fuzz: None,
                 variants: Vec::new(),
             },
         }
@@ -707,9 +759,25 @@ impl Scenario {
         self.resolved().map(|_| ())
     }
 
-    /// The workload list this scenario runs over (the full suite when none
-    /// are named), with unknown names rejected as typed errors.
+    /// The workload list this scenario runs over — the generated fuzz
+    /// family, the named workloads, or the full suite when neither is
+    /// given — with unknown names rejected as typed errors.
     pub fn resolve_workloads(&self) -> Result<Vec<Workload>, ScenarioError> {
+        if let Some(fuzz) = &self.fuzz {
+            if !self.workloads.is_empty() {
+                return Err(ScenarioError::FuzzWithWorkloads);
+            }
+            if fuzz.programs == 0 {
+                return Err(ScenarioError::ZeroFuzzPrograms);
+            }
+            return (0..fuzz.programs as u64)
+                .map(|i| {
+                    FuzzSpec::new(fuzz.profile.clone(), fuzz.seed.wrapping_add(i))
+                        .map(|spec| spec.workload())
+                        .map_err(ScenarioError::UnknownFuzzProfile)
+                })
+                .collect();
+        }
         if self.workloads.is_empty() {
             return Ok(suite());
         }
@@ -787,6 +855,18 @@ impl ScenarioBuilder {
     /// Runs over the full 36-workload suite (the default).
     pub fn full_suite(mut self) -> Self {
         self.scenario.workloads.clear();
+        self.scenario.fuzz = None;
+        self
+    }
+
+    /// Runs over a generated fuzz family instead of named workloads
+    /// (`kind = "fuzz"` in scenario files).
+    pub fn fuzz(mut self, profile: impl Into<String>, seed: u64, programs: u32) -> Self {
+        self.scenario.fuzz = Some(FuzzSource {
+            profile: profile.into(),
+            seed,
+            programs,
+        });
         self
     }
 
@@ -806,7 +886,7 @@ impl ScenarioBuilder {
 
 /// The built-in named scenarios (`--list-presets` in the binaries). Each
 /// covers one of the paper's experiments end to end.
-pub const SCENARIO_PRESETS: [(&str, &str); 7] = [
+pub const SCENARIO_PRESETS: [(&str, &str); 8] = [
     (
         "smoke",
         "quick shape check: ME / SMB / combined on 9 representative workloads",
@@ -826,6 +906,10 @@ pub const SCENARIO_PRESETS: [(&str, &str); 7] = [
         "Figure 6(c): eager vs lazy reclaim (bypass from committed)",
     ),
     ("fig7_combined", "Figure 7: ME+SMB combined vs ISRB size"),
+    (
+        "fuzz_smoke",
+        "IPC sweep over a generated fuzz family (differential checks live in the fuzz bin)",
+    ),
 ];
 
 /// Builds the named preset scenario, or `None` for an unknown name.
@@ -893,6 +977,11 @@ pub fn preset(name: &str) -> Option<Scenario> {
             .variant("bothUnl", VariantSpec::preset("me_smb").isrb_entries(0))
             .variant("meUnl", VariantSpec::preset("me").isrb_entries(0))
             .variant("smbUnl", VariantSpec::preset("smb").isrb_entries(0)),
+        "fuzz_smoke" => Scenario::builder("fuzz_smoke")
+            .note("generated programs through the standard sweep; seeds are replayable")
+            .fuzz("balanced", 1, 8)
+            .variant("base", VariantSpec::hpca16())
+            .variant("both", VariantSpec::preset("me_smb")),
         _ => return None,
     };
     Some(b.build().expect("presets are valid by construction"))
@@ -1101,10 +1190,63 @@ mod tests {
             .unwrap();
         s.options.jobs = Some(0);
         assert_eq!(s.validate().unwrap_err(), ScenarioError::ZeroJobs);
-        assert!(matches!(
+        assert_eq!(
             Scenario::parse(&s.render()).unwrap_err(),
-            ScenarioError::Syntax { .. }
-        ));
+            ScenarioError::ZeroJobs
+        );
+    }
+
+    #[test]
+    fn fuzz_scenarios_resolve_generated_families_with_typed_guards() {
+        let s = Scenario::builder("f")
+            .fuzz("memory", 10, 3)
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        let workloads = s.resolve_workloads().unwrap();
+        assert_eq!(workloads.len(), 3);
+        assert_eq!(workloads[0].name, "fuzz-memory-10");
+        assert_eq!(workloads[2].name, "fuzz-memory-12");
+
+        let err = Scenario::builder("f")
+            .fuzz("doom", 1, 2)
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownFuzzProfile("doom".into()));
+
+        let err = Scenario::builder("f")
+            .fuzz("memory", 1, 0)
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroFuzzPrograms);
+
+        let err = Scenario::builder("f")
+            .workloads(&["crafty"])
+            .fuzz("memory", 1, 2)
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::FuzzWithWorkloads);
+
+        // Individual fuzz names also resolve through the registry path.
+        let s = Scenario::builder("mixed")
+            .workloads(&["crafty", "fuzz-balanced-3"])
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        assert_eq!(s.resolve_workloads().unwrap()[1].name, "fuzz-balanced-3");
+    }
+
+    #[test]
+    fn fuzz_preset_drives_the_sweep_engine() {
+        let mut s = preset("fuzz_smoke").expect("preset exists");
+        s.options = RunOptions::default().warmup(300).measure(900).jobs(2);
+        let grid = s.to_sweep().unwrap().run();
+        assert_eq!(grid.workloads().len(), 8);
+        assert!(grid.get(0, "both").ipc() > 0.0);
+        assert!(grid.workloads()[0].name.starts_with("fuzz-balanced-"));
     }
 
     #[test]

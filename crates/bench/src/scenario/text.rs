@@ -8,6 +8,15 @@
 //! measure = 4000
 //! jobs = 2
 //! workloads = ["crafty", "hmmer"]
+//! ```
+//!
+//! Generated (fuzz) scenarios replace `workloads` with a family spec:
+//!
+//! ```text
+//! kind = "fuzz"
+//! profile = "balanced"
+//! seed = 1
+//! programs = 8
 //!
 //! [variant.base]
 //! preset = "hpca16"
@@ -24,7 +33,7 @@
 //! `parse(render(scenario))` is the identity — the round-trip guarantees
 //! the proptest in `tests/scenario_roundtrip.rs` pins down.
 
-use super::{Scenario, ScenarioError, VariantSpec};
+use super::{FuzzSource, Scenario, ScenarioError, VariantSpec};
 use crate::options::RunOptions;
 
 /// One parsed right-hand-side value.
@@ -206,6 +215,10 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut note = String::new();
     let mut options = RunOptions::default();
     let mut workloads: Vec<String> = Vec::new();
+    let mut kind: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut profile: Option<String> = None;
+    let mut programs: Option<u32> = None;
     let mut variants: Vec<(String, VariantSpec)> = Vec::new();
     // None = top level; Some(i) = inside variants[i].
     let mut current: Option<usize> = None;
@@ -257,10 +270,23 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "measure" => options.measure = Some(expect_int(lineno, key, value)?),
                     "jobs" => {
                         let n = expect_int(lineno, key, value)? as usize;
-                        if n == 0 {
-                            return Err(syntax(lineno, "jobs must be at least 1"));
+                        // Typed, not a generic syntax error: the same
+                        // ZeroJobs every other front door reports.
+                        options = options.try_jobs(n).map_err(|_| ScenarioError::ZeroJobs)?;
+                    }
+                    "kind" => kind = Some(expect_str(lineno, key, value)?),
+                    "seed" => seed = Some(expect_int(lineno, key, value)?),
+                    "profile" => profile = Some(expect_str(lineno, key, value)?),
+                    "programs" => {
+                        let n = expect_int(lineno, key, value)?;
+                        if n > u32::MAX as u64 {
+                            return Err(ScenarioError::WrongType {
+                                line: lineno,
+                                key: key.to_string(),
+                                expected: "a family size that fits 32 bits",
+                            });
                         }
-                        options.jobs = Some(n);
+                        programs = Some(n as u32);
                     }
                     "workloads" => match value {
                         Value::StrArray(items) => workloads = items,
@@ -283,11 +309,33 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         }
     }
 
+    let fuzz = match kind.as_deref() {
+        None | Some("suite") => {
+            // Fuzz-only keys are meaningless without kind = "fuzz".
+            for (key, set) in [
+                ("seed", seed.is_some()),
+                ("profile", profile.is_some()),
+                ("programs", programs.is_some()),
+            ] {
+                if set {
+                    return Err(ScenarioError::FuzzKeyWithoutKind { key });
+                }
+            }
+            None
+        }
+        Some("fuzz") => Some(FuzzSource {
+            profile: profile.unwrap_or_else(|| "balanced".to_string()),
+            seed: seed.unwrap_or(1),
+            programs: programs.unwrap_or(8),
+        }),
+        Some(other) => return Err(ScenarioError::UnknownKind(other.to_string())),
+    };
     Ok(Scenario {
         name: name.ok_or(ScenarioError::MissingName)?,
         note,
         options,
         workloads,
+        fuzz,
         variants,
     })
 }
@@ -306,6 +354,12 @@ pub fn render(s: &Scenario) -> String {
     out.push_str(&format!("name = \"{}\"\n", s.name));
     if !s.note.is_empty() {
         out.push_str(&format!("note = \"{}\"\n", s.note));
+    }
+    if let Some(fuzz) = &s.fuzz {
+        out.push_str("kind = \"fuzz\"\n");
+        out.push_str(&format!("profile = \"{}\"\n", fuzz.profile));
+        out.push_str(&format!("seed = {}\n", fuzz.seed));
+        out.push_str(&format!("programs = {}\n", fuzz.programs));
     }
     if let Some(v) = s.options.warmup {
         out.push_str(&format!("warmup = {v}\n"));
@@ -454,11 +508,64 @@ mod tests {
             ScenarioError::DuplicateVariant("v".into())
         );
         // jobs = 0 is rejected here just like the CLI rejects --jobs 0,
-        // keeping the Some(n) => n >= 1 invariant from every front door.
-        assert!(matches!(
+        // keeping the Some(n) => n >= 1 invariant from every front door —
+        // with the same typed error scenario validation uses.
+        assert_eq!(
             Scenario::parse("name = \"x\"\njobs = 0\n").unwrap_err(),
-            ScenarioError::Syntax { line: 2, .. }
-        ));
+            ScenarioError::ZeroJobs
+        );
+    }
+
+    #[test]
+    fn fuzz_kind_parses_renders_and_is_guarded() {
+        let text = "name = \"f\"\nkind = \"fuzz\"\nprofile = \"memory\"\nseed = 7\nprograms = 3\n\n[variant.base]\npreset = \"hpca16\"\n";
+        let s = Scenario::parse(text).unwrap();
+        let fuzz = s.fuzz.as_ref().expect("fuzz source");
+        assert_eq!(
+            (fuzz.profile.as_str(), fuzz.seed, fuzz.programs),
+            ("memory", 7, 3)
+        );
+        s.validate().unwrap();
+        // Canonical render round-trips.
+        let rendered = s.render();
+        assert_eq!(Scenario::parse(&rendered).unwrap(), s);
+        assert_eq!(Scenario::parse(&rendered).unwrap().render(), rendered);
+        // Omitted fuzz keys take documented defaults.
+        let s = Scenario::parse("name = \"f\"\nkind = \"fuzz\"\n[variant.v]\n").unwrap();
+        let fuzz = s.fuzz.unwrap();
+        assert_eq!(
+            (fuzz.profile.as_str(), fuzz.seed, fuzz.programs),
+            ("balanced", 1, 8)
+        );
+        // kind = "suite" is the explicit spelling of the default.
+        assert_eq!(
+            Scenario::parse("name = \"x\"\nkind = \"suite\"\n[variant.v]\n")
+                .unwrap()
+                .fuzz,
+            None
+        );
+        // Typed guards.
+        assert_eq!(
+            Scenario::parse("name = \"x\"\nkind = \"doom\"\n").unwrap_err(),
+            ScenarioError::UnknownKind("doom".into())
+        );
+        assert_eq!(
+            Scenario::parse("name = \"x\"\nseed = 3\n").unwrap_err(),
+            ScenarioError::FuzzKeyWithoutKind { key: "seed" }
+        );
+        assert_eq!(
+            Scenario::parse("name = \"x\"\nprograms = 3\n").unwrap_err(),
+            ScenarioError::FuzzKeyWithoutKind { key: "programs" }
+        );
+        // Out-of-range family sizes are rejected, never silently clamped.
+        assert_eq!(
+            Scenario::parse("name = \"x\"\nkind = \"fuzz\"\nprograms = 4294967296\n").unwrap_err(),
+            ScenarioError::WrongType {
+                line: 3,
+                key: "programs".into(),
+                expected: "a family size that fits 32 bits"
+            }
+        );
     }
 
     #[test]
@@ -468,6 +575,7 @@ mod tests {
             note: String::new(),
             options: Default::default(),
             workloads: vec![],
+            fuzz: None,
             variants: vec![("only".into(), VariantSpec::hpca16())],
         };
         let text = s.render();

@@ -1,0 +1,39 @@
+//! Parallelism-invariance of the fuzz subsystem, mirroring
+//! `sweep_determinism.rs`: both the differential runner and the
+//! scenario-driven sweep over a generated family must produce byte-identical
+//! output whether they run serial or sharded — the guarantee the CI
+//! `fuzz-smoke` job diffs on every push.
+
+use regshare_bench::fuzz::{case_matrix, render_report, run_cases, FuzzOptions};
+use regshare_bench::{preset, render_report as render_sweep, RunOptions};
+
+#[test]
+fn differential_report_is_byte_identical_serial_vs_sharded() {
+    let specs = case_matrix(&["pressure".into(), "memory".into()], 5, 3);
+    let run = |jobs| {
+        let opts = FuzzOptions {
+            uops: 1_200,
+            jobs,
+            ..FuzzOptions::default()
+        };
+        render_report(&run_cases(&specs, &opts), &opts)
+    };
+    assert_eq!(run(1), run(4));
+}
+
+#[test]
+fn fuzz_scenario_sweep_is_byte_identical_serial_vs_sharded() {
+    let run = |jobs| {
+        let mut s = preset("fuzz_smoke").expect("preset");
+        s.options = RunOptions::default().warmup(300).measure(900).jobs(jobs);
+        let grid = s.to_sweep().expect("valid").run();
+        render_sweep(&s, &grid)
+    };
+    // The rendered reports differ only in the jobs option's effect on
+    // execution, which must be none; the header prints the window, not
+    // the worker count, so byte equality is the whole guarantee.
+    let serial = run(1);
+    let sharded = run(4);
+    assert_eq!(serial, sharded);
+    assert!(serial.contains("fuzz-balanced-1"));
+}

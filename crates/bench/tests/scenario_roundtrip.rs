@@ -10,7 +10,7 @@
 //! pools and arbitrary identifier names.
 
 use proptest::prelude::*;
-use regshare_bench::{RunOptions, Scenario, VariantSpec};
+use regshare_bench::{FuzzSource, RunOptions, Scenario, ScenarioError, VariantSpec};
 
 const IDENT_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
 const NOTE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.,:+%()= -";
@@ -116,8 +116,21 @@ fn scenario_from(raw: &[u64]) -> Scenario {
     if d.next().is_multiple_of(2) {
         options.jobs = Some(1 + (d.next() % 64) as usize);
     }
-    let n_workloads = (d.next() % 4) as usize;
-    let workloads = (0..n_workloads).map(|_| d.ident()).collect();
+    // A scenario draws either a workload list or a fuzz family (both is
+    // invalid, and the renderer would emit both sections).
+    let (workloads, fuzz) = if d.next().is_multiple_of(4) {
+        (
+            Vec::new(),
+            Some(FuzzSource {
+                profile: d.ident(),
+                seed: d.next(),
+                programs: 1 + (d.next() % 64) as u32,
+            }),
+        )
+    } else {
+        let n_workloads = (d.next() % 4) as usize;
+        ((0..n_workloads).map(|_| d.ident()).collect(), None)
+    };
     let n_variants = 1 + (d.next() % 4) as usize;
     let variants = (0..n_variants)
         // Index prefix guarantees label uniqueness without a dedup pass.
@@ -128,6 +141,7 @@ fn scenario_from(raw: &[u64]) -> Scenario {
         note: d.note(),
         options,
         workloads,
+        fuzz,
         variants,
     }
 }
@@ -144,5 +158,36 @@ proptest! {
         prop_assert_eq!(&parsed, &scenario);
         // Canonical form is byte-stable.
         prop_assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn duplicated_keys_are_rejected_not_last_write_wins(
+        raw in proptest::collection::vec(any::<u64>(), 8..64)
+    ) {
+        // Take a valid rendered scenario, duplicate one `key = value` line
+        // immediately after itself (same scope by construction), and the
+        // parser must fail with DuplicateKey naming that key — never
+        // silently keep either occurrence.
+        let scenario = scenario_from(&raw);
+        let pick = raw[0] ^ raw[raw.len() - 1];
+        let text = scenario.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // Every render has at least its `name = "..."` line, so `keyed`
+        // is never empty.
+        let keyed: Vec<usize> = (0..lines.len())
+            .filter(|&i| {
+                let l = lines[i].trim();
+                !l.is_empty() && !l.starts_with('#') && !l.starts_with('[') && l.contains('=')
+            })
+            .collect();
+        let at = keyed[(pick % keyed.len() as u64) as usize];
+        let key = lines[at].split('=').next().unwrap().trim().to_string();
+        let mut doubled: Vec<&str> = Vec::with_capacity(lines.len() + 1);
+        doubled.extend_from_slice(&lines[..=at]);
+        doubled.push(lines[at]);
+        doubled.extend_from_slice(&lines[at + 1..]);
+        let err = Scenario::parse(&doubled.join("\n"))
+            .expect_err("duplicated key must not parse");
+        prop_assert_eq!(err, ScenarioError::DuplicateKey { line: at + 2, key });
     }
 }

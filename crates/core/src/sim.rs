@@ -187,6 +187,13 @@ pub struct Simulator {
     /// Whether any load may be parked (AGU done, completion not yet
     /// scheduled) — lets the pump skip its ROB scan on quiet cycles.
     loads_parked: bool,
+    /// After a bypass-mispredict flush, the refetched instance of the
+    /// trapping load executes conservatively (no re-bypass). Without this,
+    /// a stably wrong prediction — e.g. a DDT alias whose observed distance
+    /// *reinforces* the mispredicting entry at flush-training time —
+    /// livelocks under lazy reclaim, where committed producers stay
+    /// bypassable across the flush (found by regshare-fuzz).
+    no_bypass_seq: Option<SeqNum>,
 
     now: u64,
     next_uid: u64,
@@ -275,6 +282,7 @@ impl Simulator {
             scratch: Scratch::default(),
             snap_pool: Vec::new(),
             loads_parked: false,
+            no_bypass_seq: None,
             now: 0,
             next_uid: 0,
             commit_budget: None,
@@ -508,9 +516,15 @@ impl Simulator {
             let m = mem.expect("store has memref");
             self.mem.store_commit(pc, m.addr, Cycle(self.now));
             // DDT: record the CSN of the instruction that produced the data.
+            // Full-width stores only: a sub-word store's data register does
+            // not carry the memory value a later load would read, so a
+            // bypass built on it can never validate (§3 models compiler
+            // spill/reload pairs, which are register-width by construction).
             if let Some(data_reg) = store_data {
-                if let Some(producer) = self.csn.producer(data_reg) {
-                    self.ddt.store_commit(m.addr, producer);
+                if m.size == 8 {
+                    if let Some(producer) = self.csn.producer(data_reg) {
+                        self.ddt.store_commit(m.addr, producer);
+                    }
                 }
             }
             if let Some(i) = sq_idx {
@@ -527,8 +541,9 @@ impl Simulator {
                 .and_then(|p| seq.distance_from(p))
                 .filter(|&d| d >= 1);
             self.dist_pred.train(pc, history, observed);
-            if self.cfg.smb_load_load {
-                // Load-load generalization: deposit own CSN.
+            if self.cfg.smb_load_load && m.size == 8 {
+                // Load-load generalization: deposit own CSN (full-width
+                // loads only, same width rule as stores above).
                 self.ddt.store_commit(m.addr, seq);
             }
             if bypass.is_some() {
@@ -652,8 +667,13 @@ impl Simulator {
             TrapKind::MemOrder => self.stats.memory_traps += 1,
             TrapKind::BypassMispredict => {
                 self.stats.bypass_mispredictions += 1;
-                // Train toward the architecturally correct distance so the
-                // refetched instance does not repeat the bypass.
+                // The refetched instance of this load must not bypass
+                // again: training below cannot guarantee the prediction
+                // flips (a DDT alias re-observes the same wrong distance),
+                // and under lazy reclaim the wrong producer stays in reach.
+                self.no_bypass_seq = Some(seq);
+                // Train toward the architecturally correct distance so
+                // later instances predict better.
                 if let Some(m) = mem {
                     let observed = self
                         .ddt
@@ -1356,8 +1376,20 @@ impl Simulator {
         }
 
         // --- Speculative memory bypassing (§3) ---
+        // Full-width loads only: a sub-word load zero-extends part of the
+        // forwarded value, so no register bypass can reproduce its result.
+        // Without this gate a mispredicted sub-word bypass livelocks under
+        // lazy reclaim: the flush retrains toward the same (correct!)
+        // distance, the committed producer stays bypassable, and the
+        // refetched load traps again forever (found by regshare-fuzz).
+        let full_width_load = uop.is_load() && uop.mem.is_some_and(|m| m.size == 8);
+        // One-shot conservative refetch after a bypass-mispredict flush.
+        let bypass_suppressed = self.no_bypass_seq == Some(seq);
         let mut bypass: Option<BypassInfo> = None;
-        if let (true, Some(dst)) = (self.cfg.smb && uop.is_load() && !eliminated, uop.dst) {
+        if let (true, Some(dst)) = (
+            self.cfg.smb && full_width_load && !eliminated && !bypass_suppressed,
+            uop.dst,
+        ) {
             if let Some(d) = self.dist_pred.predict(uop.pc, uop.history) {
                 self.stats.distance_predictions += 1;
                 if d >= 1 && d <= seq.0 {

@@ -217,3 +217,130 @@ fn config_error_implements_std_error() {
     let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroWalkWidth);
     assert!(!err.to_string().is_empty());
 }
+
+/// One table covering *every* `ConfigError` variant: a builder mutation
+/// that must trip exactly that variant, plus a fragment its message must
+/// contain. The match in `covered` is exhaustive, so adding a variant
+/// without extending the table is a compile error here.
+#[test]
+fn every_config_error_variant_has_a_rejection_path_and_message() {
+    fn covered(err: &ConfigError) -> &'static str {
+        // Exhaustive: a new variant fails to compile until it is added to
+        // the table below and given a needle here.
+        match err {
+            ConfigError::ZeroWidth(_) => "must be non-zero",
+            ConfigError::ZeroCapacity(_) => "at least one entry",
+            ConfigError::ZeroUnits(_) => "must be non-zero",
+            ConfigError::PrfTooSmall { .. } => "architectural registers",
+            ConfigError::IsrbExceedsPrf { .. } => "larger than",
+            ConfigError::CounterBitsOutOfRange { .. } => "outside 1..=31",
+            ConfigError::ZeroWalkWidth => "walk_width",
+            ConfigError::ZeroTrackerEntries(_) => "at least one entry",
+            ConfigError::TageGeometry { .. } => "TAGE",
+        }
+    }
+
+    type Case = (&'static str, Box<dyn Fn(&mut CoreConfig)>, ConfigError);
+    let cases: Vec<Case> = vec![
+        (
+            "zero width",
+            Box::new(|c| c.frontend_width = 0),
+            ConfigError::ZeroWidth("frontend_width"),
+        ),
+        (
+            "zero capacity",
+            Box::new(|c| c.rob_entries = 0),
+            ConfigError::ZeroCapacity("rob_entries"),
+        ),
+        (
+            "zero units",
+            Box::new(|c| c.alu_units = 0),
+            ConfigError::ZeroUnits("alu_units"),
+        ),
+        (
+            "prf too small",
+            Box::new(|c| c.pregs_per_class = 16),
+            ConfigError::PrfTooSmall { pregs: 16, min: 17 },
+        ),
+        (
+            "isrb exceeds prf",
+            Box::new(|c| {
+                c.tracker = TrackerKind::Isrb(IsrbConfig {
+                    entries: 1000,
+                    ..IsrbConfig::hpca16()
+                })
+            }),
+            ConfigError::IsrbExceedsPrf {
+                entries: 1000,
+                pregs: CoreConfig::hpca16().pregs_per_class,
+            },
+        ),
+        (
+            "counter bits out of range",
+            Box::new(|c| {
+                c.tracker = TrackerKind::Isrb(IsrbConfig {
+                    counter_bits: 0,
+                    ..IsrbConfig::hpca16()
+                })
+            }),
+            ConfigError::CounterBitsOutOfRange {
+                tracker: "isrb",
+                bits: 0,
+            },
+        ),
+        (
+            "zero walk width",
+            Box::new(|c| c.tracker = TrackerKind::PerRegCounters { walk_width: 0 }),
+            ConfigError::ZeroWalkWidth,
+        ),
+        (
+            "zero tracker entries",
+            Box::new(|c| c.tracker = TrackerKind::Mit { entries: 0 }),
+            ConfigError::ZeroTrackerEntries("mit"),
+        ),
+        (
+            "tage geometry",
+            Box::new(|c| c.tage.components[0].log_entries = 32),
+            {
+                let mut c = CoreConfig::hpca16();
+                c.tage.components[0].log_entries = 32;
+                ConfigError::TageGeometry {
+                    components: c.tage.components.len(),
+                    max_log_entries: 32,
+                }
+            },
+        ),
+    ];
+
+    for (what, mutate, expected) in &cases {
+        let err = CoreConfig::builder().tweak(&**mutate).build().unwrap_err();
+        assert_eq!(&err, expected, "{what}");
+        let needle = covered(&err);
+        assert!(
+            err.to_string().contains(needle),
+            "{what}: message {:?} lacks {needle:?}",
+            err.to_string()
+        );
+    }
+
+    // Every variant the match above names appears in the table — the two
+    // lists can only drift if someone edits one without the other, and the
+    // exhaustive match already pins the enum side.
+    let covered_variants: Vec<_> = cases
+        .iter()
+        .map(|(_, _, e)| std::mem::discriminant(e))
+        .collect();
+    for i in 0..covered_variants.len() {
+        for j in i + 1..covered_variants.len() {
+            assert_ne!(
+                covered_variants[i], covered_variants[j],
+                "rows {i} and {j} exercise the same variant"
+            );
+        }
+    }
+    assert_eq!(
+        covered_variants.len(),
+        9,
+        "one case per ConfigError variant"
+    );
+}

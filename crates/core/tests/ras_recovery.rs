@@ -1,0 +1,155 @@
+//! RAS overflow/underflow regression tests: deep call chains under heavy
+//! squash traffic must stay architecturally invisible.
+//!
+//! The return-address stack is speculative state restored from the pooled
+//! per-branch `FetchSnap` snapshots on every misprediction recovery (the
+//! in-place restore path introduced by the allocation-free refactor). A
+//! call chain deeper than the RAS overwrites its oldest entries (overflow);
+//! the matching returns then pop a wrapped stack (underflow of the *lost*
+//! entries); and a mispredicted data-dependent branch in the middle of the
+//! chain forces a wide squash that must restore exactly the pre-branch
+//! stack — including its wrap state. Any slip shows up as a digest
+//! divergence from the in-order oracle (predictors may mispredict freely;
+//! they may never corrupt the committed trace).
+
+use regshare_core::{CoreConfig, Simulator};
+use regshare_isa::interp::Machine;
+use regshare_isa::op::{AluOp, Cond, MoveWidth, Op, Operand};
+use regshare_isa::program::{Program, ProgramBuilder};
+use regshare_types::ArchReg;
+use regshare_workloads::fuzz::FuzzSpec;
+use std::sync::Arc;
+
+const UOPS: u64 = 20_000;
+
+fn r(i: usize) -> ArchReg {
+    ArchReg::int(i)
+}
+
+/// A call chain `depth` functions deep whose middle function branches on
+/// evolving data (unpredictable), looped forever. Depth far beyond the RAS
+/// capacity guarantees overflow before the squash and underflow after it.
+fn deep_chain_program(depth: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.push(Op::LoadImm {
+        dst: r(4),
+        imm: 0x3000_0000,
+    });
+    b.push(Op::LoadImm {
+        dst: r(8),
+        imm: 0x9e37_79b9,
+    });
+    let skip = b.push(Op::Jump { target: 0 });
+    // Leaf: mutate the data the mid-chain branch will test.
+    let mut entry = b.here();
+    b.push(Op::IntMul {
+        dst: r(8),
+        src1: r(8),
+        src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
+    });
+    b.push(Op::IntAlu {
+        op: AluOp::Add,
+        dst: r(15),
+        src1: r(15),
+        src2: Operand::Reg(r(8)),
+    });
+    b.push(Op::Ret);
+    for level in 1..depth {
+        let this = b.here();
+        if level == depth / 2 {
+            // Mid-chain coin flip on loop-varying data: the recovery must
+            // restore a RAS that already wrapped `depth/2` times.
+            let br = b.push(Op::CondBranch {
+                cond: Cond::BitSet,
+                src1: r(8),
+                src2: Operand::Imm(0),
+                target: 0, // patched
+            });
+            b.push(Op::MovInt {
+                dst: r(9),
+                src: r(15),
+                width: MoveWidth::W64,
+            });
+            let join = b.here();
+            b.patch_target(br, join);
+        }
+        b.push(Op::Call { target: entry });
+        b.push(Op::Ret);
+        entry = this;
+    }
+    let top = b.here();
+    b.patch_target(skip, top);
+    b.push(Op::Call { target: entry });
+    b.push(Op::Jump { target: top });
+    b.build()
+}
+
+fn check(program: &Program, cfg: CoreConfig, what: &str) {
+    let expected = Machine::new(Arc::new(program.clone())).run_digest(UOPS);
+    let mut sim = Simulator::new(program, cfg);
+    let stats = sim.run(UOPS);
+    assert_eq!(stats.committed, UOPS, "{what}: short run");
+    assert_eq!(
+        sim.arch_digest(),
+        expected,
+        "{what}: committed trace diverged from the oracle"
+    );
+    sim.audit_registers()
+        .unwrap_or_else(|e| panic!("{what}: register audit failed: {e}"));
+}
+
+#[test]
+fn deep_calls_overflow_the_ras_and_survive_squashes() {
+    // Depth 40 over a 32-entry RAS (Table 1): every outer iteration
+    // overflows; every mispredicted mid-chain branch squashes with the
+    // stack wrapped.
+    let program = deep_chain_program(40);
+    check(&program, CoreConfig::hpca16(), "depth40/ras32");
+    check(
+        &program,
+        CoreConfig::hpca16().with_me().with_smb(),
+        "depth40/ras32/me+smb",
+    );
+}
+
+#[test]
+fn tiny_ras_always_overflowing_stays_sound() {
+    // A 2-entry RAS under a 24-deep chain: essentially every return is
+    // mispredicted, so recovery (and the snapshot pool) runs constantly.
+    let program = deep_chain_program(24);
+    for ras_entries in [1, 2, 4] {
+        let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+        cfg.ras_entries = ras_entries;
+        check(&program, cfg, &format!("depth24/ras{ras_entries}"));
+    }
+}
+
+#[test]
+fn narrow_machine_widens_the_squash_window() {
+    // A narrow, small-ROB machine keeps the chain in flight longer, so
+    // each misprediction squashes a larger fraction of in-flight calls —
+    // the widest restore the pooled snapshots see.
+    let program = deep_chain_program(40);
+    let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+    cfg.ras_entries = 8;
+    cfg.rob_entries = 48;
+    cfg.iq_entries = 12;
+    cfg.frontend_width = 2;
+    cfg.issue_width = 2;
+    cfg.commit_width = 2;
+    check(&program, cfg, "depth40/narrow");
+}
+
+#[test]
+fn fuzzed_call_profile_agrees_with_the_oracle_under_tiny_ras() {
+    // The generator's `calls` profile reaches MAX_CALL_DEPTH (40) chains
+    // mixed with branchy blocks; a 4-entry RAS makes every deep chain an
+    // overflow/underflow exercise.
+    for seed in 1..=3u64 {
+        let spec = FuzzSpec::new("calls", seed).unwrap();
+        let program = spec.build();
+        let mut cfg = CoreConfig::hpca16().with_me().with_smb();
+        cfg.ras_entries = 4;
+        check(&program, cfg, &format!("fuzz-calls-{seed}/ras4"));
+    }
+}

@@ -10,6 +10,7 @@
 use crate::mem::{MemOverlay, SparseMemory};
 use crate::op::{BranchKind, BranchOutcome, DynUop, MemRef, MoveWidth, Op, Operand, UopKind};
 use crate::program::Program;
+use regshare_types::hasher::mix64;
 use regshare_types::{ArchReg, HistorySnapshot, RegClass, SeqNum};
 use std::sync::Arc;
 
@@ -381,6 +382,21 @@ impl Machine {
             self.halted = halt;
         }
         uop
+    }
+
+    /// Steps `n` µ-ops and folds their `(pc, result)` pairs into the
+    /// architectural digest, starting from zero — exactly the fold the
+    /// out-of-order simulator applies to its committed trace, so an OoO run
+    /// of the same program over the same window must reproduce this value.
+    /// This is the oracle half of every differential check (the fixed
+    /// oracle tests and the fuzz harness share it).
+    pub fn run_digest(&mut self, n: u64) -> u64 {
+        let mut digest = 0u64;
+        for _ in 0..n {
+            let u = self.step();
+            digest = mix64(digest ^ u.pc).wrapping_add(mix64(u.result));
+        }
+        digest
     }
 
     /// Captures the fork state (registers, return stack) *after* the most

@@ -1,0 +1,1356 @@
+//! `regshare-fuzz`: deterministic, seed-reproducible program generation.
+//!
+//! The motif suite ([`crate::profile`]) replays the *same* 36 programs every
+//! run; this module turns "as many scenarios as you can imagine" into an
+//! executable property. A [`FuzzSpec`] — a named [`FuzzProfile`] plus a
+//! 64-bit seed — expands into a [`FuzzPlan`] (a list of blocks drawn from a
+//! loop / call-chain / pointer-chase / branchy / spill motif grammar) and
+//! then into a [`Program`] that is **valid by construction**:
+//!
+//! - every control-flow target is patched in range (checked again by
+//!   [`Program::validated`] — generation goes through `try_build`);
+//! - every memory access is 8-byte aligned, so any legal access size is
+//!   aligned too;
+//! - registers stay inside the ISA classes, with data-register pressure
+//!   capped by the profile;
+//! - calls and returns are structurally balanced, with chain depth capped
+//!   below the oracle interpreter's architectural return-stack bound;
+//! - the program never halts (an infinite outer loop), so any warmup /
+//!   measure / differential window is satisfiable under any validated
+//!   `CoreConfig`.
+//!
+//! Generation is a pure function of `(profile, seed)`: the same spec always
+//! yields byte-identical programs, which is what makes a printed `--seed`
+//! a complete reproducer. Each block is emitted from its own `salt`-seeded
+//! RNG, so *removing* a block does not perturb the code of the survivors —
+//! the property the differential harness's greedy shrinker
+//! (`regshare_bench::fuzz`) relies on, with the surviving subset described
+//! by a replayable [`ShrinkSpec`].
+
+use crate::profile::{Workload, WorkloadClass, WorkloadSource};
+use crate::rng::Xorshift;
+use regshare_isa::op::{AluOp, Cond, MoveWidth, Op, Operand};
+use regshare_isa::program::{Program, ProgramBuilder};
+use regshare_types::ArchReg;
+
+/// Hard cap on call-chain depth: the oracle interpreter bounds runaway
+/// recursion by dropping the oldest of 64 return addresses, so staying well
+/// below keeps every generated call/return pair architecturally balanced
+/// while still overflowing any realistic RAS (Table 1 uses 32 entries).
+pub const MAX_CALL_DEPTH: u32 = 40;
+
+/// Upper bound on blocks per plan (block regions are laid out 16 MB apart
+/// in a private address range, so this also bounds the memory footprint).
+pub const MAX_BLOCKS: u32 = 24;
+
+// Register conventions (matching the motif suite where it has them):
+//   r1  per-block induction variable
+//   r2  computed address
+//   r3  outer loop counter, r7 inner loop counter
+//   r4/r5 region base pointers
+//   r6  call-glue scratch
+//   r8..r14 integer data pool (profile-capped pressure)
+//   r15 accumulator, seeded once and carried forever
+//   f8..f15 FP data pool
+fn r(i: usize) -> ArchReg {
+    ArchReg::int(i)
+}
+fn f(i: usize) -> ArchReg {
+    ArchReg::fp(i)
+}
+
+/// Weighted straight-line op mix of a profile. Weights are relative (a
+/// weight of zero removes the kind entirely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// 1-cycle integer ALU ops.
+    pub alu: u32,
+    /// Pipelined integer multiplies.
+    pub mul: u32,
+    /// Unpipelined integer divides (long latency).
+    pub div: u32,
+    /// FP add/mul/div mix.
+    pub fp: u32,
+    /// Eliminable 32/64-bit integer moves (ME candidates).
+    pub mov: u32,
+    /// 8/16-bit merge moves (ME must skip these).
+    pub merge_mov: u32,
+    /// FP-to-FP moves.
+    pub fp_mov: u32,
+    /// Loads from the block's region.
+    pub load: u32,
+    /// Stores to the block's region.
+    pub store: u32,
+}
+
+impl OpMix {
+    fn total(&self) -> u32 {
+        self.alu
+            + self.mul
+            + self.div
+            + self.fp
+            + self.mov
+            + self.merge_mov
+            + self.fp_mov
+            + self.load
+            + self.store
+    }
+}
+
+/// A named generation profile: op-mix weights, block-grammar weights, and
+/// the register-pressure / memory-footprint / control-structure knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzProfile {
+    /// Registry name (identifier charset; no `-`, which separates the
+    /// fields of a `fuzz-<profile>-<seed>` workload name).
+    pub name: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Straight-line op mix.
+    pub mix: OpMix,
+    /// Relative weights of the block kinds
+    /// `[straight, loop, branchy, chase, spill, call]`.
+    pub block_weights: [u32; 6],
+    /// Minimum blocks per program.
+    pub min_blocks: u32,
+    /// Maximum blocks per program (clamped to [`MAX_BLOCKS`]).
+    pub max_blocks: u32,
+    /// Maximum trip count of any generated loop.
+    pub max_trips: u64,
+    /// Integer data registers in play (clamped to 2..=7 → r8..r14); FP
+    /// pressure uses the same count over f8.. .
+    pub reg_pressure: usize,
+    /// Memory footprint knob: distinct 8-byte slots per memory block.
+    pub mem_slots: u64,
+    /// Maximum call-chain depth (clamped to [`MAX_CALL_DEPTH`]).
+    pub max_call_depth: u32,
+    /// Taken-bias range (percent, inclusive) for data-dependent branches;
+    /// a 50/50 low end makes squashes frequent.
+    pub branch_bias: (u32, u32),
+}
+
+/// The built-in profile registry, in stable order.
+pub fn profiles() -> Vec<FuzzProfile> {
+    let base_mix = OpMix {
+        alu: 40,
+        mul: 4,
+        div: 1,
+        fp: 10,
+        mov: 8,
+        merge_mov: 2,
+        fp_mov: 2,
+        load: 12,
+        store: 8,
+    };
+    vec![
+        FuzzProfile {
+            name: "balanced",
+            description: "everything in moderation: the default differential diet",
+            mix: base_mix,
+            block_weights: [4, 4, 3, 2, 3, 2],
+            min_blocks: 3,
+            max_blocks: 10,
+            max_trips: 12,
+            reg_pressure: 5,
+            mem_slots: 64,
+            max_call_depth: 6,
+            branch_bias: (55, 90),
+        },
+        FuzzProfile {
+            name: "moves",
+            description: "move-dense call glue: move elimination under stress",
+            mix: OpMix {
+                mov: 34,
+                merge_mov: 10,
+                fp_mov: 6,
+                alu: 30,
+                ..base_mix
+            },
+            block_weights: [5, 4, 2, 0, 1, 4],
+            min_blocks: 3,
+            max_blocks: 10,
+            max_trips: 12,
+            reg_pressure: 6,
+            mem_slots: 16,
+            max_call_depth: 8,
+            branch_bias: (65, 95),
+        },
+        FuzzProfile {
+            name: "memory",
+            description: "spills, redundant reloads and chases: SMB/DDT under stress",
+            mix: OpMix {
+                load: 26,
+                store: 16,
+                alu: 30,
+                ..base_mix
+            },
+            block_weights: [2, 3, 1, 4, 6, 0],
+            min_blocks: 3,
+            max_blocks: 12,
+            max_trips: 14,
+            reg_pressure: 5,
+            mem_slots: 512,
+            max_call_depth: 2,
+            branch_bias: (60, 90),
+        },
+        FuzzProfile {
+            name: "branchy",
+            description: "coin-flip branches: recovery and checkpoint paths under stress",
+            mix: base_mix,
+            block_weights: [2, 3, 8, 1, 2, 1],
+            min_blocks: 4,
+            max_blocks: 12,
+            max_trips: 16,
+            reg_pressure: 4,
+            mem_slots: 64,
+            max_call_depth: 4,
+            branch_bias: (50, 70),
+        },
+        FuzzProfile {
+            name: "calls",
+            description: "deep call chains: RAS overflow and fetch-snapshot recovery",
+            mix: OpMix {
+                mov: 16,
+                alu: 34,
+                ..base_mix
+            },
+            block_weights: [2, 2, 3, 0, 1, 8],
+            min_blocks: 3,
+            max_blocks: 10,
+            max_trips: 10,
+            reg_pressure: 4,
+            mem_slots: 16,
+            max_call_depth: MAX_CALL_DEPTH,
+            branch_bias: (55, 85),
+        },
+        FuzzProfile {
+            name: "pressure",
+            description: "maximum live values in tiny loops: free list and trackers under stress",
+            mix: OpMix {
+                alu: 44,
+                fp: 16,
+                mov: 12,
+                merge_mov: 6,
+                load: 8,
+                store: 6,
+                ..base_mix
+            },
+            block_weights: [5, 7, 2, 1, 3, 1],
+            min_blocks: 4,
+            max_blocks: 14,
+            max_trips: 6,
+            reg_pressure: 7,
+            mem_slots: 32,
+            max_call_depth: 3,
+            branch_bias: (60, 90),
+        },
+    ]
+}
+
+/// Looks up a profile by name.
+pub fn find_profile(name: &str) -> Option<FuzzProfile> {
+    profiles().into_iter().find(|p| p.name == name)
+}
+
+/// Every profile name, in registry order.
+pub fn profile_names() -> Vec<&'static str> {
+    profiles().iter().map(|p| p.name).collect()
+}
+
+/// One block of a [`FuzzPlan`]: a node of the motif grammar with its drawn
+/// parameters. All trip counts are architectural (the oracle executes them
+/// too), so capping them shrinks the dynamic trace without changing the
+/// code of other blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuzzBlock {
+    /// Straight-line op-mix code.
+    Straight {
+        /// µ-ops drawn from the profile mix.
+        ops: u32,
+    },
+    /// A counted loop, optionally with one nested inner loop.
+    Loop {
+        /// Outer trip count.
+        trips: u64,
+        /// Mixed ops per outer iteration.
+        ops: u32,
+        /// Inner `(trips, ops)` when nested.
+        nested: Option<(u64, u32)>,
+    },
+    /// Data-dependent branches over evolving memory.
+    Branchy {
+        /// Iterations.
+        trips: u64,
+        /// Percent taken bias.
+        bias_pct: u32,
+        /// Mixed ops per arm.
+        arm_ops: u32,
+    },
+    /// Serially dependent pseudo-random pointer chase.
+    Chase {
+        /// Iterations.
+        trips: u64,
+        /// 8-byte slots in the walked footprint.
+        slots: u64,
+    },
+    /// Spill/reload pairs over rotating slots.
+    SpillReload {
+        /// Iterations.
+        trips: u64,
+        /// Rotating spill slots.
+        slots: u64,
+        /// Mixed ops between spill and reload.
+        gap: u32,
+    },
+    /// A call chain `f0 → f1 → … → leaf` invoked from a counted loop.
+    CallChain {
+        /// Loop iterations (calls of the chain head).
+        trips: u64,
+        /// Chain depth (functions).
+        depth: u32,
+        /// Mixed ops in the leaf.
+        leaf_ops: u32,
+    },
+}
+
+impl FuzzBlock {
+    /// The block with every trip count capped at `cap` (at least 1).
+    pub fn with_trip_cap(self, cap: u64) -> FuzzBlock {
+        let cap = cap.max(1);
+        match self {
+            FuzzBlock::Straight { ops } => FuzzBlock::Straight { ops },
+            FuzzBlock::Loop { trips, ops, nested } => FuzzBlock::Loop {
+                trips: trips.min(cap),
+                ops,
+                nested: nested.map(|(t, o)| (t.min(cap), o)),
+            },
+            FuzzBlock::Branchy {
+                trips,
+                bias_pct,
+                arm_ops,
+            } => FuzzBlock::Branchy {
+                trips: trips.min(cap),
+                bias_pct,
+                arm_ops,
+            },
+            FuzzBlock::Chase { trips, slots } => FuzzBlock::Chase {
+                trips: trips.min(cap),
+                slots,
+            },
+            FuzzBlock::SpillReload { trips, slots, gap } => FuzzBlock::SpillReload {
+                trips: trips.min(cap),
+                slots,
+                gap,
+            },
+            FuzzBlock::CallChain {
+                trips,
+                depth,
+                leaf_ops,
+            } => FuzzBlock::CallChain {
+                trips: trips.min(cap),
+                depth,
+                leaf_ops,
+            },
+        }
+    }
+}
+
+/// A block with its stable identity: `index` is the position in the
+/// *unshrunk* plan (it addresses the block in a [`ShrinkSpec`] and pins its
+/// memory region), `salt` seeds the block's private RNG so its code is
+/// independent of every other block's fate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedBlock {
+    /// Position in the original plan.
+    pub index: usize,
+    /// Per-block RNG seed.
+    pub salt: u64,
+    /// The grammar node.
+    pub block: FuzzBlock,
+}
+
+/// The intermediate representation between a seed and a program: the block
+/// list a [`FuzzSpec`] expands to, and the thing shrinking edits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuzzPlan {
+    /// The generating seed (identification only; the blocks are the truth).
+    pub seed: u64,
+    /// The generating profile.
+    pub profile: FuzzProfile,
+    /// Blocks in emission order.
+    pub blocks: Vec<PlannedBlock>,
+}
+
+fn fnv(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, c| {
+        (h ^ c as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+impl FuzzPlan {
+    /// Expands `(profile, seed)` into a block list. Deterministic.
+    pub fn from_seed(profile: &FuzzProfile, seed: u64) -> FuzzPlan {
+        let mut rng = Xorshift::new(seed ^ fnv(profile.name));
+        let lo = profile.min_blocks.max(1);
+        let hi = profile.max_blocks.clamp(lo, MAX_BLOCKS);
+        let n = lo + rng.below((hi - lo + 1) as u64) as u32;
+        let trips = |rng: &mut Xorshift| 1 + rng.below(profile.max_trips.max(1));
+        let mut blocks = Vec::with_capacity(n as usize);
+        for index in 0..n as usize {
+            let salt = rng.next_u64();
+            let kind = weighted_pick(&mut rng, &profile.block_weights);
+            let block = match kind {
+                0 => FuzzBlock::Straight {
+                    ops: 6 + rng.below(24) as u32,
+                },
+                1 => FuzzBlock::Loop {
+                    trips: trips(&mut rng),
+                    ops: 4 + rng.below(16) as u32,
+                    nested: if rng.chance(35.0) {
+                        Some((1 + rng.below(4), 2 + rng.below(6) as u32))
+                    } else {
+                        None
+                    },
+                },
+                2 => {
+                    let (lo, hi) = profile.branch_bias;
+                    FuzzBlock::Branchy {
+                        trips: trips(&mut rng),
+                        bias_pct: lo + rng.below((hi.max(lo) - lo + 1) as u64) as u32,
+                        arm_ops: 1 + rng.below(5) as u32,
+                    }
+                }
+                3 => FuzzBlock::Chase {
+                    trips: trips(&mut rng),
+                    slots: profile.mem_slots.max(4),
+                },
+                4 => FuzzBlock::SpillReload {
+                    trips: trips(&mut rng),
+                    slots: 1 + rng.below(profile.mem_slots.max(1)),
+                    gap: 1 + rng.below(8) as u32,
+                },
+                _ => FuzzBlock::CallChain {
+                    trips: trips(&mut rng),
+                    depth: 1 + rng.below(profile.max_call_depth.clamp(1, MAX_CALL_DEPTH) as u64)
+                        as u32,
+                    leaf_ops: 1 + rng.below(6) as u32,
+                },
+            };
+            blocks.push(PlannedBlock { index, salt, block });
+        }
+        FuzzPlan {
+            seed,
+            profile: profile.clone(),
+            blocks,
+        }
+    }
+
+    /// The plan with `spec` applied: blocks filtered by original index and
+    /// trip counts capped. Emitted code of surviving blocks is unchanged.
+    pub fn apply(&self, spec: &ShrinkSpec) -> FuzzPlan {
+        let mut out = self.clone();
+        if let Some(keep) = &spec.keep {
+            out.blocks.retain(|pb| keep.contains(&pb.index));
+        }
+        if let Some(cap) = spec.trip_cap {
+            for pb in &mut out.blocks {
+                pb.block = pb.block.with_trip_cap(cap);
+            }
+        }
+        out
+    }
+
+    /// Compiles the plan into a validated, never-halting program.
+    pub fn build(&self) -> Program {
+        let p = self.profile.reg_pressure.clamp(2, 7);
+        let mut b = ProgramBuilder::new();
+        // Prologue (outside the infinite loop): seed the accumulator and
+        // the data pool so early loads/stores have defined addresses.
+        let mut seed_rng = Xorshift::new(self.seed ^ 0x5eed_5eed);
+        b.push(Op::LoadImm {
+            dst: r(15),
+            imm: seed_rng.next_u64(),
+        });
+        for i in 0..p {
+            b.push(Op::LoadImm {
+                dst: r(8 + i),
+                imm: seed_rng.next_u64(),
+            });
+        }
+        let outer_top = b.here();
+        for pb in &self.blocks {
+            let mut ctx = Emit {
+                b: &mut b,
+                rng: Xorshift::new(pb.salt),
+                region: 0x2000_0000 + pb.index as u64 * 0x0100_0000,
+                mix: self.profile.mix,
+                pressure: p,
+                slots: self.profile.mem_slots.max(4),
+            };
+            ctx.block(&pb.block);
+        }
+        b.push(Op::Jump { target: outer_top });
+        b.try_build()
+            .expect("fuzz programs are valid by construction")
+    }
+}
+
+/// Weighted index pick; total weight must be non-zero.
+fn weighted_pick(rng: &mut Xorshift, weights: &[u32]) -> usize {
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let mut roll = rng.below(total.max(1));
+    for (i, &w) in weights.iter().enumerate() {
+        if roll < w as u64 {
+            return i;
+        }
+        roll -= w as u64;
+    }
+    weights.len() - 1
+}
+
+/// Per-block emission context.
+struct Emit<'a> {
+    b: &'a mut ProgramBuilder,
+    rng: Xorshift,
+    region: u64,
+    mix: OpMix,
+    pressure: usize,
+    slots: u64,
+}
+
+impl Emit<'_> {
+    fn data(&mut self) -> ArchReg {
+        r(8 + self.rng.below(self.pressure as u64) as usize)
+    }
+
+    fn fdata(&mut self) -> ArchReg {
+        f(8 + self.rng.below(self.pressure as u64) as usize)
+    }
+
+    /// 8-aligned slot offset within the block's footprint.
+    fn slot_off(&mut self) -> u64 {
+        self.rng.below(self.slots) * 8
+    }
+
+    fn access_size(&mut self) -> u8 {
+        *self.rng.pick(&[8u8, 8, 8, 4, 2, 1])
+    }
+
+    /// One straight-line µ-op drawn from the profile mix. `r4` must hold
+    /// the block's region base.
+    fn mixed_op(&mut self) {
+        let m = self.mix;
+        debug_assert!(m.total() > 0, "profile mix has no weight");
+        let weights = [
+            m.alu,
+            m.mul,
+            m.div,
+            m.fp,
+            m.mov,
+            m.merge_mov,
+            m.fp_mov,
+            m.load,
+            m.store,
+        ];
+        match weighted_pick(&mut self.rng, &weights) {
+            0 => {
+                let (d, s1) = (self.data(), self.data());
+                let s2 = if self.rng.chance(30.0) {
+                    Operand::Imm(self.rng.below(1 << 16) | 1)
+                } else {
+                    Operand::Reg(self.data())
+                };
+                let op =
+                    *self
+                        .rng
+                        .pick(&[AluOp::Add, AluOp::Sub, AluOp::Xor, AluOp::And, AluOp::Or]);
+                // A third of ALU work threads through the accumulator to
+                // keep a serial chain alive (realistic ILP).
+                if self.rng.chance(33.0) {
+                    self.b.push(Op::IntAlu {
+                        op,
+                        dst: r(15),
+                        src1: r(15),
+                        src2: Operand::Reg(s1),
+                    });
+                } else {
+                    self.b.push(Op::IntAlu {
+                        op,
+                        dst: d,
+                        src1: s1,
+                        src2: s2,
+                    });
+                }
+            }
+            1 => {
+                let (d, s1, s2) = (self.data(), self.data(), self.data());
+                self.b.push(Op::IntMul {
+                    dst: d,
+                    src1: s1,
+                    src2: Operand::Reg(s2),
+                });
+            }
+            2 => {
+                let (d, s1) = (self.data(), self.data());
+                let s2 = Operand::Imm(self.rng.below(255) + 1);
+                self.b.push(Op::IntDiv {
+                    dst: d,
+                    src1: s1,
+                    src2: s2,
+                });
+            }
+            3 => {
+                let (d, s1, s2) = (self.fdata(), self.fdata(), self.fdata());
+                match self.rng.below(8) {
+                    0 => self.b.push(Op::FpDiv {
+                        dst: d,
+                        src1: s1,
+                        src2: s2,
+                    }),
+                    1 | 2 => self.b.push(Op::FpMul {
+                        dst: d,
+                        src1: s1,
+                        src2: s2,
+                    }),
+                    _ => self.b.push(Op::FpAdd {
+                        dst: d,
+                        src1: s1,
+                        src2: s2,
+                    }),
+                };
+            }
+            4 => {
+                let (d, s) = (self.data(), self.data());
+                let width = if self.rng.chance(30.0) {
+                    MoveWidth::W32
+                } else {
+                    MoveWidth::W64
+                };
+                self.b.push(Op::MovInt {
+                    dst: d,
+                    src: s,
+                    width,
+                });
+            }
+            5 => {
+                let (d, s) = (self.data(), self.data());
+                let width = if self.rng.chance(50.0) {
+                    MoveWidth::W8
+                } else {
+                    MoveWidth::W16
+                };
+                self.b.push(Op::MovInt {
+                    dst: d,
+                    src: s,
+                    width,
+                });
+            }
+            6 => {
+                let (d, s) = (self.fdata(), self.fdata());
+                self.b.push(Op::MovFp { dst: d, src: s });
+            }
+            7 => {
+                // Direct or value-indexed load; indexed loads serialize on
+                // the indexing register like real address computation.
+                let dst = if self.rng.chance(25.0) {
+                    self.fdata()
+                } else {
+                    self.data()
+                };
+                let size = self.access_size();
+                if self.rng.chance(40.0) {
+                    let idx = self.data();
+                    self.indexed_addr(idx);
+                    self.b.push(Op::Load {
+                        dst,
+                        base: r(2),
+                        offset: 0,
+                        size,
+                    });
+                } else {
+                    let off = self.slot_off();
+                    self.b.push(Op::Load {
+                        dst,
+                        base: r(4),
+                        offset: off as i64,
+                        size,
+                    });
+                }
+            }
+            _ => {
+                let data = if self.rng.chance(25.0) {
+                    self.fdata()
+                } else {
+                    self.data()
+                };
+                let size = self.access_size();
+                if self.rng.chance(40.0) {
+                    let idx = self.data();
+                    self.indexed_addr(idx);
+                    self.b.push(Op::Store {
+                        data,
+                        base: r(2),
+                        offset: 0,
+                        size,
+                    });
+                } else {
+                    let off = self.slot_off();
+                    self.b.push(Op::Store {
+                        data,
+                        base: r(4),
+                        offset: off as i64,
+                        size,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `r2 = region + ((idx & slot_mask) * 8)`: an 8-aligned address inside
+    /// the block footprint, serially dependent on `idx`.
+    fn indexed_addr(&mut self, idx: ArchReg) {
+        let mask = self.slots.next_power_of_two() - 1;
+        self.b.push(Op::IntAlu {
+            op: AluOp::And,
+            dst: r(2),
+            src1: idx,
+            src2: Operand::Imm(mask),
+        });
+        self.b.push(Op::IntAlu {
+            op: AluOp::Shl,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Imm(3),
+        });
+        self.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(2),
+            src1: r(2),
+            src2: Operand::Reg(r(4)),
+        });
+    }
+
+    /// Loads the block's region base into `r4` (every block starts here).
+    fn region_base(&mut self) {
+        let region = self.region;
+        self.b.push(Op::LoadImm {
+            dst: r(4),
+            imm: region,
+        });
+    }
+
+    /// Counted loop on `counter` around `body`.
+    fn counted(&mut self, counter: usize, trips: u64, body: impl FnOnce(&mut Self)) {
+        self.b.push(Op::LoadImm {
+            dst: r(counter),
+            imm: trips.max(1),
+        });
+        let top = self.b.here();
+        body(self);
+        self.b.push(Op::IntAlu {
+            op: AluOp::Sub,
+            dst: r(counter),
+            src1: r(counter),
+            src2: Operand::Imm(1),
+        });
+        self.b.push(Op::CondBranch {
+            cond: Cond::Ne,
+            src1: r(counter),
+            src2: Operand::Imm(0),
+            target: top,
+        });
+    }
+
+    fn block(&mut self, block: &FuzzBlock) {
+        self.region_base();
+        match *block {
+            FuzzBlock::Straight { ops } => {
+                for _ in 0..ops {
+                    self.mixed_op();
+                }
+            }
+            FuzzBlock::Loop { trips, ops, nested } => {
+                self.counted(3, trips, |e| {
+                    for _ in 0..ops {
+                        e.mixed_op();
+                    }
+                    if let Some((in_trips, in_ops)) = nested {
+                        e.counted(7, in_trips, |e| {
+                            for _ in 0..in_ops {
+                                e.mixed_op();
+                            }
+                        });
+                    }
+                });
+            }
+            FuzzBlock::Branchy {
+                trips,
+                bias_pct,
+                arm_ops,
+            } => self.branchy(trips, bias_pct, arm_ops),
+            FuzzBlock::Chase { trips, slots } => self.chase(trips, slots),
+            FuzzBlock::SpillReload { trips, slots, gap } => self.spill_reload(trips, slots, gap),
+            FuzzBlock::CallChain {
+                trips,
+                depth,
+                leaf_ops,
+            } => self.call_chain(trips, depth, leaf_ops),
+        }
+    }
+
+    /// Data-dependent branch diamonds over evolving memory (outcomes change
+    /// across outer iterations, so they stay hard to predict).
+    fn branchy(&mut self, trips: u64, bias_pct: u32, arm_ops: u32) {
+        let threshold = ((bias_pct.min(100) as f64 / 100.0) * u64::MAX as f64) as u64;
+        let mask = self.slots.next_power_of_two() - 1;
+        // Wander start point derived from the accumulator.
+        self.b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(1),
+            src1: r(15),
+            src2: Operand::Imm(self.rng.next_u64()),
+        });
+        self.counted(3, trips, |e| {
+            e.b.push(Op::IntAlu {
+                op: AluOp::And,
+                dst: r(2),
+                src1: r(1),
+                src2: Operand::Imm(mask),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Shl,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Imm(3),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Reg(r(4)),
+            });
+            e.b.push(Op::Load {
+                dst: r(6),
+                base: r(2),
+                offset: 0,
+                size: 8,
+            });
+            let br = e.b.push(Op::CondBranch {
+                cond: Cond::Lt,
+                src1: r(6),
+                src2: Operand::Imm(threshold),
+                target: 0, // patched
+            });
+            for _ in 0..arm_ops {
+                e.mixed_op();
+            }
+            let jmp = e.b.push(Op::Jump { target: 0 });
+            let taken = e.b.here();
+            e.b.patch_target(br, taken);
+            for _ in 0..arm_ops {
+                e.mixed_op();
+            }
+            let join = e.b.here();
+            e.b.patch_target(jmp, join);
+            // Evolve the decision data so the branch never settles into a
+            // memorizable outer-loop period.
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(6),
+                src1: r(6),
+                src2: Operand::Reg(r(15)),
+            });
+            e.b.push(Op::IntMul {
+                dst: r(6),
+                src1: r(6),
+                src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
+            });
+            e.b.push(Op::Store {
+                data: r(6),
+                base: r(2),
+                offset: 0,
+                size: 8,
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(1),
+                src1: r(1),
+                src2: Operand::Imm(1),
+            });
+        });
+    }
+
+    /// Serially dependent pseudo-random walk over `slots` 8-byte slots.
+    fn chase(&mut self, trips: u64, slots: u64) {
+        let mask = slots.next_power_of_two() - 1;
+        let phase = self.rng.next_u64();
+        self.b.push(Op::IntAlu {
+            op: AluOp::Xor,
+            dst: r(1),
+            src1: r(15),
+            src2: Operand::Imm(phase),
+        });
+        self.b.push(Op::LoadImm { dst: r(5), imm: 0 });
+        self.counted(3, trips, |e| {
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(1),
+                src1: r(1),
+                src2: Operand::Imm(0x632b_e5ab),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(5),
+                src2: Operand::Reg(r(1)),
+            });
+            e.b.push(Op::IntMul {
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Imm(0x9e37_79b9_7f4a_7c15),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::And,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Imm(mask << 3),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Reg(r(4)),
+            });
+            e.b.push(Op::Load {
+                dst: r(5),
+                base: r(2),
+                offset: 0,
+                size: 8,
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(15),
+                src1: r(15),
+                src2: Operand::Reg(r(5)),
+            });
+        });
+    }
+
+    /// Spill/reload pairs over rotating slots with a mixed-op gap; the
+    /// reloaded value feeds the next iteration's producer (the loop-carried
+    /// dependency passes through memory — what SMB collapses).
+    fn spill_reload(&mut self, trips: u64, slots: u64, gap: u32) {
+        let slot_mask = slots.next_power_of_two() - 1;
+        self.b.push(Op::LoadImm { dst: r(1), imm: 0 });
+        self.counted(3, trips, |e| {
+            e.b.push(Op::IntAlu {
+                op: AluOp::And,
+                dst: r(2),
+                src1: r(1),
+                src2: Operand::Imm(slot_mask),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Shl,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Imm(3),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(2),
+                src1: r(2),
+                src2: Operand::Reg(r(4)),
+            });
+            // Producer feeds the spill.
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(8),
+                src1: r(8),
+                src2: Operand::Imm(0x9e37),
+            });
+            e.b.push(Op::Store {
+                data: r(8),
+                base: r(2),
+                offset: 0,
+                size: 8,
+            });
+            for _ in 0..gap {
+                e.mixed_op();
+            }
+            e.b.push(Op::Load {
+                dst: r(9),
+                base: r(2),
+                offset: 0,
+                size: 8,
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Xor,
+                dst: r(8),
+                src1: r(9),
+                src2: Operand::Imm(0x5a5a),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(15),
+                src1: r(15),
+                src2: Operand::Reg(r(9)),
+            });
+            e.b.push(Op::IntAlu {
+                op: AluOp::Add,
+                dst: r(1),
+                src1: r(1),
+                src2: Operand::Imm(1),
+            });
+        });
+    }
+
+    /// A depth-`depth` call chain laid out leaf-first (every call target is
+    /// already defined), jumped over by the fall-through path, invoked from
+    /// a counted loop through move-heavy argument glue.
+    fn call_chain(&mut self, trips: u64, depth: u32, leaf_ops: u32) {
+        let depth = depth.clamp(1, MAX_CALL_DEPTH);
+        let skip = self.b.push(Op::Jump { target: 0 });
+        // Leaf.
+        let mut entry = self.b.here();
+        for _ in 0..leaf_ops {
+            self.mixed_op();
+        }
+        self.b.push(Op::IntAlu {
+            op: AluOp::Add,
+            dst: r(15),
+            src1: r(15),
+            src2: Operand::Imm(1),
+        });
+        self.b.push(Op::Ret);
+        // Wrappers, innermost outward; each calls the previous entry.
+        for level in 1..depth {
+            let this = self.b.here();
+            if level % 2 == 0 {
+                self.b.push(Op::MovInt {
+                    dst: r(6),
+                    src: r(15),
+                    width: MoveWidth::W64,
+                });
+            }
+            self.b.push(Op::Call { target: entry });
+            self.b.push(Op::Ret);
+            entry = this;
+        }
+        let after = self.b.here();
+        self.b.patch_target(skip, after);
+        self.counted(3, trips, |e| {
+            // Argument glue: eliminable moves feeding the chain.
+            e.b.push(Op::MovInt {
+                dst: r(6),
+                src: r(15),
+                width: MoveWidth::W64,
+            });
+            e.b.push(Op::Call { target: entry });
+        });
+    }
+}
+
+/// A named fuzz case: profile + seed, the unit the differential harness,
+/// the workload registry (`fuzz-<profile>-<seed>`) and `.scenario` files
+/// exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuzzSpec {
+    /// Profile name (must be in [`profiles`]).
+    pub profile: String,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl FuzzSpec {
+    /// Builds a spec, rejecting unknown profile names with the offending
+    /// name (callers wrap it in their own typed errors).
+    pub fn new(profile: impl Into<String>, seed: u64) -> Result<FuzzSpec, String> {
+        let profile = profile.into();
+        if find_profile(&profile).is_none() {
+            return Err(profile);
+        }
+        Ok(FuzzSpec { profile, seed })
+    }
+
+    /// The registry name: `fuzz-<profile>-<seed>`.
+    pub fn name(&self) -> String {
+        format!("fuzz-{}-{}", self.profile, self.seed)
+    }
+
+    /// Parses a `fuzz-<profile>-<seed>` registry name (profile must exist).
+    pub fn parse_name(name: &str) -> Option<FuzzSpec> {
+        let rest = name.strip_prefix("fuzz-")?;
+        let (profile, seed) = rest.rsplit_once('-')?;
+        let seed = seed.parse().ok()?;
+        FuzzSpec::new(profile, seed).ok()
+    }
+
+    /// Expands to the block plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile name is unknown — impossible for specs built
+    /// through [`FuzzSpec::new`] / [`FuzzSpec::parse_name`].
+    pub fn plan(&self) -> FuzzPlan {
+        let profile = find_profile(&self.profile)
+            .unwrap_or_else(|| panic!("unknown fuzz profile {:?}", self.profile));
+        FuzzPlan::from_seed(&profile, self.seed)
+    }
+
+    /// Generates the program (plan → code).
+    pub fn build(&self) -> Program {
+        self.plan().build()
+    }
+
+    /// Wraps the spec as a registry [`Workload`] so scenario files and the
+    /// sweep engine can drive generated programs like suite members.
+    pub fn workload(&self) -> Workload {
+        Workload {
+            name: self.name(),
+            class: WorkloadClass::Int,
+            source: WorkloadSource::Fuzz(self.clone()),
+        }
+    }
+}
+
+/// A replayable description of a shrunk plan: which original block indices
+/// survive and an optional global trip cap. Prints as `keep=i,j,k;trips=n`
+/// (either part may be absent) so a failure report is reproducible from its
+/// command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShrinkSpec {
+    /// Original block indices to keep (`None` = all).
+    pub keep: Option<Vec<usize>>,
+    /// Cap applied to every trip count (`None` = untouched).
+    pub trip_cap: Option<u64>,
+}
+
+impl ShrinkSpec {
+    /// Whether the spec changes nothing.
+    pub fn is_noop(&self) -> bool {
+        self.keep.is_none() && self.trip_cap.is_none()
+    }
+}
+
+impl std::fmt::Display for ShrinkSpec {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(keep) = &self.keep {
+            let list: Vec<String> = keep.iter().map(|i| i.to_string()).collect();
+            parts.push(format!("keep={}", list.join(",")));
+        }
+        if let Some(cap) = self.trip_cap {
+            parts.push(format!("trips={cap}"));
+        }
+        write!(out, "{}", parts.join(";"))
+    }
+}
+
+impl std::str::FromStr for ShrinkSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ShrinkSpec, String> {
+        let mut spec = ShrinkSpec::default();
+        for part in s.split(';').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("shrink segment {part:?} is not key=value"))?;
+            match key.trim() {
+                "keep" => {
+                    let mut keep = Vec::new();
+                    for item in value.split(',').filter(|i| !i.trim().is_empty()) {
+                        keep.push(
+                            item.trim()
+                                .parse()
+                                .map_err(|_| format!("bad keep index {item:?}"))?,
+                        );
+                    }
+                    spec.keep = Some(keep);
+                }
+                "trips" => {
+                    spec.trip_cap = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad trips cap {value:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown shrink key {other:?}")),
+            }
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::interp::Machine;
+    use regshare_types::ARCH_REGS_PER_CLASS;
+    use std::sync::Arc;
+
+    #[test]
+    fn profile_registry_is_stable_and_dash_free() {
+        let names = profile_names();
+        assert!(names.len() >= 5);
+        for name in &names {
+            assert!(!name.contains('-'), "{name}: `-` separates name fields");
+            assert!(find_profile(name).is_some());
+        }
+        assert!(find_profile("nope").is_none());
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_seed_sensitive() {
+        let spec = FuzzSpec::new("balanced", 42).unwrap();
+        let a = spec.build();
+        let b = spec.build();
+        assert_eq!(a.len(), b.len());
+        let da = Machine::new(Arc::new(a)).run_digest(5_000);
+        let db = Machine::new(Arc::new(b)).run_digest(5_000);
+        assert_eq!(da, db, "same spec must replay identically");
+        let other = FuzzSpec::new("balanced", 43).unwrap().build();
+        let dc = Machine::new(Arc::new(other)).run_digest(5_000);
+        assert_ne!(da, dc, "different seeds should diverge");
+    }
+
+    #[test]
+    fn every_profile_generates_valid_nonhalting_programs() {
+        for profile in profiles() {
+            for seed in 1..=5u64 {
+                let plan = FuzzPlan::from_seed(&profile, seed);
+                assert!(!plan.blocks.is_empty());
+                assert!(plan.blocks.len() <= MAX_BLOCKS as usize);
+                let program = plan.build();
+                assert!(program.len() > 10, "{}-{seed} too small", profile.name);
+                let mut m = Machine::new(Arc::new(program));
+                for _ in 0..10_000 {
+                    m.step();
+                }
+                assert!(!m.is_halted(), "{}-{seed} halted", profile.name);
+            }
+        }
+    }
+
+    #[test]
+    fn register_pressure_and_alignment_hold_by_construction() {
+        for profile in profiles() {
+            let pressure = profile.reg_pressure.clamp(2, 7);
+            let program = FuzzPlan::from_seed(&profile, 7).build();
+            let mut m = Machine::new(Arc::new(program));
+            for _ in 0..20_000 {
+                let u = m.step();
+                for reg in u.sources().chain(u.dst) {
+                    let idx = reg.class_index();
+                    assert!(idx < ARCH_REGS_PER_CLASS);
+                    // Data registers stay inside the profile's pool: for
+                    // both classes, indices 8.. are the data pool and only
+                    // r15 (the accumulator) sits above it.
+                    if idx >= 8 + pressure {
+                        assert!(
+                            idx == 15 && reg.class() == regshare_types::RegClass::Int,
+                            "{}: data reg {reg:?} outside pressure {pressure}",
+                            profile.name
+                        );
+                    }
+                }
+                if let Some(mem) = u.mem {
+                    assert_eq!(
+                        mem.addr % mem.size as u64,
+                        0,
+                        "{}: unaligned access",
+                        profile.name
+                    );
+                    assert!(mem.addr >= 0x2000_0000, "{}: stray address", profile.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn calls_and_returns_balance_in_the_trace() {
+        let spec = FuzzSpec::new("calls", 11).unwrap();
+        let mut m = Machine::new(Arc::new(spec.build()));
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        for _ in 0..30_000 {
+            let u = m.step();
+            if let Some(b) = u.branch {
+                match b.kind {
+                    regshare_isa::op::BranchKind::Call => depth += 1,
+                    regshare_isa::op::BranchKind::Return => depth -= 1,
+                    _ => {}
+                }
+            }
+            max_depth = max_depth.max(depth);
+            assert!(depth >= 0, "return without a call");
+        }
+        assert!(max_depth >= 2, "calls profile never nested: {max_depth}");
+        assert!(max_depth <= MAX_CALL_DEPTH as i64);
+    }
+
+    #[test]
+    fn names_round_trip_through_the_registry_format() {
+        let spec = FuzzSpec::new("memory", 1234).unwrap();
+        assert_eq!(spec.name(), "fuzz-memory-1234");
+        assert_eq!(FuzzSpec::parse_name(&spec.name()), Some(spec));
+        assert_eq!(FuzzSpec::parse_name("fuzz-doom-1"), None);
+        assert_eq!(FuzzSpec::parse_name("fuzz-memory-x"), None);
+        assert_eq!(FuzzSpec::parse_name("crafty"), None);
+        assert!(FuzzSpec::new("doom", 1).is_err());
+    }
+
+    #[test]
+    fn shrink_spec_round_trips_and_applies() {
+        for text in ["keep=0,2,5;trips=2", "keep=", "trips=1", "keep=3", ""] {
+            let spec: ShrinkSpec = text.parse().unwrap();
+            assert_eq!(spec.to_string(), text);
+        }
+        assert!("keep=a".parse::<ShrinkSpec>().is_err());
+        assert!("frob=1".parse::<ShrinkSpec>().is_err());
+
+        let plan = FuzzSpec::new("balanced", 9).unwrap().plan();
+        let n = plan.blocks.len();
+        assert!(n >= 3);
+        let spec = ShrinkSpec {
+            keep: Some(vec![0, n - 1]),
+            trip_cap: Some(1),
+        };
+        let small = plan.apply(&spec);
+        assert_eq!(small.blocks.len(), 2);
+        assert_eq!(small.blocks[0].index, 0);
+        assert_eq!(small.blocks[1].index, n - 1);
+        for pb in &small.blocks {
+            if let FuzzBlock::Loop { trips, nested, .. } = pb.block {
+                assert_eq!(trips, 1);
+                if let Some((t, _)) = nested {
+                    assert_eq!(t, 1);
+                }
+            }
+        }
+        // Shrinking must not perturb surviving blocks: the kept blocks'
+        // code is identical to the same blocks in the full program.
+        let full = plan.apply(&ShrinkSpec::default());
+        assert_eq!(full, plan);
+        small.build(); // still valid
+                       // Empty plans still build a legal non-halting program.
+        let empty = plan.apply(&ShrinkSpec {
+            keep: Some(vec![]),
+            trip_cap: None,
+        });
+        let program = empty.build();
+        let mut m = Machine::new(Arc::new(program));
+        for _ in 0..100 {
+            m.step();
+        }
+        assert!(!m.is_halted());
+    }
+
+    #[test]
+    fn fuzz_workloads_enter_the_registry() {
+        let wl = FuzzSpec::new("branchy", 3).unwrap().workload();
+        assert_eq!(wl.name, "fuzz-branchy-3");
+        let p = wl.build();
+        assert!(p.len() > 10);
+    }
+}

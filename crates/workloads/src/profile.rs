@@ -110,26 +110,48 @@ impl Default for WorkloadProfile {
     }
 }
 
+/// How a workload's program is produced: a hand-tuned motif profile (the
+/// 36-entry suite and [`custom`] workloads) or a seeded fuzz generator
+/// case ([`crate::fuzz`]).
+#[derive(Debug, Clone)]
+pub enum WorkloadSource {
+    /// Motif parameters (the suite's parameterization).
+    Motif(WorkloadProfile),
+    /// A deterministic fuzz-generator case (`fuzz-<profile>-<seed>`).
+    Fuzz(crate::fuzz::FuzzSpec),
+}
+
 /// A named workload.
 ///
 /// Names are owned strings so workloads can come from anywhere — the
-/// built-in suite, [`custom`] profiles, or names read out of `.scenario`
-/// files at runtime.
+/// built-in suite, [`custom`] profiles, fuzz-generated families, or names
+/// read out of `.scenario` files at runtime.
 #[derive(Debug, Clone)]
 pub struct Workload {
-    /// SPEC-style name.
+    /// SPEC-style (or `fuzz-<profile>-<seed>`) name.
     pub name: String,
     /// INT or FP flavour.
     pub class: WorkloadClass,
-    /// Motif parameters.
-    pub profile: WorkloadProfile,
+    /// Program source.
+    pub source: WorkloadSource,
 }
 
 impl Workload {
+    /// The motif parameters, for suite/custom workloads.
+    pub fn motif_profile(&self) -> Option<&WorkloadProfile> {
+        match &self.source {
+            WorkloadSource::Motif(p) => Some(p),
+            WorkloadSource::Fuzz(_) => None,
+        }
+    }
+
     /// Compiles the workload into an executable [`Program`] (an infinite
-    /// outer loop over its motif blocks).
+    /// outer loop over its blocks).
     pub fn build(&self) -> Program {
-        let p = &self.profile;
+        let p = match &self.source {
+            WorkloadSource::Motif(p) => p,
+            WorkloadSource::Fuzz(spec) => return spec.build(),
+        };
         let mut b = ProgramBuilder::new();
         let mut rng = Xorshift::new(p.seed);
         let mut region = 0x1000_0000u64;
@@ -205,7 +227,7 @@ fn w(name: &'static str, class: WorkloadClass, f: impl FnOnce(&mut WorkloadProfi
     Workload {
         name: name.to_string(),
         class,
-        profile,
+        source: WorkloadSource::Motif(profile),
     }
 }
 
@@ -486,11 +508,15 @@ pub fn suite() -> Vec<Workload> {
     ]
 }
 
-/// Looks up one suite workload by name (builds the suite each call; batch
-/// lookups should use [`by_names`] / [`try_by_names`], which is how
-/// scenario files resolve their workload lists).
+/// Looks up one workload by name: first the 36-entry suite, then the fuzz
+/// generator's `fuzz-<profile>-<seed>` naming scheme (builds the suite each
+/// call; batch lookups should use [`by_names`] / [`try_by_names`], which is
+/// how scenario files resolve their workload lists).
 pub fn find(name: &str) -> Option<Workload> {
-    suite().into_iter().find(|w| w.name == name)
+    suite()
+        .into_iter()
+        .find(|w| w.name == name)
+        .or_else(|| crate::fuzz::FuzzSpec::parse_name(name).map(|s| s.workload()))
 }
 
 /// Every suite workload name, in suite order — the `--list-workloads`
@@ -521,7 +547,9 @@ pub fn by_names(names: &[&str]) -> Vec<Workload> {
 }
 
 /// Like [`by_names`], but returns the first unknown name instead of
-/// panicking — scenario files surface it as a typed error.
+/// panicking — scenario files surface it as a typed error. Resolves
+/// `fuzz-<profile>-<seed>` names through the fuzz generator registry, so
+/// a scenario's workload list may mix suite and generated programs.
 pub fn try_by_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Workload>, String> {
     let all = suite();
     names
@@ -531,6 +559,7 @@ pub fn try_by_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Workload>, String>
             all.iter()
                 .find(|w| w.name == name)
                 .cloned()
+                .or_else(|| crate::fuzz::FuzzSpec::parse_name(name).map(|s| s.workload()))
                 .ok_or_else(|| name.to_string())
         })
         .collect()
@@ -543,7 +572,7 @@ pub fn custom(name: impl Into<String>, class: WorkloadClass, profile: WorkloadPr
     Workload {
         name: name.into(),
         class,
-        profile,
+        source: WorkloadSource::Motif(profile),
     }
 }
 
@@ -647,5 +676,22 @@ mod tests {
     fn mini_is_small_and_fast() {
         let p = Arc::new(mini().build());
         assert!(p.len() < 400);
+    }
+
+    #[test]
+    fn registry_resolves_fuzz_names_alongside_the_suite() {
+        assert!(find("crafty").is_some());
+        let wl = find("fuzz-balanced-42").expect("fuzz name resolves");
+        assert_eq!(wl.name, "fuzz-balanced-42");
+        assert!(wl.motif_profile().is_none());
+        assert!(wl.build().len() > 10);
+        assert!(find("fuzz-doom-42").is_none());
+
+        let both = try_by_names(&["crafty", "fuzz-memory-7"]).unwrap();
+        assert_eq!(both[1].name, "fuzz-memory-7");
+        assert_eq!(
+            try_by_names(&["fuzz-doom-42"]).unwrap_err(),
+            "fuzz-doom-42".to_string()
+        );
     }
 }
