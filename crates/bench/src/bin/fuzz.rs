@@ -34,6 +34,10 @@ options:
   --uops N           µ-ops per (program, preset) run (default 4000)
   --jobs N           worker threads (default: REGSHARE_JOBS or all cores)
   --budget-secs S    soak time budget (default 600)
+  --resume PATH      soak: seed-cursor file; if it exists, continue from its
+                     recorded seed instead of --seed-base, and keep it
+                     updated so the next soak picks up where this one ends
+  --checkpoint-every N  soak: batches between cursor writes (default 1)
   --artifact PATH    write failing-seed repro lines to PATH
   --inject-fault     deterministic self-test fault (pipeline proof)
   --shrink SPEC      repro mode: apply a printed shrink spec
@@ -48,6 +52,8 @@ struct Args {
     jobs: usize,
     soak: bool,
     budget_secs: u64,
+    resume: Option<String>,
+    checkpoint_every: u64,
     artifact: Option<String>,
     inject_fault: bool,
     repro: Option<(String, u64)>,
@@ -64,6 +70,8 @@ fn parse_args() -> Result<Option<Args>, String> {
         jobs: RunOptions::default().job_count(),
         soak: false,
         budget_secs: 600,
+        resume: None,
+        checkpoint_every: 1,
         artifact: None,
         inject_fault: false,
         repro: None,
@@ -110,6 +118,17 @@ fn parse_args() -> Result<Option<Args>, String> {
                 let v = value(&mut i)?;
                 args.budget_secs = v.parse().map_err(|_| format!("bad --budget-secs {v:?}"))?;
             }
+            "--resume" => args.resume = Some(value(&mut i)?),
+            "--checkpoint-every" => {
+                let v = value(&mut i)?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every {v:?}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".to_string());
+                }
+                args.checkpoint_every = n;
+            }
             "--artifact" => args.artifact = Some(value(&mut i)?),
             "--inject-fault" => args.inject_fault = true,
             "--profile" => repro_profile = Some(value(&mut i)?),
@@ -148,7 +167,71 @@ fn parse_args() -> Result<Option<Args>, String> {
     if args.uops == 0 {
         return Err("--uops must be at least 1".to_string());
     }
+    if args.resume.is_some() && !args.soak {
+        return Err("--resume only applies to --soak mode".to_string());
+    }
     Ok(Some(args))
+}
+
+/// The soak seed cursor: where the next batch starts, plus a running
+/// program count, persisted so a nightly soak continues the seed space
+/// where the previous one stopped instead of re-fuzzing the same seeds.
+struct Cursor {
+    seed_base: u64,
+    programs: u64,
+}
+
+/// Reads a cursor file. `Ok(None)` when the file does not exist (first
+/// soak); malformed content is an error, never a silent restart.
+fn load_cursor(path: &str) -> Result<Option<Cursor>, String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(format!("cannot read cursor {path:?}: {e}")),
+    };
+    let mut seed_base: Option<u64> = None;
+    let mut programs: Option<u64> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("cursor {path:?} line {}: expected key = value", lineno + 1))?;
+        let v = v.trim();
+        let parsed = v
+            .parse::<u64>()
+            .map_err(|_| format!("cursor {path:?} line {}: bad integer {v:?}", lineno + 1))?;
+        match key.trim() {
+            "seed_base" => seed_base = Some(parsed),
+            "programs" => programs = Some(parsed),
+            other => {
+                return Err(format!(
+                    "cursor {path:?} line {}: unknown key {other:?}",
+                    lineno + 1
+                ))
+            }
+        }
+    }
+    let seed_base = seed_base.ok_or_else(|| format!("cursor {path:?} has no seed_base"))?;
+    Ok(Some(Cursor {
+        seed_base,
+        programs: programs.unwrap_or(0),
+    }))
+}
+
+/// Writes the cursor atomically (`.tmp` + rename), so a kill mid-write
+/// never leaves a torn cursor.
+fn write_cursor(path: &str, cursor: &Cursor) -> Result<(), String> {
+    let text = format!(
+        "# regshare-fuzz seed cursor — next soak resumes here.\n\
+         seed_base = {}\nprograms = {}\n",
+        cursor.seed_base, cursor.programs
+    );
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, text).map_err(|e| format!("cannot write cursor {tmp:?}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot replace cursor {path:?}: {e}"))
 }
 
 fn write_artifact(path: &str, content: &str) {
@@ -240,15 +323,39 @@ fn main() {
     }
 
     if args.soak {
-        // Soak: fresh seed batches until the budget is spent.
+        // Soak: fresh seed batches until the budget is spent. With
+        // --resume, the seed cursor persists across soaks so consecutive
+        // nightlies walk fresh seed space instead of restarting at
+        // --seed-base every time.
         let start = std::time::Instant::now();
         let budget = std::time::Duration::from_secs(args.budget_secs);
-        let mut seed_base = args.seed_base;
+        let mut cursor = Cursor {
+            seed_base: args.seed_base,
+            programs: 0,
+        };
+        if let Some(path) = &args.resume {
+            match load_cursor(path) {
+                Ok(Some(resumed)) => {
+                    eprintln!(
+                        "fuzz: resuming seed cursor from {path:?}: seed_base {} \
+                         ({} programs fuzzed so far)",
+                        resumed.seed_base, resumed.programs
+                    );
+                    cursor = resumed;
+                }
+                Ok(None) => eprintln!("fuzz: no cursor at {path:?} yet, starting fresh"),
+                Err(msg) => {
+                    eprintln!("fuzz: {msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
         let mut total = 0usize;
         let mut all_failures = String::new();
         let mut failed = 0usize;
+        let mut batches_since_write = 0u64;
         while start.elapsed() < budget {
-            let specs = case_matrix(&args.profiles, seed_base, args.seeds);
+            let specs = case_matrix(&args.profiles, cursor.seed_base, args.seeds);
             let results = run_cases(&specs, &opts);
             total += results.len();
             let batch_failures = failure_artifact(&results, &opts);
@@ -266,7 +373,23 @@ fn main() {
                 "fuzz: soak {total} programs, {failed} diverged, {:.0}s elapsed",
                 start.elapsed().as_secs_f64()
             );
-            seed_base = seed_base.wrapping_add(args.seeds);
+            cursor.seed_base = cursor.seed_base.wrapping_add(args.seeds);
+            cursor.programs += results.len() as u64;
+            batches_since_write += 1;
+            if let Some(path) = &args.resume {
+                if batches_since_write >= args.checkpoint_every {
+                    if let Err(msg) = write_cursor(path, &cursor) {
+                        eprintln!("fuzz: {msg}");
+                    }
+                    batches_since_write = 0;
+                }
+            }
+        }
+        if let Some(path) = &args.resume {
+            // Final position, regardless of the write cadence.
+            if let Err(msg) = write_cursor(path, &cursor) {
+                eprintln!("fuzz: {msg}");
+            }
         }
         println!(
             "# regshare-fuzz soak: {total} programs x {} presets, {failed} diverged",

@@ -16,12 +16,15 @@
 //! engine (`--jobs` workers), so wall clock scales with cores while the
 //! report stays byte-identical to a serial run.
 
+use regshare_bench::checkpoint;
 use regshare_bench::cli::run_front_door;
-use regshare_bench::run_scenario;
 
 fn main() {
-    let (_, scenario) = run_front_door("paper_report", "headline");
-    match run_scenario(&scenario) {
+    let (args, scenario) = run_front_door("paper_report", "headline");
+    // Checkpoint-aware: with --checkpoint-every / --resume (or the
+    // scenario's own keys) the run is resumable and still byte-identical
+    // to an uninterrupted one; otherwise this is the plain parallel sweep.
+    match checkpoint::run_report(&scenario, args.checkpoint_file.as_deref()) {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("paper_report: {e}");

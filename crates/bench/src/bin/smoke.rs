@@ -7,8 +7,9 @@
 //! smoke preset's `me`/`smb` variants). Output is byte-identical at any
 //! `--jobs` level; CI diffs a serial against a sharded run.
 
+use regshare_bench::checkpoint;
 use regshare_bench::cli::run_front_door;
-use regshare_bench::{render_report, run_scenario, Table};
+use regshare_bench::{render_report, Table};
 
 fn main() {
     let (args, scenario) = run_front_door("smoke", "smoke");
@@ -17,10 +18,12 @@ fn main() {
     // preset additionally prints its per-mechanism diagnostics below. Gate
     // on how the scenario was selected, not on its self-declared name — a
     // user file named "smoke" need not have the preset's variant labels.
+    // Both paths go through the checkpoint-aware runner, which falls back
+    // to the parallel engine when no checkpointing is requested.
     let is_builtin_smoke =
         args.scenario_path.is_none() && args.preset.as_deref().unwrap_or("smoke") == "smoke";
     if !is_builtin_smoke {
-        match run_scenario(&scenario) {
+        match checkpoint::run_report(&scenario, args.checkpoint_file.as_deref()) {
             Ok(report) => print!("{report}"),
             Err(e) => {
                 eprintln!("smoke: {e}");
@@ -30,8 +33,8 @@ fn main() {
         return;
     }
 
-    let grid = match scenario.to_sweep() {
-        Ok(spec) => spec.run(),
+    let grid = match checkpoint::run_sweep(&scenario, args.checkpoint_file.as_deref()) {
+        Ok(grid) => grid,
         Err(e) => {
             eprintln!("smoke: {e}");
             std::process::exit(1);

@@ -1,19 +1,20 @@
-//! Simulator throughput harness: kuops/sec per preset, the `BENCH_pr4.json`
+//! Simulator throughput harness: kuops/sec per preset, the `BENCH_*.json`
 //! writer, and the CI regression gate.
 //!
 //! ```text
 //! throughput [--preset <name>]... [--warmup <uops>] [--measure <uops>]
-//!            [--workload-cap <n>] [--json <path>]
-//!            [--baseline-kuops <x>] [--check <BENCH_pr4.json>] [--tolerance <pct>]
+//!            [--workload-cap <n>] [--json <path>] [--bench-id <id>]
+//!            [--baseline-kuops <x>] [--check <BENCH.json>] [--tolerance <pct>]
 //! ```
 //!
 //! Default: measure every built-in preset with a 2000 + 8000 µ-op window,
 //! capped at 6 workloads per preset, and print the table. `--json` also
-//! writes the `BENCH_pr4.json` document. `--baseline-kuops` pins the
-//! pre-refactor headline number into that document. `--check` re-reads a
-//! previously written document and exits non-zero if the fresh `headline`
-//! throughput fell more than `--tolerance` percent (default 20) below it —
-//! the CI `perf-smoke` gate.
+//! writes the `BENCH_*.json` document, stamped with `--bench-id` (default
+//! `pr4_throughput`, matching the first recorded baseline). `--baseline-kuops`
+//! pins the pre-refactor headline number into that document. `--check`
+//! re-reads a previously written document and exits non-zero if the fresh
+//! `headline` throughput fell more than `--tolerance` percent (default 20)
+//! below it — the CI `perf-smoke` gate.
 
 use regshare_bench::scenario::SCENARIO_PRESETS;
 use regshare_bench::throughput::{
@@ -26,6 +27,7 @@ struct Args {
     measure: u64,
     workload_cap: usize,
     json: Option<String>,
+    bench_id: String,
     baseline_kuops: Option<f64>,
     check: Option<String>,
     tolerance_pct: f64,
@@ -33,9 +35,10 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: throughput [--preset <name>]... [--warmup <uops>] [--measure <uops>]\n\
-     \x20                 [--workload-cap <n>] [--json <path>]\n\
+     \x20                 [--workload-cap <n>] [--json <path>] [--bench-id <id>]\n\
      \x20                 [--baseline-kuops <x>] [--check <BENCH.json>] [--tolerance <pct>]\n\
-     default: all presets, --warmup 2000 --measure 8000 --workload-cap 6 --tolerance 20"
+     default: all presets, --warmup 2000 --measure 8000 --workload-cap 6 --tolerance 20\n\
+     \x20        --bench-id pr4_throughput"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         measure: 8_000,
         workload_cap: 6,
         json: None,
+        bench_id: "pr4_throughput".to_string(),
         baseline_kuops: None,
         check: None,
         tolerance_pct: 20.0,
@@ -73,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
                 args.workload_cap = v.parse().map_err(|_| format!("bad --workload-cap {v:?}"))?;
             }
             "--json" => args.json = Some(value(&mut i)?),
+            "--bench-id" => args.bench_id = value(&mut i)?,
             "--baseline-kuops" => {
                 let v = value(&mut i)?;
                 args.baseline_kuops = Some(
@@ -113,6 +118,7 @@ fn main() {
     };
 
     let mut report = ThroughputReport {
+        bench: args.bench_id.clone(),
         warmup: args.warmup,
         measure: args.measure,
         workload_cap: args.workload_cap,

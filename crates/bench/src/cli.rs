@@ -8,6 +8,9 @@
 //! --warmup <uops>     override the warmup window
 //! --measure <uops>    override the measured window
 //! --jobs <n>          override the sweep worker count
+//! --checkpoint-every <uops>  write a resumable checkpoint every N µ-ops
+//! --checkpoint-file <path>   where to write it (default <scenario>.ckpt)
+//! --resume <file>     continue a checkpointed run from its image
 //! --list-presets      list the built-in scenarios and exit
 //! --list-workloads    list the workload registry and exit
 //! --help              usage
@@ -28,6 +31,13 @@ pub struct CliArgs {
     pub preset: Option<String>,
     /// `--warmup` / `--measure` / `--jobs` overrides.
     pub overrides: RunOptions,
+    /// `--checkpoint-every <uops>`: write a resumable checkpoint every N
+    /// committed µ-ops (see [`crate::checkpoint`]).
+    pub checkpoint_every: Option<u64>,
+    /// `--checkpoint-file <path>`: where checkpoints are written.
+    pub checkpoint_file: Option<String>,
+    /// `--resume <file>`: continue from a checkpoint image.
+    pub resume: Option<String>,
     /// `--list-presets`.
     pub list_presets: bool,
     /// `--list-workloads`.
@@ -74,6 +84,19 @@ impl CliArgs {
                         .try_jobs(n)
                         .map_err(|e| format!("--jobs: {e}"))?;
                 }
+                "--checkpoint-every" => {
+                    let v = value(&mut i)?;
+                    let n: u64 = v
+                        .parse()
+                        .map_err(|_| format!("bad --checkpoint-every value {v:?}"))?;
+                    if n == 0 {
+                        // Same boundary rejection as the scenario key.
+                        return Err("--checkpoint-every must be at least 1".to_string());
+                    }
+                    out.checkpoint_every = Some(n);
+                }
+                "--checkpoint-file" => out.checkpoint_file = Some(value(&mut i)?),
+                "--resume" => out.resume = Some(value(&mut i)?),
                 "--list-presets" => out.list_presets = true,
                 "--list-workloads" => out.list_workloads = true,
                 "--help" | "-h" => out.help = true,
@@ -98,6 +121,12 @@ impl CliArgs {
             preset(name).ok_or_else(|| ScenarioError::UnknownPreset(name.to_string()))?
         };
         scenario.options = self.overrides.over(scenario.options);
+        if self.checkpoint_every.is_some() {
+            scenario.checkpoint_interval = self.checkpoint_every;
+        }
+        if self.resume.is_some() {
+            scenario.resume_from = self.resume.clone();
+        }
         Ok(scenario)
     }
 }
@@ -133,7 +162,8 @@ pub fn usage(bin: &str, default_preset: &str) -> String {
     format!(
         "usage: {bin} [--scenario <file> | --preset <name>] \
          [--warmup <uops>] [--measure <uops>] [--jobs <n>] \
-         [--list-presets] [--list-workloads]\n\
+         [--checkpoint-every <uops>] [--checkpoint-file <path>] \
+         [--resume <file>] [--list-presets] [--list-workloads]\n\
          default: --preset {default_preset}\n\
          REGSHARE_WARMUP / REGSHARE_MEASURE / REGSHARE_JOBS env vars are \
          deprecated fallbacks for the flags above."
@@ -209,8 +239,32 @@ mod tests {
         assert!(parse(&["--warmup"]).is_err());
         assert!(parse(&["--warmup", "lots"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--checkpoint-every", "soon"]).is_err());
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(parse(&["--scenario", "a", "--preset", "b"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_overlay_the_scenario() {
+        let a = parse(&[
+            "--preset",
+            "smoke",
+            "--checkpoint-every",
+            "5000",
+            "--checkpoint-file",
+            "out.ckpt",
+        ])
+        .unwrap();
+        assert_eq!(a.checkpoint_file.as_deref(), Some("out.ckpt"));
+        let s = a.resolve_scenario("headline").unwrap();
+        assert_eq!(s.checkpoint_interval, Some(5000));
+        assert_eq!(s.resume_from, None);
+
+        let a = parse(&["--preset", "smoke", "--resume", "out.ckpt"]).unwrap();
+        let s = a.resolve_scenario("headline").unwrap();
+        assert_eq!(s.checkpoint_interval, None);
+        assert_eq!(s.resume_from.as_deref(), Some("out.ckpt"));
     }
 
     #[test]

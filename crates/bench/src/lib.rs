@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 
+pub mod checkpoint;
 pub mod cli;
 pub mod fuzz;
 pub mod harness;
@@ -28,6 +29,7 @@ pub mod sweep;
 pub mod table;
 pub mod throughput;
 
+pub use checkpoint::{scenario_digest, CheckpointError};
 pub use fuzz::FuzzOptions;
 pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
 pub use options::{env_parse, RunOptions, ZeroJobsError, DEFAULT_MEASURE, DEFAULT_WARMUP};

@@ -84,6 +84,13 @@ pub enum ScenarioError {
     /// A worker count of zero (`RunOptions::jobs` hand-set to `Some(0)`;
     /// the text parser and CLI reject it at their own boundaries).
     ZeroJobs,
+    /// A checkpoint interval of zero µ-ops: the writer would fire before
+    /// any progress was made (the CLI and text parser reject 0 too).
+    ZeroCheckpointInterval,
+    /// A `resume_from` path that is empty or contains a quote, backslash
+    /// or control character — the text format has no escape sequences, so
+    /// such a path could not be rendered to a parseable `.scenario` file.
+    InvalidResumePath(String),
     /// A scenario with no variants: there is nothing to sweep.
     NoVariants,
     /// Two variants with the same label (the later one would be
@@ -166,6 +173,14 @@ impl std::fmt::Display for ScenarioError {
                  (the scenario format has no escape sequences)"
             ),
             ScenarioError::ZeroJobs => write!(f, "jobs must be at least 1"),
+            ScenarioError::ZeroCheckpointInterval => {
+                write!(f, "checkpoint_interval must be at least 1 µ-op")
+            }
+            ScenarioError::InvalidResumePath(path) => write!(
+                f,
+                "resume_from path {path:?} is empty or contains a quote, backslash \
+                 or control character (the scenario format has no escape sequences)"
+            ),
             ScenarioError::NoVariants => write!(f, "scenario declares no variants"),
             ScenarioError::DuplicateVariant(label) => {
                 write!(f, "duplicate variant label {label:?}")
@@ -684,6 +699,14 @@ pub struct Scenario {
     pub fuzz: Option<FuzzSource>,
     /// Ordered labelled variants; the first is the baseline column.
     pub variants: Vec<(String, VariantSpec)>,
+    /// Checkpoint-write interval in committed µ-ops. `Some(n)` makes runs
+    /// resumable: a versioned machine snapshot is written every `n` µ-ops
+    /// (see `crate::checkpoint`). `None` runs without checkpointing;
+    /// `Some(0)` is rejected by validation.
+    pub checkpoint_interval: Option<u64>,
+    /// Path of a checkpoint file to resume from (written by an earlier
+    /// checkpointed run of this same scenario). `None` starts fresh.
+    pub resume_from: Option<String>,
 }
 
 impl Scenario {
@@ -697,6 +720,8 @@ impl Scenario {
                 workloads: Vec::new(),
                 fuzz: None,
                 variants: Vec::new(),
+                checkpoint_interval: None,
+                resume_from: None,
             },
         }
     }
@@ -735,6 +760,14 @@ impl Scenario {
             // The text parser and CLI reject 0 too; a hand-constructed
             // Some(0) would otherwise render to an unparseable file.
             return Err(ScenarioError::ZeroJobs);
+        }
+        if self.checkpoint_interval == Some(0) {
+            return Err(ScenarioError::ZeroCheckpointInterval);
+        }
+        if let Some(path) = &self.resume_from {
+            if path.is_empty() || !valid_note(path) {
+                return Err(ScenarioError::InvalidResumePath(path.clone()));
+            }
         }
         if self.variants.is_empty() {
             return Err(ScenarioError::NoVariants);
@@ -867,6 +900,20 @@ impl ScenarioBuilder {
             seed,
             programs,
         });
+        self
+    }
+
+    /// Makes runs resumable: write a machine checkpoint every `uops`
+    /// committed µ-ops. Zero is rejected at [`ScenarioBuilder::build`].
+    pub fn checkpoint_interval(mut self, uops: u64) -> Self {
+        self.scenario.checkpoint_interval = Some(uops);
+        self
+    }
+
+    /// Resumes from a checkpoint file written by an earlier checkpointed
+    /// run of this same scenario.
+    pub fn resume_from(mut self, path: impl Into<String>) -> Self {
+        self.scenario.resume_from = Some(path.into());
         self
     }
 

@@ -185,6 +185,25 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
+    /// Assembles a grid from already-measured cells in row-major order —
+    /// the checkpointed serial runner's merge path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len() != workloads.len() * labels.len()`.
+    pub(crate) fn from_parts(
+        workloads: Vec<Workload>,
+        labels: Vec<String>,
+        cells: Vec<Measurement>,
+    ) -> SweepGrid {
+        assert_eq!(cells.len(), workloads.len() * labels.len());
+        SweepGrid {
+            workloads,
+            labels,
+            cells,
+        }
+    }
+
     /// The workloads, in spec order.
     pub fn workloads(&self) -> &[Workload] {
         &self.workloads

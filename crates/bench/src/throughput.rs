@@ -13,7 +13,7 @@
 //! kuops/sec = (committed µ-ops across all cells) / wall seconds / 1000
 //! ```
 //!
-//! [`ThroughputReport::to_json`] renders the `BENCH_pr4.json` format: the
+//! [`ThroughputReport::to_json`] renders the `BENCH_*.json` format: the
 //! measured presets plus a pinned pre-refactor baseline, so CI can gate on
 //! regressions (see the `perf-smoke` job) and future PRs inherit a recorded
 //! trajectory instead of an empty one.
@@ -52,6 +52,10 @@ impl PresetThroughput {
 /// optional pinned baseline to compare against.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputReport {
+    /// Document identifier written to the JSON `bench` field (e.g.
+    /// `pr4_throughput`, `pr6_throughput`) — names which PR's recorded
+    /// baseline this document is.
+    pub bench: String,
     /// Warmup window per cell (µ-ops).
     pub warmup: u64,
     /// Measured window per cell (µ-ops).
@@ -154,12 +158,12 @@ impl ThroughputReport {
         t.render()
     }
 
-    /// Renders the `BENCH_pr4.json` document (hand-rolled: the workspace is
+    /// Renders the `BENCH_*.json` document (hand-rolled: the workspace is
     /// dependency-free, and the schema is flat).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
-        out.push_str("  \"bench\": \"pr4_throughput\",\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
         out.push_str(
             "  \"unit\": \"kuops_per_sec (committed guest uops / wall second / 1000)\",\n",
         );
@@ -250,6 +254,7 @@ mod tests {
 
     fn tiny_report() -> ThroughputReport {
         ThroughputReport {
+            bench: "pr4_throughput".into(),
             warmup: 100,
             measure: 400,
             workload_cap: 1,

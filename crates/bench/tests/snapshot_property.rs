@@ -1,0 +1,65 @@
+//! Property test: checkpoint/resume equivalence holds for *arbitrary*
+//! fuzz-generated programs, snapshot points, and tracker presets — not
+//! just the checked-in scenarios.
+//!
+//! For any (profile, seed, preset, snapshot cycle) — all decoded from one
+//! raw draw vector, the vendored-proptest idiom this repo's property
+//! tests share:
+//! - resuming from a mid-run snapshot and finishing must reproduce the
+//!   uninterrupted run's architectural digest and statistics exactly;
+//! - re-saving a just-restored machine must reproduce the snapshot
+//!   byte-for-byte (`encode(decode(bytes)) == bytes`);
+//! - the resumed machine's register accounting must audit clean.
+
+use proptest::prelude::*;
+use regshare_bench::fuzz::tracker_presets;
+use regshare_core::Simulator;
+use regshare_workloads::fuzz::{profile_names, FuzzSpec};
+
+/// Committed µ-ops for the full run. Small enough for debug builds,
+/// large enough that the snapshot point sits genuinely mid-flight.
+const TOTAL: u64 = 1_500;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn resume_equals_uninterrupted_on_fuzz_programs(
+        raw in proptest::collection::vec(any::<u64>(), 4..16)
+    ) {
+        let profiles = profile_names();
+        let profile = profiles[(raw[0] % profiles.len() as u64) as usize];
+        let seed = raw[1] % 1_000_000;
+        let presets = tracker_presets();
+        let (preset_name, cfg) = &presets[(raw[2] % presets.len() as u64) as usize];
+        // Mid-flight: late enough for live checkpoints and wheel events,
+        // early enough that even a fast config is short of the budget.
+        let snap_cycle = 20 + raw[3] % 280;
+
+        let spec = FuzzSpec::new(profile, seed).expect("known profile");
+        let program = spec.build();
+        let ctx = format!("{}/{preset_name} @ {snap_cycle}", spec.name());
+
+        let mut reference = Simulator::new(&program, cfg.clone());
+        let ref_stats = reference.run(TOTAL);
+
+        let mut a = Simulator::new(&program, cfg.clone());
+        a.run_cycles(snap_cycle);
+        let bytes = a.save_snapshot();
+
+        let mut b = Simulator::resume_from(&program, cfg.clone(), &bytes)
+            .unwrap_or_else(|e| panic!("{ctx}: resume failed: {e}"));
+        // encode(decode(bytes)) == bytes.
+        prop_assert_eq!(b.save_snapshot(), bytes);
+
+        let committed = b.stats().committed;
+        prop_assert!(committed < TOTAL); // else: lower the snap_cycle cap
+        let resumed_stats = b.run(TOTAL - committed);
+
+        prop_assert_eq!(b.arch_digest(), reference.arch_digest());
+        prop_assert_eq!(resumed_stats, ref_stats);
+        if let Err(e) = b.audit_registers() {
+            panic!("{ctx}: register audit failed: {e}");
+        }
+    }
+}

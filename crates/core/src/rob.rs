@@ -138,6 +138,75 @@ pub struct RobEntry {
     pub read_scheduled: bool,
 }
 
+impl regshare_types::snapshot::Snap for TrapKind {
+    fn encode(&self, w: &mut regshare_types::snapshot::SnapWriter) {
+        w.put_u8(match self {
+            TrapKind::MemOrder => 0,
+            TrapKind::BypassMispredict => 1,
+        });
+    }
+    fn decode(
+        r: &mut regshare_types::snapshot::SnapReader<'_>,
+    ) -> Result<Self, regshare_types::snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(TrapKind::MemOrder),
+            1 => Ok(TrapKind::BypassMispredict),
+            _ => Err(r.corrupt("TrapKind tag")),
+        }
+    }
+}
+
+regshare_types::impl_snap!(DstInfo {
+    arch,
+    new_preg,
+    old_preg,
+    fresh_alloc,
+    needs_cam
+});
+
+regshare_types::impl_snap!(BypassInfo {
+    preg,
+    class,
+    correct,
+    from_committed
+});
+
+regshare_types::impl_snap!(BranchInfo {
+    kind,
+    pred_next,
+    actual_next,
+    taken,
+    pred_taken,
+    mispredicted,
+    ckpt
+});
+
+regshare_types::impl_snap!(RobEntry {
+    seq,
+    pc,
+    sidx,
+    kind,
+    wrong_path,
+    completed,
+    committed,
+    dst,
+    share,
+    eliminated,
+    bypass,
+    mem,
+    lq,
+    sq,
+    store_data,
+    branch,
+    trap,
+    history,
+    result,
+    uid,
+    tage_pred,
+    agu_done,
+    read_scheduled
+});
+
 /// The reorder buffer. See the module docs for the pointer discipline.
 #[derive(Debug)]
 pub struct Rob {
@@ -302,6 +371,38 @@ impl Rob {
     /// Iterates over present (in-flight or unreleased) entries.
     pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
         self.slots.iter().flatten()
+    }
+}
+
+impl regshare_types::snapshot::Snapshot for Rob {
+    fn save_state(&self, w: &mut regshare_types::snapshot::SnapWriter) {
+        use regshare_types::snapshot::Snap;
+        self.slots.encode(w);
+        w.put_u64(self.release_seq);
+        w.put_u64(self.head_seq);
+        w.put_u64(self.tail_seq);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut regshare_types::snapshot::SnapReader<'_>,
+    ) -> Result<(), regshare_types::snapshot::SnapError> {
+        use regshare_types::snapshot::Snap;
+        let slots: Vec<Option<RobEntry>> = Snap::decode(r)?;
+        if slots.len() != self.capacity {
+            return Err(r.corrupt("Rob capacity"));
+        }
+        let release_seq = r.get_u64()?;
+        let head_seq = r.get_u64()?;
+        let tail_seq = r.get_u64()?;
+        if release_seq > head_seq || head_seq > tail_seq {
+            return Err(r.corrupt("Rob pointer order"));
+        }
+        self.slots = slots;
+        self.release_seq = release_seq;
+        self.head_seq = head_seq;
+        self.tail_seq = tail_seq;
+        Ok(())
     }
 }
 

@@ -19,7 +19,10 @@ use regshare_mem::{MemResult, MemorySystem};
 use regshare_predictors::tage::{TageHistory, TagePrediction};
 use regshare_predictors::{Btb, ReturnAddressStack, StoreSets, Tage};
 use regshare_refcount::{ReclaimDecision, ReclaimRequest, ShareKind, ShareRequest, SharingTracker};
-use regshare_types::hasher::{mix64, FastMap};
+use regshare_types::hasher::{mix64, FastHasher, FastMap};
+use regshare_types::snapshot::{
+    read_header, write_header, Snap, SnapError, SnapReader, SnapWriter, Snapshot,
+};
 use regshare_types::{
     Addr, Cycle, HistorySnapshot, PhysReg, RegClass, SeqNum, ARCH_REGS_PER_CLASS,
 };
@@ -352,10 +355,40 @@ impl Simulator {
     /// Panics if the pipeline deadlocks (no commit for a very long time) —
     /// that is a simulator bug, caught loudly.
     pub fn run(&mut self, uops: u64) -> SimStats {
+        self.run_with_checkpoints(uops, 0, |_| {})
+    }
+
+    /// Like [`Simulator::run`], but invokes `checkpoint` each time another
+    /// `every` µ-ops have committed (and the budget is not yet exhausted),
+    /// with the simulator paused at a cycle boundary. `every == 0` never
+    /// fires, making this exactly `run`.
+    ///
+    /// The callback observes the machine (typically via
+    /// [`Simulator::save_snapshot`]) but cannot mutate it, so a
+    /// checkpointed run is byte-identical to an uninterrupted one: the
+    /// commit budget is an absolute committed-count target, and a later
+    /// `resume_from` + `run(target - committed)` reconstructs the same
+    /// target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for a very long time) —
+    /// that is a simulator bug, caught loudly.
+    pub fn run_with_checkpoints(
+        &mut self,
+        uops: u64,
+        every: u64,
+        mut checkpoint: impl FnMut(&Simulator),
+    ) -> SimStats {
         let target = self.stats.committed + uops;
         self.commit_budget = Some(target);
         let mut last_commit_cycle = self.now;
         let mut last_committed = self.stats.committed;
+        let mut mark = if every == 0 {
+            u64::MAX
+        } else {
+            self.stats.committed.saturating_add(every)
+        };
         while self.stats.committed < target {
             self.step();
             if self.stats.committed != last_committed {
@@ -368,6 +401,10 @@ impl Simulator {
                 self.now,
                 self.stats.committed
             );
+            if self.stats.committed >= mark && self.stats.committed < target {
+                checkpoint(self);
+                mark = self.stats.committed.saturating_add(every);
+            }
         }
         self.commit_budget = None;
         self.snapshot_stats()
@@ -1857,6 +1894,259 @@ impl Simulator {
                 }
             }
         }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// checkpointing
+// ----------------------------------------------------------------------
+
+impl Snap for Event {
+    fn encode(&self, w: &mut SnapWriter) {
+        match self {
+            Event::Agu { seq, uid } => {
+                w.put_u8(0);
+                seq.encode(w);
+                w.put_u64(*uid);
+            }
+            Event::Complete { seq, uid } => {
+                w.put_u8(1);
+                seq.encode(w);
+                w.put_u64(*uid);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Event::Agu {
+                seq: Snap::decode(r)?,
+                uid: r.get_u64()?,
+            }),
+            1 => Ok(Event::Complete {
+                seq: Snap::decode(r)?,
+                uid: r.get_u64()?,
+            }),
+            _ => Err(r.corrupt("Event tag")),
+        }
+    }
+}
+
+regshare_types::impl_snap!(IqEntry {
+    seq,
+    class,
+    srcs,
+    n_srcs,
+    dep_store,
+    waited_dep
+});
+
+regshare_types::impl_snap!(FetchSnap { tage, ras, hist });
+
+regshare_types::impl_snap!(Checkpoint {
+    rm,
+    fl_heads,
+    tracker,
+    fetch
+});
+
+regshare_types::impl_snap!(PredInfo {
+    pred_next,
+    pred_taken,
+    tage_pred,
+    snap
+});
+
+regshare_types::impl_snap!(PipeUop { ready, uop, pred });
+
+/// Digest pinning a snapshot to its (configuration, program) pair: restore
+/// refuses state recorded under a different machine or workload.
+fn config_digest(cfg: &CoreConfig, program: &Program) -> u64 {
+    use std::hash::Hasher;
+    let mut h = FastHasher::default();
+    h.write(format!("{cfg:?}").as_bytes());
+    h.write_u64(program.digest());
+    h.finish()
+}
+
+impl Simulator {
+    /// Serializes the complete machine state into a versioned snapshot.
+    ///
+    /// The snapshot is pinned to this simulator's configuration and program
+    /// via a digest header; [`Simulator::resume_from`] refuses anything
+    /// else. A resumed run replays the remainder of the simulation
+    /// byte-identically: same [`Simulator::arch_digest`], same
+    /// [`Simulator::stats`].
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        write_header(&mut w, config_digest(&self.cfg, &self.program));
+        self.save_state(&mut w);
+        w.finish()
+    }
+
+    /// Rebuilds a simulator from a [`Simulator::save_snapshot`] image.
+    ///
+    /// `program` and `cfg` must be the pair the snapshot was taken under.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the image has a foreign magic/version,
+    /// was recorded under a different (configuration, program) pair, is
+    /// truncated, or fails a structural validity check.
+    pub fn resume_from(
+        program: &Program,
+        cfg: CoreConfig,
+        bytes: &[u8],
+    ) -> Result<Simulator, SnapError> {
+        let expected = config_digest(&cfg, program);
+        let mut r = SnapReader::new(bytes);
+        read_header(&mut r, expected)?;
+        let mut sim = Simulator::new(program, cfg);
+        sim.load_state(&mut r)?;
+        r.expect_eof()?;
+        Ok(sim)
+    }
+}
+
+impl Snapshot for Simulator {
+    fn save_state(&self, w: &mut SnapWriter) {
+        self.stream.save_state(w);
+        self.mem.save_state(w);
+        self.tage.save_state(w);
+        self.btb.save_state(w);
+        self.ras.encode(w);
+        self.store_sets.save_state(w);
+        self.dist_pred.save_state(w);
+        self.ddt.save_state(w);
+        self.csn.encode(w);
+        self.tracker.save_state(w);
+        self.rm.encode(w);
+        self.crm.encode(w);
+        self.fl[0].save_state(w);
+        self.fl[1].save_state(w);
+        for v in &self.prf_value {
+            v.encode(w);
+        }
+        for v in &self.prf_ready {
+            v.encode(w);
+        }
+        self.rob.save_state(w);
+        self.iq.encode(w);
+        self.lq.save_state(w);
+        self.sq.save_state(w);
+        // Event wheel: only the (few) populated slots, by index.
+        let non_empty = self.wheel.iter().filter(|v| !v.is_empty()).count();
+        w.put_len(non_empty);
+        for (slot, events) in self.wheel.iter().enumerate() {
+            if !events.is_empty() {
+                w.put_u64(slot as u64);
+                events.encode(w);
+            }
+        }
+        self.int_div_busy.encode(w);
+        self.fp_div_busy.encode(w);
+        self.pipe.encode(w);
+        self.pending_fetch.encode(w);
+        w.put_u64(self.fetch_stall_until);
+        w.put_u64(self.rename_stall_until);
+        w.put_u64(self.last_fetch_line);
+        self.spec_hist.encode(w);
+        self.arch_tage.encode(w);
+        self.arch_ras.encode(w);
+        self.arch_hist.encode(w);
+        regshare_types::snapshot::encode_map_sorted(&self.ckpts, w);
+        w.put_u64(self.next_ckpt);
+        self.loads_parked.encode(w);
+        self.no_bypass_seq.encode(w);
+        w.put_u64(self.now);
+        w.put_u64(self.next_uid);
+        self.stats.encode(w);
+        w.put_u64(self.arch_digest);
+        self.last_share_seq.encode(w);
+        self.last_cam_commit.encode(w);
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.stream.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.tage.load_state(r)?;
+        self.btb.load_state(r)?;
+        self.ras = Snap::decode(r)?;
+        self.store_sets.load_state(r)?;
+        self.dist_pred.load_state(r)?;
+        self.ddt.load_state(r)?;
+        self.csn = Snap::decode(r)?;
+        self.tracker.load_state(r)?;
+        self.rm = Snap::decode(r)?;
+        self.crm = Snap::decode(r)?;
+        self.fl[0].load_state(r)?;
+        self.fl[1].load_state(r)?;
+        for ci in 0..2 {
+            let v: Vec<u64> = Snap::decode(r)?;
+            if v.len() != self.prf_value[ci].len() {
+                return Err(r.corrupt("PRF value size"));
+            }
+            self.prf_value[ci] = v;
+        }
+        for ci in 0..2 {
+            let v: Vec<u64> = Snap::decode(r)?;
+            if v.len() != self.prf_ready[ci].len() {
+                return Err(r.corrupt("PRF ready size"));
+            }
+            self.prf_ready[ci] = v;
+        }
+        self.rob.load_state(r)?;
+        let iq: Vec<IqEntry> = Snap::decode(r)?;
+        if iq.len() > self.cfg.iq_entries {
+            return Err(r.corrupt("IQ overflow"));
+        }
+        self.iq = iq;
+        self.lq.load_state(r)?;
+        self.sq.load_state(r)?;
+        for v in &mut self.wheel {
+            v.clear();
+        }
+        let n = r.get_len()?;
+        for _ in 0..n {
+            let slot = r.get_u64()? as usize;
+            if slot >= WHEEL {
+                return Err(r.corrupt("wheel slot"));
+            }
+            self.wheel[slot] = Snap::decode(r)?;
+        }
+        let int_div_busy: Vec<u64> = Snap::decode(r)?;
+        let fp_div_busy: Vec<u64> = Snap::decode(r)?;
+        if int_div_busy.len() != self.int_div_busy.len()
+            || fp_div_busy.len() != self.fp_div_busy.len()
+        {
+            return Err(r.corrupt("div unit count"));
+        }
+        self.int_div_busy = int_div_busy;
+        self.fp_div_busy = fp_div_busy;
+        self.pipe = Snap::decode(r)?;
+        self.pending_fetch = Snap::decode(r)?;
+        self.fetch_stall_until = r.get_u64()?;
+        self.rename_stall_until = r.get_u64()?;
+        self.last_fetch_line = r.get_u64()?;
+        self.spec_hist = Snap::decode(r)?;
+        self.arch_tage = Snap::decode(r)?;
+        self.arch_ras = Snap::decode(r)?;
+        self.arch_hist = Snap::decode(r)?;
+        self.ckpts = regshare_types::snapshot::decode_map(r)?;
+        self.next_ckpt = r.get_u64()?;
+        self.loads_parked = Snap::decode(r)?;
+        self.no_bypass_seq = Snap::decode(r)?;
+        self.now = r.get_u64()?;
+        self.next_uid = r.get_u64()?;
+        self.stats = Snap::decode(r)?;
+        self.arch_digest = r.get_u64()?;
+        self.last_share_seq = Snap::decode(r)?;
+        self.last_cam_commit = Snap::decode(r)?;
+        // Process-local state: the scratch buffers are drained between
+        // cycles, the snapshot pool is a pure allocation cache, and a
+        // commit budget only lives inside a `run` call.
+        self.snap_pool.clear();
+        self.commit_budget = None;
         Ok(())
     }
 }

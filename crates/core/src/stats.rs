@@ -96,6 +96,42 @@ pub struct SimStats {
     pub tracker: TrackerStats,
 }
 
+regshare_types::impl_snap!(SimStats {
+    cycles,
+    committed,
+    renamed,
+    branches,
+    branch_mispredicts,
+    squashed_uops,
+    tracker_recovery_stalls,
+    memory_traps,
+    false_dependencies,
+    loads_with_dep,
+    dep_waits,
+    dep_true,
+    dep_gone,
+    loads,
+    stores,
+    stlf_forwards,
+    moves_eliminated,
+    moves_not_eliminated,
+    loads_bypassed,
+    bypass_mispredictions,
+    bypass_aborted_tracker,
+    bypass_no_producer,
+    bypass_from_committed,
+    distance_predictions,
+    share_distance,
+    reclaim_check_distance,
+    reclaims_flag_filtered,
+    reclaims_cam_checked,
+    reclaim_port_stalls,
+    bypass_aborted_ports,
+    commit_flushes,
+    peak_checkpoints,
+    tracker
+});
+
 impl SimStats {
     /// Committed µ-ops per cycle.
     pub fn ipc(&self) -> f64 {

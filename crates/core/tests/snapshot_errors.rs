@@ -1,0 +1,181 @@
+//! Malformed-snapshot handling: every way a snapshot image can be wrong
+//! maps to the matching typed [`SnapError`] variant — never a panic, and
+//! never a silently half-restored simulator.
+
+use regshare_core::{CoreConfig, Simulator};
+use regshare_types::snapshot::{SnapError, FORMAT_VERSION, MAGIC};
+use regshare_workloads::mini;
+
+/// A warmed-up simulator with live in-flight state (checkpoints, loads,
+/// wheel events) so the snapshot exercises every section of the stream.
+fn warm_snapshot() -> (Vec<u8>, CoreConfig) {
+    let program = mini().build();
+    let cfg = CoreConfig::hpca16().with_me().with_smb();
+    let mut sim = Simulator::new(&program, cfg.clone());
+    sim.run_cycles(400);
+    (sim.save_snapshot(), cfg)
+}
+
+fn resume(bytes: &[u8], cfg: &CoreConfig) -> Result<Simulator, SnapError> {
+    Simulator::resume_from(&mini().build(), cfg.clone(), bytes)
+}
+
+/// Header layout: magic `[0..4]`, version `[4..8]`, digest `[8..16]`.
+const VERSION_OFFSET: usize = MAGIC.len();
+const DIGEST_OFFSET: usize = VERSION_OFFSET + 4;
+const HEADER_LEN: usize = DIGEST_OFFSET + 8;
+
+#[test]
+fn every_corruption_yields_the_matching_typed_error() {
+    let (bytes, cfg) = warm_snapshot();
+    assert!(
+        bytes.len() > HEADER_LEN + 1024,
+        "snapshot suspiciously small"
+    );
+
+    struct Case {
+        name: &'static str,
+        mutate: fn(Vec<u8>) -> Vec<u8>,
+        expect: fn(&SnapError) -> bool,
+    }
+    let cases = [
+        Case {
+            name: "foreign magic",
+            mutate: |mut b| {
+                b[0] ^= 0xFF;
+                b
+            },
+            expect: |e| matches!(e, SnapError::BadMagic { .. }),
+        },
+        Case {
+            name: "future format version",
+            mutate: |mut b| {
+                b[VERSION_OFFSET..VERSION_OFFSET + 4]
+                    .copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+                b
+            },
+            expect: |e| {
+                matches!(
+                    e,
+                    SnapError::BadVersion { found, supported }
+                        if *found == FORMAT_VERSION + 1 && *supported == FORMAT_VERSION
+                )
+            },
+        },
+        Case {
+            name: "flipped config digest",
+            mutate: |mut b| {
+                b[DIGEST_OFFSET] ^= 0xFF;
+                b
+            },
+            expect: |e| matches!(e, SnapError::ConfigDigestMismatch { .. }),
+        },
+        Case {
+            name: "truncated mid-header",
+            mutate: |b| b[..HEADER_LEN - 3].to_vec(),
+            expect: |e| matches!(e, SnapError::ShortRead { .. }),
+        },
+        Case {
+            name: "truncated mid-body",
+            mutate: |b| {
+                let keep = b.len() / 2;
+                b[..keep].to_vec()
+            },
+            expect: |e| matches!(e, SnapError::ShortRead { .. } | SnapError::Corrupt { .. }),
+        },
+        Case {
+            name: "last byte missing",
+            mutate: |mut b| {
+                b.pop();
+                b
+            },
+            expect: |e| matches!(e, SnapError::ShortRead { .. } | SnapError::Corrupt { .. }),
+        },
+        Case {
+            name: "trailing garbage",
+            mutate: |mut b| {
+                b.push(0xAB);
+                b
+            },
+            expect: |e| matches!(e, SnapError::Corrupt { what, .. } if *what == "trailing bytes"),
+        },
+        Case {
+            name: "empty stream",
+            mutate: |_| Vec::new(),
+            expect: |e| matches!(e, SnapError::ShortRead { .. }),
+        },
+    ];
+
+    for case in &cases {
+        let mutated = (case.mutate)(bytes.clone());
+        match resume(&mutated, &cfg) {
+            Ok(_) => panic!("{}: corrupted snapshot restored successfully", case.name),
+            Err(e) => assert!(
+                (case.expect)(&e),
+                "{}: wrong error variant: {e:?}",
+                case.name
+            ),
+        }
+    }
+}
+
+#[test]
+fn wrong_configuration_is_refused_by_digest() {
+    let (bytes, _) = warm_snapshot();
+    let mut other = CoreConfig::hpca16().with_me().with_smb();
+    other.rob_entries += 1;
+    let err = resume(&bytes, &other).expect_err("foreign config accepted");
+    assert!(
+        matches!(err, SnapError::ConfigDigestMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn wrong_program_is_refused_by_digest() {
+    let (bytes, cfg) = warm_snapshot();
+    let other = regshare_workloads::suite()
+        .into_iter()
+        .map(|w| w.build())
+        .find(|p| p.digest() != mini().build().digest())
+        .expect("suite has a workload distinct from mini");
+    let err = Simulator::resume_from(&other, cfg, &bytes).expect_err("foreign program accepted");
+    assert!(
+        matches!(err, SnapError::ConfigDigestMismatch { .. }),
+        "{err:?}"
+    );
+}
+
+/// Truncating the stream at *any* sampled prefix must produce a typed
+/// error, not a panic or a successful restore.
+#[test]
+fn truncation_sweep_never_panics() {
+    let (bytes, cfg) = warm_snapshot();
+    let mut cut = 0usize;
+    while cut < bytes.len() {
+        if resume(&bytes[..cut], &cfg).is_ok() {
+            panic!(
+                "prefix of {cut}/{} bytes restored successfully",
+                bytes.len()
+            );
+        }
+        cut += 997; // prime stride: samples every section of the stream
+    }
+}
+
+/// Random byte corruption after the header must never panic; it may
+/// decode to an error or — for bytes that only affect counters — a
+/// successful restore, but the simulator must then still run.
+#[test]
+fn byte_flip_sweep_never_panics() {
+    let (bytes, cfg) = warm_snapshot();
+    let mut offset = HEADER_LEN;
+    while offset < bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[offset] ^= 0x55;
+        if let Ok(mut sim) = resume(&mutated, &cfg) {
+            sim.run_cycles(10);
+        }
+        offset += 1009;
+    }
+}

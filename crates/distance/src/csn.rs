@@ -54,6 +54,8 @@ impl CsnMap {
     }
 }
 
+regshare_types::impl_snap!(CsnMap { csn });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -216,6 +216,15 @@ impl Program {
     pub fn iter(&self) -> impl Iterator<Item = &Op> {
         self.insts.iter()
     }
+
+    /// Deterministic digest of the instruction sequence, used to pin
+    /// snapshots to the program they were captured from.
+    pub fn digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = regshare_types::hasher::FastHasher::default();
+        format!("{:?}", self.insts).hash(&mut h);
+        h.finish()
+    }
 }
 
 /// Incremental builder for [`Program`]s with label support.

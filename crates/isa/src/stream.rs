@@ -182,6 +182,52 @@ impl FetchStream {
     }
 }
 
+impl regshare_types::snapshot::Snapshot for FetchStream {
+    fn save_state(&self, w: &mut regshare_types::snapshot::SnapWriter) {
+        use regshare_types::snapshot::Snap;
+        self.machine.save_state(w);
+        w.put_len(self.buf.len());
+        for entry in &self.buf {
+            entry.uop.encode(w);
+            entry.fork.encode(w);
+        }
+        w.put_u64(self.base_seq);
+        w.put_u64(self.cursor);
+        match &self.wrong {
+            None => w.put_u8(0),
+            Some(wp) => {
+                w.put_u8(1);
+                wp.save_state(w);
+            }
+        }
+    }
+    fn load_state(
+        &mut self,
+        r: &mut regshare_types::snapshot::SnapReader<'_>,
+    ) -> Result<(), regshare_types::snapshot::SnapError> {
+        use regshare_types::snapshot::Snap;
+        self.machine.load_state(r)?;
+        let len = r.get_len()?;
+        self.buf.clear();
+        for _ in 0..len {
+            let uop = DynUop::decode(r)?;
+            let fork = Snap::decode(r)?;
+            self.buf.push_back(BufEntry { uop, fork });
+        }
+        self.base_seq = r.get_u64()?;
+        self.cursor = r.get_u64()?;
+        self.wrong = match r.get_u8()? {
+            0 => None,
+            1 => Some(WrongPath::decode_with(
+                Arc::clone(self.machine.program()),
+                r,
+            )?),
+            _ => return Err(r.corrupt("FetchStream wrong-path tag")),
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

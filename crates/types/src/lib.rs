@@ -21,6 +21,7 @@
 
 pub mod counter;
 pub mod hasher;
+pub mod snapshot;
 pub mod stats;
 
 use std::fmt;

@@ -64,6 +64,13 @@ impl RunningMean {
     }
 }
 
+crate::impl_snap!(RunningMean {
+    sum,
+    count,
+    min,
+    max
+});
+
 impl fmt::Display for RunningMean {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mean() {

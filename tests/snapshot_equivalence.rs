@@ -1,0 +1,135 @@
+//! Checkpoint/resume equivalence: for every checked-in scenario × variant,
+//! a run that is snapshotted mid-flight, restored into a fresh simulator,
+//! and finished must be indistinguishable from the uninterrupted run —
+//! same committed architectural digest, same statistics (including cycle
+//! counts), clean register accounting.
+//!
+//! This is the correctness contract of `Simulator::save_snapshot` /
+//! `Simulator::resume_from`: a snapshot captures the *complete* machine,
+//! so resuming replays the remainder byte-for-byte. Anything the snapshot
+//! forgets (a predictor table, a wheel event, a free-list pointer) shows
+//! up here as a digest or stats divergence.
+//!
+//! The digests are also cross-checked against `tests/golden_digests.txt`
+//! where the cells overlap, tying resume correctness to the same goldens
+//! the plain runs are pinned to.
+
+use regshare::bench::Scenario;
+use regshare::core::Simulator;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Same committed window as `digest_stability`, so the final digests can
+/// be cross-checked against its goldens.
+const WARMUP: u64 = 1_000;
+const MEASURE: u64 = 4_000;
+const TOTAL: u64 = WARMUP + MEASURE;
+
+/// Mid-run snapshot points, in cycles. Chosen so even the fastest
+/// configuration (IPC ≈ 3.5) is still well short of the `TOTAL` commit
+/// budget at the later point, while the slowest is past warmup activity
+/// (live checkpoints, in-flight loads, populated wheel slots).
+const SNAPSHOT_CYCLES: [u64; 2] = [250, 800];
+
+/// One workload per scenario keeps the matrix cheap; the scenario ×
+/// variant spread is what exercises the distinct machine states.
+const WORKLOAD_CAP: usize = 1;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn scenario_paths() -> Vec<PathBuf> {
+    let dir = repo_root().join("scenarios");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {dir:?}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "scenario"))
+        .collect();
+    paths.sort();
+    assert!(!paths.is_empty(), "no .scenario files in {dir:?}");
+    paths
+}
+
+/// `scenario/workload/variant → digest` from the checked-in goldens.
+fn golden_digests() -> HashMap<String, u64> {
+    let path = repo_root().join("tests/golden_digests.txt");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    text.lines()
+        .filter_map(|l| {
+            let (cell, hex) = l.rsplit_once(' ')?;
+            Some((cell.to_string(), u64::from_str_radix(hex, 16).ok()?))
+        })
+        .collect()
+}
+
+#[test]
+fn resumed_runs_match_uninterrupted_runs() {
+    let goldens = golden_digests();
+    let mut cells = 0usize;
+    for path in scenario_paths() {
+        let scenario = Scenario::load(path.to_str().expect("utf-8 path"))
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        let workloads = scenario
+            .resolve_workloads()
+            .unwrap_or_else(|e| panic!("{path:?}: {e}"));
+        for wl in workloads.iter().take(WORKLOAD_CAP) {
+            let program = wl.build();
+            for (label, spec) in &scenario.variants {
+                let cell = format!("{}/{}/{label}", scenario.name, wl.name);
+                let cfg = spec.to_config().unwrap_or_else(|e| panic!("{cell}: {e}"));
+
+                // Uninterrupted reference run.
+                let mut reference = Simulator::new(&program, cfg.clone());
+                let ref_stats = reference.run(TOTAL);
+                if let Some(&golden) = goldens.get(&cell) {
+                    assert_eq!(
+                        reference.arch_digest(),
+                        golden,
+                        "{cell}: reference run diverged from golden digest"
+                    );
+                }
+
+                for k in SNAPSHOT_CYCLES {
+                    // Run to the snapshot point, save, and discard.
+                    let mut a = Simulator::new(&program, cfg.clone());
+                    a.run_cycles(k);
+                    let bytes = a.save_snapshot();
+                    drop(a);
+
+                    // Restore into a fresh machine and finish the run.
+                    let mut b = Simulator::resume_from(&program, cfg.clone(), &bytes)
+                        .unwrap_or_else(|e| panic!("{cell} @ {k}: resume failed: {e}"));
+                    assert_eq!(
+                        b.save_snapshot(),
+                        bytes,
+                        "{cell} @ {k}: re-saving a just-restored machine \
+                         must reproduce the snapshot bytes"
+                    );
+                    let committed = b.stats().committed;
+                    assert!(
+                        committed < TOTAL,
+                        "{cell} @ {k}: snapshot point past the commit budget \
+                         ({committed} ≥ {TOTAL}); lower SNAPSHOT_CYCLES"
+                    );
+                    let resumed_stats = b.run(TOTAL - committed);
+
+                    assert_eq!(
+                        b.arch_digest(),
+                        reference.arch_digest(),
+                        "{cell} @ {k}: resumed run committed a different \
+                         architectural trace"
+                    );
+                    assert_eq!(
+                        resumed_stats, ref_stats,
+                        "{cell} @ {k}: resumed run statistics diverged"
+                    );
+                    b.audit_registers()
+                        .unwrap_or_else(|e| panic!("{cell} @ {k}: register audit failed: {e}"));
+                }
+                cells += 1;
+            }
+        }
+    }
+    assert!(cells >= 8, "scenario matrix shrank to {cells} cells");
+}
