@@ -172,8 +172,8 @@ fn main() {
         // real one.
         let fresh_window = (args.warmup, args.measure, args.workload_cap);
         match window_from_json(&recorded) {
-            Some(w) if w == fresh_window => {}
-            Some(w) => {
+            Ok(w) if w == fresh_window => {}
+            Ok(w) => {
                 eprintln!(
                     "throughput: window mismatch: this run measured \
                      (warmup, measure, cap) = {fresh_window:?} but {path} \
@@ -181,8 +181,8 @@ fn main() {
                 );
                 std::process::exit(1);
             }
-            None => {
-                eprintln!("throughput: {path:?} has no parseable window");
+            Err(e) => {
+                eprintln!("throughput: {path:?} has no valid window: {e}");
                 std::process::exit(1);
             }
         }

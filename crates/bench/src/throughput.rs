@@ -224,18 +224,96 @@ pub fn kuops_from_json(json: &str, preset_name: &str) -> Option<f64> {
     number_after(obj, "\"kuops_per_sec\":")
 }
 
+/// Typed failure extracting exact integers from a `BENCH_*.json` document.
+/// The window fields gate regression comparisons, so a malformed or
+/// out-of-range value is rejected outright — never truncated or wrapped
+/// into a plausible-looking number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BenchJsonError {
+    /// The document has no `"window":` object.
+    MissingWindow,
+    /// The window object has no `key` field.
+    MissingKey {
+        /// Field name that was absent.
+        key: &'static str,
+    },
+    /// `key`'s value is not a plain non-negative integer (negative,
+    /// fractional, or not a number at all).
+    NotAnInteger {
+        /// Field name with the bad value.
+        key: &'static str,
+        /// The token as found in the document.
+        raw: String,
+    },
+    /// `key`'s value is a well-formed integer that does not fit the field's
+    /// native type.
+    OutOfRange {
+        /// Field name with the oversized value.
+        key: &'static str,
+        /// The token as found in the document.
+        raw: String,
+    },
+}
+
+impl std::fmt::Display for BenchJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchJsonError::MissingWindow => write!(f, "document has no \"window\" object"),
+            BenchJsonError::MissingKey { key } => write!(f, "window has no {key:?} field"),
+            BenchJsonError::NotAnInteger { key, raw } => {
+                write!(
+                    f,
+                    "window field {key:?} is not a non-negative integer: {raw:?}"
+                )
+            }
+            BenchJsonError::OutOfRange { key, raw } => {
+                write!(f, "window field {key:?} is out of range: {raw:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchJsonError {}
+
+/// Extracts `key`'s value as an exact `u64`: digits only, no sign, no
+/// fraction, no silent wrap-around.
+fn uint_after(text: &str, key: &'static str) -> Result<u64, BenchJsonError> {
+    let needle = format!("\"{key}\":");
+    let after = text
+        .split(&needle)
+        .nth(1)
+        .ok_or(BenchJsonError::MissingKey { key })?;
+    let raw: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    if raw.is_empty() || raw.starts_with('-') || raw.contains('.') {
+        return Err(BenchJsonError::NotAnInteger { key, raw });
+    }
+    raw.parse::<u64>()
+        .map_err(|_| BenchJsonError::OutOfRange { key, raw })
+}
+
 /// Extracts the `(warmup, measure, workload_cap)` window a `BENCH_pr4.json`
 /// document was measured with. kuops/sec depends on the window (fixed
 /// per-run setup amortizes differently), so the `--check` gate refuses to
-/// compare numbers taken under different windows.
-pub fn window_from_json(json: &str) -> Option<(u64, u64, usize)> {
-    let obj = json.split("\"window\":").nth(1)?;
-    let obj = &obj[..obj.find('}')?];
-    Some((
-        number_after(obj, "\"warmup\":")? as u64,
-        number_after(obj, "\"measure\":")? as u64,
-        number_after(obj, "\"workload_cap\":")? as usize,
-    ))
+/// compare numbers taken under different windows. Values must be exact
+/// non-negative integers in range; anything else is a typed error.
+pub fn window_from_json(json: &str) -> Result<(u64, u64, usize), BenchJsonError> {
+    let obj = json
+        .split("\"window\":")
+        .nth(1)
+        .ok_or(BenchJsonError::MissingWindow)?;
+    let obj = &obj[..obj.find('}').ok_or(BenchJsonError::MissingWindow)?];
+    let warmup = uint_after(obj, "warmup")?;
+    let measure = uint_after(obj, "measure")?;
+    let cap = uint_after(obj, "workload_cap")?;
+    let cap = usize::try_from(cap).map_err(|_| BenchJsonError::OutOfRange {
+        key: "workload_cap",
+        raw: cap.to_string(),
+    })?;
+    Ok((warmup, measure, cap))
 }
 
 fn number_after(text: &str, key: &str) -> Option<f64> {
@@ -285,8 +363,51 @@ mod tests {
         let k = kuops_from_json(&json, "headline").unwrap();
         assert!((k - 5.0).abs() < 0.1);
         assert_eq!(kuops_from_json(&json, "absent"), None);
-        assert_eq!(window_from_json(&json), Some((100, 400, 1)));
-        assert_eq!(window_from_json("{}"), None);
+        assert_eq!(window_from_json(&json), Ok((100, 400, 1)));
+        assert_eq!(window_from_json("{}"), Err(BenchJsonError::MissingWindow));
+    }
+
+    #[test]
+    fn malformed_window_values_are_rejected_not_wrapped() {
+        let doc = |warmup: &str| {
+            format!(
+                "{{\n  \"window\": {{ \"warmup\": {warmup}, \"measure\": 400, \
+                 \"workload_cap\": 1 }}\n}}\n"
+            )
+        };
+        // Negative: the old `as u64` cast would have wrapped to 2^64 - 100.
+        assert_eq!(
+            window_from_json(&doc("-100")),
+            Err(BenchJsonError::NotAnInteger {
+                key: "warmup",
+                raw: "-100".into()
+            })
+        );
+        // Fractional: the old cast would have truncated to 100.
+        assert!(matches!(
+            window_from_json(&doc("100.5")),
+            Err(BenchJsonError::NotAnInteger { key: "warmup", .. })
+        ));
+        // Overflowing u64: the old f64 path would have rounded silently.
+        assert!(matches!(
+            window_from_json(&doc("99999999999999999999999")),
+            Err(BenchJsonError::OutOfRange { key: "warmup", .. })
+        ));
+        // Not a number at all.
+        assert!(matches!(
+            window_from_json(&doc("\"fast\"")),
+            Err(BenchJsonError::NotAnInteger { key: "warmup", .. })
+        ));
+        // A missing field names itself.
+        assert_eq!(
+            window_from_json("{ \"window\": { \"warmup\": 1, \"measure\": 2 } }"),
+            Err(BenchJsonError::MissingKey {
+                key: "workload_cap"
+            })
+        );
+        // Errors render their payload.
+        let e = window_from_json(&doc("-1")).unwrap_err();
+        assert!(e.to_string().contains("warmup"), "{e}");
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Memoized-vs-cold equivalence: a simulator run served from the stream
+//! cache must be byte-identical (architecturally) to a cold run, and must
+//! not touch the interpreter front end at all.
+
+use regshare_bench::fuzz::tracker_presets;
+use regshare_core::Simulator;
+use regshare_workloads::fuzz::{find_profile, FuzzPlan};
+
+#[test]
+fn memoized_run_matches_cold_run_on_fuzz_program() {
+    let profile = find_profile("balanced").expect("balanced profile exists");
+    let program = FuzzPlan::from_seed(&profile, 0x00d1_ce00).build();
+    let (_, cfg) = tracker_presets().into_iter().next().expect("a preset");
+    const UOPS: u64 = 4_000;
+
+    let mut cold = Simulator::new(&program, cfg.clone());
+    let cold_stats = cold.run(UOPS);
+    let cold_digest = cold.arch_digest();
+    assert!(
+        cold.frontend_decodes() > 0,
+        "first run of this program must decode live"
+    );
+    drop(cold); // publishes the recorded stream
+
+    let mut warm = Simulator::new(&program, cfg);
+    let warm_stats = warm.run(UOPS);
+    assert_eq!(
+        warm.frontend_decodes(),
+        0,
+        "second run must be served entirely from the stream cache"
+    );
+    assert_eq!(
+        warm.arch_digest(),
+        cold_digest,
+        "cache warmth must be architecturally invisible"
+    );
+    // Timing-level equivalence too: the memoized front end feeds the exact
+    // same µ-ops on the exact same cycles.
+    assert_eq!(warm_stats.committed, cold_stats.committed);
+    assert_eq!(warm_stats.cycles, cold_stats.cycles);
+}

@@ -433,6 +433,28 @@ impl CoreConfig {
         Ok(())
     }
 
+    /// Digest of the front-end knobs that shape the fetched µ-op stream.
+    ///
+    /// Keys the content-addressed stream cache in `regshare_isa::stream`:
+    /// streams recorded under one fetch-path configuration are never
+    /// replayed under another, even for the same program.
+    pub fn fetch_path_digest(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = regshare_types::hasher::FastHasher::default();
+        format!(
+            "{}/{}/{}/{}/{}/{}/{:?}",
+            self.frontend_width,
+            self.frontend_depth,
+            self.btb_miss_bubble,
+            self.btb_entries,
+            self.btb_ways,
+            self.ras_entries,
+            self.tage,
+        )
+        .hash(&mut h);
+        h.finish()
+    }
+
     /// Starts a validated [`CoreConfigBuilder`] from the Table 1 machine.
     pub fn builder() -> CoreConfigBuilder {
         CoreConfigBuilder {

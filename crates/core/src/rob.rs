@@ -16,6 +16,15 @@
 //! `tail_seq - release_seq`, so keeping committed state reachable (for SMB
 //! from committed instructions) genuinely consumes ROB space, as in the
 //! paper.
+//!
+//! # Storage layout
+//!
+//! Entries are stored structure-of-arrays: the per-cycle scheduler and
+//! commit-loop flags live in a dense [`RobHot`] lane (a `Copy` record of a
+//! few dozen bytes), the bookkeeping consulted once per µ-op lifetime in a
+//! [`RobCold`] lane, and the large, branch-only TAGE training payload in its
+//! own sparse lane so it never rides along in entry copies. Squash scans —
+//! which walk every slot on each misprediction — touch only the hot lane.
 
 use regshare_isa::op::{BranchKind, MemRef, UopKind};
 use regshare_predictors::tage::TagePrediction;
@@ -85,15 +94,16 @@ pub struct BranchInfo {
     pub ckpt: Option<u64>,
 }
 
-/// One reorder buffer entry.
-#[derive(Debug, Clone)]
-pub struct RobEntry {
+/// Hot per-entry state: identity plus the status flags the issue, writeback
+/// and commit loops inspect every cycle. Kept `Copy` and small so squash
+/// scans stream through a dense array.
+#[derive(Debug, Clone, Copy)]
+pub struct RobHot {
     /// Sequence number (identity).
     pub seq: SeqNum,
-    /// PC.
-    pub pc: Addr,
-    /// Static index.
-    pub sidx: u32,
+    /// Unique incarnation id: distinguishes re-fetched µ-ops that reuse a
+    /// squashed sequence number, so stale execution events are ignored.
+    pub uid: u64,
     /// µ-op kind.
     pub kind: UopKind,
     /// Fetched on a mispredicted path.
@@ -102,13 +112,47 @@ pub struct RobEntry {
     pub completed: bool,
     /// Architecturally committed (awaiting release in lazy mode).
     pub committed: bool,
+    /// The µ-op was an eliminated move (never issues).
+    pub eliminated: bool,
+    /// Loads/stores: address generation finished.
+    pub agu_done: bool,
+    /// Loads: a completion has been scheduled (stop pump retries).
+    pub read_scheduled: bool,
+    /// Pending commit-time flush.
+    pub trap: Option<TrapKind>,
+}
+
+impl RobHot {
+    fn vacant() -> RobHot {
+        RobHot {
+            seq: SeqNum(0),
+            uid: 0,
+            kind: UopKind::IntAlu,
+            wrong_path: false,
+            completed: false,
+            committed: false,
+            eliminated: false,
+            agu_done: false,
+            read_scheduled: false,
+            trap: None,
+        }
+    }
+}
+
+/// Cold per-entry state: bookkeeping consulted at a handful of points in a
+/// µ-op's lifetime (rename, address resolution, commit) rather than every
+/// cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct RobCold {
+    /// PC.
+    pub pc: Addr,
+    /// Static index.
+    pub sidx: u32,
     /// Destination bookkeeping.
     pub dst: Option<DstInfo>,
     /// Accepted sharing request (ME or SMB), for sharer-commit and
     /// squash-walk tracker events.
     pub share: Option<ShareRequest>,
-    /// The µ-op was an eliminated move (never issues).
-    pub eliminated: bool,
     /// SMB bypass state (loads).
     pub bypass: Option<BypassInfo>,
     /// Memory reference (loads/stores).
@@ -121,21 +165,43 @@ pub struct RobEntry {
     pub store_data: Option<ArchReg>,
     /// Branch bookkeeping.
     pub branch: Option<BranchInfo>,
-    /// Pending commit-time flush.
-    pub trap: Option<TrapKind>,
     /// Fetch-time history (distance predictor indexing/training).
     pub history: HistorySnapshot,
     /// Oracle result value.
     pub result: u64,
-    /// Unique incarnation id: distinguishes re-fetched µ-ops that reuse a
-    /// squashed sequence number, so stale execution events are ignored.
-    pub uid: u64,
-    /// TAGE prediction captured at fetch (trained at commit).
-    pub tage_pred: Option<TagePrediction>,
-    /// Loads/stores: address generation finished.
-    pub agu_done: bool,
-    /// Loads: a completion has been scheduled (stop pump retries).
-    pub read_scheduled: bool,
+}
+
+impl RobCold {
+    fn vacant() -> RobCold {
+        RobCold {
+            pc: 0,
+            sidx: 0,
+            dst: None,
+            share: None,
+            bypass: None,
+            mem: None,
+            lq: None,
+            sq: None,
+            store_data: None,
+            branch: None,
+            history: HistorySnapshot::default(),
+            result: 0,
+        }
+    }
+}
+
+/// One reorder buffer entry, as handed to [`Rob::alloc`]. Storage inside the
+/// ROB is structure-of-arrays; this record only exists at the allocation
+/// boundary (and in tests).
+#[derive(Debug, Clone)]
+pub struct RobEntry {
+    /// Scheduler-visible state.
+    pub hot: RobHot,
+    /// Lifetime bookkeeping.
+    pub cold: RobCold,
+    /// TAGE prediction captured at fetch (trained at commit); branch-only,
+    /// stored in its own lane.
+    pub tage_pred: Option<Box<TagePrediction>>,
 }
 
 impl regshare_types::snapshot::Snap for TrapKind {
@@ -181,36 +247,42 @@ regshare_types::impl_snap!(BranchInfo {
     ckpt
 });
 
-regshare_types::impl_snap!(RobEntry {
+regshare_types::impl_snap!(RobHot {
     seq,
-    pc,
-    sidx,
+    uid,
     kind,
     wrong_path,
     completed,
     committed,
+    eliminated,
+    agu_done,
+    read_scheduled,
+    trap
+});
+
+regshare_types::impl_snap!(RobCold {
+    pc,
+    sidx,
     dst,
     share,
-    eliminated,
     bypass,
     mem,
     lq,
     sq,
     store_data,
     branch,
-    trap,
     history,
-    result,
-    uid,
-    tage_pred,
-    agu_done,
-    read_scheduled
+    result
 });
 
-/// The reorder buffer. See the module docs for the pointer discipline.
+/// The reorder buffer. See the module docs for the pointer discipline and
+/// the structure-of-arrays storage layout.
 #[derive(Debug)]
 pub struct Rob {
-    slots: Vec<Option<RobEntry>>,
+    present: Vec<bool>,
+    hot: Vec<RobHot>,
+    cold: Vec<RobCold>,
+    tage: Vec<Option<Box<TagePrediction>>>,
     capacity: usize,
     release_seq: u64,
     head_seq: u64,
@@ -221,7 +293,10 @@ impl Rob {
     /// Creates an empty ROB with `capacity` entries.
     pub fn new(capacity: usize) -> Rob {
         Rob {
-            slots: vec![None; capacity],
+            present: vec![false; capacity],
+            hot: vec![RobHot::vacant(); capacity],
+            cold: vec![RobCold::vacant(); capacity],
+            tage: vec![None; capacity],
             capacity,
             release_seq: 0,
             head_seq: 0,
@@ -269,7 +344,13 @@ impl Rob {
         (seq.0 % self.capacity as u64) as usize
     }
 
-    /// Allocates the entry for `entry.seq` (which must equal
+    #[inline]
+    fn live_slot(&self, seq: SeqNum) -> Option<usize> {
+        let slot = self.slot_of(seq);
+        (self.present[slot] && self.hot[slot].seq == seq).then_some(slot)
+    }
+
+    /// Allocates the entry for `entry.hot.seq` (which must equal
     /// [`Rob::next_seq`]).
     ///
     /// # Panics
@@ -277,29 +358,68 @@ impl Rob {
     /// Panics if the ROB is full or the sequence number is out of order.
     pub fn alloc(&mut self, entry: RobEntry) -> usize {
         assert!(self.has_space(), "ROB overflow");
-        assert_eq!(entry.seq.0, self.tail_seq, "out-of-order ROB allocation");
-        let slot = self.slot_of(entry.seq);
-        debug_assert!(self.slots[slot].is_none(), "ROB slot still occupied");
-        self.slots[slot] = Some(entry);
+        assert_eq!(
+            entry.hot.seq.0, self.tail_seq,
+            "out-of-order ROB allocation"
+        );
+        let slot = self.slot_of(entry.hot.seq);
+        debug_assert!(!self.present[slot], "ROB slot still occupied");
+        self.present[slot] = true;
+        self.hot[slot] = entry.hot;
+        self.cold[slot] = entry.cold;
+        self.tage[slot] = entry.tage_pred;
         self.tail_seq += 1;
         slot
     }
 
-    /// The entry holding `seq`, if still present (in-flight or
+    /// The hot lane of `seq`, if still present (in-flight or
     /// committed-but-unreleased).
-    pub fn get(&self, seq: SeqNum) -> Option<&RobEntry> {
-        let slot = self.slot_of(seq);
-        self.slots[slot].as_ref().filter(|e| e.seq == seq)
+    #[inline]
+    pub fn hot(&self, seq: SeqNum) -> Option<&RobHot> {
+        self.live_slot(seq).map(|s| &self.hot[s])
     }
 
-    /// Mutable variant of [`Rob::get`].
-    pub fn get_mut(&mut self, seq: SeqNum) -> Option<&mut RobEntry> {
-        let slot = self.slot_of(seq);
-        self.slots[slot].as_mut().filter(|e| e.seq == seq)
+    /// Mutable variant of [`Rob::hot`].
+    #[inline]
+    pub fn hot_mut(&mut self, seq: SeqNum) -> Option<&mut RobHot> {
+        self.live_slot(seq).map(|s| &mut self.hot[s])
     }
 
-    /// The oldest in-flight entry, if any.
-    pub fn head(&self) -> Option<&RobEntry> {
+    /// The cold lane of `seq`, if still present.
+    #[inline]
+    pub fn cold(&self, seq: SeqNum) -> Option<&RobCold> {
+        self.live_slot(seq).map(|s| &self.cold[s])
+    }
+
+    /// Mutable variant of [`Rob::cold`].
+    #[inline]
+    pub fn cold_mut(&mut self, seq: SeqNum) -> Option<&mut RobCold> {
+        self.live_slot(seq).map(|s| &mut self.cold[s])
+    }
+
+    /// Both lanes of `seq`, if still present.
+    #[inline]
+    pub fn get(&self, seq: SeqNum) -> Option<(&RobHot, &RobCold)> {
+        self.live_slot(seq).map(|s| (&self.hot[s], &self.cold[s]))
+    }
+
+    /// Mutable variant of [`Rob::get`] (split borrow across the lanes).
+    #[inline]
+    pub fn get_mut(&mut self, seq: SeqNum) -> Option<(&mut RobHot, &mut RobCold)> {
+        let slot = self.live_slot(seq)?;
+        let hot = &mut self.hot[slot];
+        let cold = &mut self.cold[slot];
+        Some((hot, cold))
+    }
+
+    /// Takes the TAGE prediction stored with `seq`, if any.
+    pub fn take_tage_pred(&mut self, seq: SeqNum) -> Option<Box<TagePrediction>> {
+        let slot = self.live_slot(seq)?;
+        self.tage[slot].take()
+    }
+
+    /// The oldest in-flight entry's lanes, if any.
+    pub fn head(&self) -> Option<(&RobHot, &RobCold)> {
         if self.head_seq == self.tail_seq {
             None
         } else {
@@ -307,45 +427,49 @@ impl Rob {
         }
     }
 
-    /// Marks the head committed and advances the commit pointer. In eager
-    /// mode the caller immediately follows with [`Rob::release_next`].
+    /// Marks the head committed, advances the commit pointer and returns a
+    /// copy of both lanes. In eager mode the caller immediately follows
+    /// with [`Rob::release_next`].
     ///
     /// # Panics
     ///
     /// Panics if there is no in-flight head.
-    pub fn commit_head(&mut self) -> &mut RobEntry {
+    pub fn commit_head(&mut self) -> (RobHot, RobCold) {
         assert!(self.head_seq < self.tail_seq);
         let seq = SeqNum(self.head_seq);
         self.head_seq += 1;
-        let e = self.get_mut(seq).expect("head entry present");
-        e.committed = true;
-        e
+        let slot = self.live_slot(seq).expect("head entry present");
+        self.hot[slot].committed = true;
+        (self.hot[slot], self.cold[slot])
     }
 
-    /// Releases (drops) the oldest committed entry, returning it for
-    /// reclaim processing. Returns `None` when release has caught up with
-    /// the commit head.
-    pub fn release_next(&mut self) -> Option<RobEntry> {
+    /// Releases (drops) the oldest committed entry, returning copies of its
+    /// lanes for reclaim processing. Returns `None` when release has caught
+    /// up with the commit head.
+    pub fn release_next(&mut self) -> Option<(RobHot, RobCold)> {
         if self.release_seq == self.head_seq {
             return None;
         }
         let seq = SeqNum(self.release_seq);
         let slot = self.slot_of(seq);
-        let e = self.slots[slot].take().expect("released entry present");
-        debug_assert_eq!(e.seq, seq);
-        debug_assert!(e.committed);
+        debug_assert!(self.present[slot], "released entry present");
+        debug_assert_eq!(self.hot[slot].seq, seq);
+        debug_assert!(self.hot[slot].committed);
+        self.present[slot] = false;
+        self.tage[slot] = None;
         self.release_seq += 1;
-        Some(e)
+        Some((self.hot[slot], self.cold[slot]))
     }
 
     /// Squashes every entry younger than `after`, invoking `f` on each
     /// (youngest-first order is *not* guaranteed), and resets the tail.
-    pub fn squash_younger(&mut self, after: SeqNum, mut f: impl FnMut(&RobEntry)) -> usize {
+    pub fn squash_younger(&mut self, after: SeqNum, mut f: impl FnMut(&RobHot, &RobCold)) -> usize {
         let mut n = 0;
-        for slot in &mut self.slots {
-            if matches!(slot, Some(e) if e.seq > after && !e.committed) {
-                let e = slot.take().expect("checked above");
-                f(&e);
+        for slot in 0..self.capacity {
+            if self.present[slot] && self.hot[slot].seq > after && !self.hot[slot].committed {
+                self.present[slot] = false;
+                self.tage[slot] = None;
+                f(&self.hot[slot], &self.cold[slot]);
                 n += 1;
             }
         }
@@ -355,12 +479,13 @@ impl Rob {
 
     /// Squashes *all* in-flight entries (commit-time flush), invoking `f`
     /// on each, and resets the tail to the commit head.
-    pub fn squash_all_inflight(&mut self, mut f: impl FnMut(&RobEntry)) -> usize {
+    pub fn squash_all_inflight(&mut self, mut f: impl FnMut(&RobHot, &RobCold)) -> usize {
         let mut n = 0;
-        for slot in &mut self.slots {
-            if matches!(slot, Some(e) if !e.committed) {
-                let e = slot.take().expect("checked above");
-                f(&e);
+        for slot in 0..self.capacity {
+            if self.present[slot] && !self.hot[slot].committed {
+                self.present[slot] = false;
+                self.tage[slot] = None;
+                f(&self.hot[slot], &self.cold[slot]);
                 n += 1;
             }
         }
@@ -369,15 +494,31 @@ impl Rob {
     }
 
     /// Iterates over present (in-flight or unreleased) entries.
-    pub fn iter(&self) -> impl Iterator<Item = &RobEntry> {
-        self.slots.iter().flatten()
+    pub fn iter(&self) -> impl Iterator<Item = (&RobHot, &RobCold)> {
+        self.present
+            .iter()
+            .zip(self.hot.iter().zip(self.cold.iter()))
+            .filter(|(p, _)| **p)
+            .map(|(_, pair)| pair)
     }
 }
 
 impl regshare_types::snapshot::Snapshot for Rob {
     fn save_state(&self, w: &mut regshare_types::snapshot::SnapWriter) {
         use regshare_types::snapshot::Snap;
-        self.slots.encode(w);
+        // Slot-major, present entries only: vacant lanes hold stale data
+        // that must never leak into (or differ across) snapshots.
+        w.put_len(self.capacity);
+        for slot in 0..self.capacity {
+            if self.present[slot] {
+                w.put_u8(1);
+                self.hot[slot].encode(w);
+                self.cold[slot].encode(w);
+                self.tage[slot].encode(w);
+            } else {
+                w.put_u8(0);
+            }
+        }
         w.put_u64(self.release_seq);
         w.put_u64(self.head_seq);
         w.put_u64(self.tail_seq);
@@ -388,9 +529,25 @@ impl regshare_types::snapshot::Snapshot for Rob {
         r: &mut regshare_types::snapshot::SnapReader<'_>,
     ) -> Result<(), regshare_types::snapshot::SnapError> {
         use regshare_types::snapshot::Snap;
-        let slots: Vec<Option<RobEntry>> = Snap::decode(r)?;
-        if slots.len() != self.capacity {
+        if r.get_len()? != self.capacity {
             return Err(r.corrupt("Rob capacity"));
+        }
+        for slot in 0..self.capacity {
+            match r.get_u8()? {
+                0 => {
+                    self.present[slot] = false;
+                    self.hot[slot] = RobHot::vacant();
+                    self.cold[slot] = RobCold::vacant();
+                    self.tage[slot] = None;
+                }
+                1 => {
+                    self.present[slot] = true;
+                    self.hot[slot] = Snap::decode(r)?;
+                    self.cold[slot] = Snap::decode(r)?;
+                    self.tage[slot] = Snap::decode(r)?;
+                }
+                _ => return Err(r.corrupt("Rob slot tag")),
+            }
         }
         let release_seq = r.get_u64()?;
         let head_seq = r.get_u64()?;
@@ -398,7 +555,6 @@ impl regshare_types::snapshot::Snapshot for Rob {
         if release_seq > head_seq || head_seq > tail_seq {
             return Err(r.corrupt("Rob pointer order"));
         }
-        self.slots = slots;
         self.release_seq = release_seq;
         self.head_seq = head_seq;
         self.tail_seq = tail_seq;
@@ -412,29 +568,33 @@ mod tests {
 
     fn entry(seq: u64) -> RobEntry {
         RobEntry {
-            seq: SeqNum(seq),
-            pc: 0x400000 + seq * 4,
-            sidx: seq as u32,
-            kind: UopKind::IntAlu,
-            wrong_path: false,
-            completed: false,
-            committed: false,
-            dst: None,
-            share: None,
-            eliminated: false,
-            bypass: None,
-            mem: None,
-            lq: None,
-            sq: None,
-            store_data: None,
-            branch: None,
-            trap: None,
-            history: HistorySnapshot::default(),
-            result: 0,
-            uid: seq,
+            hot: RobHot {
+                seq: SeqNum(seq),
+                uid: seq,
+                kind: UopKind::IntAlu,
+                wrong_path: false,
+                completed: false,
+                committed: false,
+                eliminated: false,
+                agu_done: false,
+                read_scheduled: false,
+                trap: None,
+            },
+            cold: RobCold {
+                pc: 0x400000 + seq * 4,
+                sidx: seq as u32,
+                dst: None,
+                share: None,
+                bypass: None,
+                mem: None,
+                lq: None,
+                sq: None,
+                store_data: None,
+                branch: None,
+                history: HistorySnapshot::default(),
+                result: 0,
+            },
             tage_pred: None,
-            agu_done: false,
-            read_scheduled: false,
         }
     }
 
@@ -445,12 +605,12 @@ mod tests {
             rob.alloc(entry(i));
         }
         assert_eq!(rob.occupancy(), 3);
-        assert_eq!(rob.head().unwrap().seq, SeqNum(0));
-        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        assert_eq!(rob.head().unwrap().0.seq, SeqNum(0));
+        rob.hot_mut(SeqNum(0)).unwrap().completed = true;
         rob.commit_head();
         assert_eq!(rob.in_flight(), 2);
         assert_eq!(rob.occupancy(), 3, "lazy: entry retained until release");
-        let released = rob.release_next().unwrap();
+        let (released, _) = rob.release_next().unwrap();
         assert_eq!(released.seq, SeqNum(0));
         assert_eq!(rob.occupancy(), 2);
         assert!(rob.release_next().is_none());
@@ -460,11 +620,11 @@ mod tests {
     fn committed_entries_remain_reachable_until_release() {
         let mut rob = Rob::new(4);
         rob.alloc(entry(0));
-        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.hot_mut(SeqNum(0)).unwrap().completed = true;
         rob.commit_head();
         // Still reachable for SMB-from-committed.
         assert!(rob.get(SeqNum(0)).is_some());
-        assert!(rob.get(SeqNum(0)).unwrap().committed);
+        assert!(rob.hot(SeqNum(0)).unwrap().committed);
         rob.release_next();
         assert!(rob.get(SeqNum(0)).is_none());
     }
@@ -475,7 +635,7 @@ mod tests {
         rob.alloc(entry(0));
         rob.alloc(entry(1));
         assert!(!rob.has_space());
-        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.hot_mut(SeqNum(0)).unwrap().completed = true;
         rob.commit_head();
         // Committed but unreleased: still no space (the paper's trade-off).
         assert!(!rob.has_space());
@@ -491,7 +651,7 @@ mod tests {
             rob.alloc(entry(i));
         }
         let mut squashed = Vec::new();
-        let n = rob.squash_younger(SeqNum(2), |e| squashed.push(e.seq.0));
+        let n = rob.squash_younger(SeqNum(2), |h, _| squashed.push(h.seq.0));
         assert_eq!(n, 3);
         squashed.sort();
         assert_eq!(squashed, vec![3, 4, 5]);
@@ -507,9 +667,9 @@ mod tests {
         for i in 0..4 {
             rob.alloc(entry(i));
         }
-        rob.get_mut(SeqNum(0)).unwrap().completed = true;
+        rob.hot_mut(SeqNum(0)).unwrap().completed = true;
         rob.commit_head();
-        let n = rob.squash_all_inflight(|_| {});
+        let n = rob.squash_all_inflight(|_, _| {});
         assert_eq!(n, 3);
         assert_eq!(rob.next_seq(), SeqNum(1));
         assert!(
@@ -530,11 +690,20 @@ mod tests {
         let mut rob = Rob::new(2);
         for i in 0..10u64 {
             rob.alloc(entry(i));
-            rob.get_mut(SeqNum(i)).unwrap().completed = true;
+            rob.hot_mut(SeqNum(i)).unwrap().completed = true;
             rob.commit_head();
             rob.release_next();
         }
         assert_eq!(rob.next_seq(), SeqNum(10));
         assert_eq!(rob.occupancy(), 0);
+    }
+
+    #[test]
+    fn tage_pred_lane_takes_once() {
+        let mut rob = Rob::new(4);
+        rob.alloc(entry(0));
+        assert!(rob.take_tage_pred(SeqNum(0)).is_none());
+        // Stale seq never resolves.
+        assert!(rob.take_tage_pred(SeqNum(3)).is_none());
     }
 }

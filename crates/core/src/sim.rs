@@ -9,7 +9,7 @@
 use crate::config::{CoreConfig, DistancePredictorKind};
 use crate::lsq::{LoadAction, LoadQueue, LqEntry, SqEntry, StoreQueue};
 use crate::rename::{FreeList, RenameMap};
-use crate::rob::{BranchInfo, BypassInfo, DstInfo, Rob, RobEntry, TrapKind};
+use crate::rob::{BranchInfo, BypassInfo, DstInfo, Rob, RobCold, RobEntry, RobHot, TrapKind};
 use crate::stats::SimStats;
 use regshare_distance::{CsnMap, Ddt, DistancePredictor, NosqDistance, TageDistance};
 use regshare_isa::op::{BranchKind, DynUop, ExecClass, Op, UopKind};
@@ -57,7 +57,9 @@ enum Event {
 struct IqEntry {
     seq: SeqNum,
     class: ExecClass,
-    srcs: [(u8, u16); 4],
+    /// Flat scoreboard indices (`class * pregs_per_class + preg`): the
+    /// per-cycle wakeup check is a single indexed load per source.
+    srcs: [u32; 4],
     n_srcs: u8,
     /// Store Sets ordering dependence (store the µ-op must wait on).
     dep_store: Option<SeqNum>,
@@ -114,6 +116,9 @@ struct Scratch {
 /// plus the whole fetch pipe; beyond that, retiring snapshots simply drop.
 const SNAP_POOL_CAP: usize = 256;
 
+/// Bound on the retired TAGE-prediction box pool (see `tage_pool`).
+const TAGE_POOL_CAP: usize = 256;
+
 #[derive(Debug)]
 struct PipeUop {
     ready: u64,
@@ -125,7 +130,8 @@ struct PipeUop {
 struct PredInfo {
     pred_next: u32,
     pred_taken: bool,
-    tage_pred: Option<TagePrediction>,
+    /// Boxed: ~150 B inline, and it rides every pipe/ROB move otherwise.
+    tage_pred: Option<Box<TagePrediction>>,
     snap: Option<Box<FetchSnap>>,
 }
 
@@ -151,12 +157,27 @@ pub struct Simulator {
     rm: RenameMap,
     crm: RenameMap,
     fl: [FreeList; 2],
-    prf_value: [Vec<u64>; 2],
-    prf_ready: [Vec<u64>; 2],
+    /// Physical register values and ready cycles, both classes in one
+    /// stride-indexed lane each (index = `class * pregs_per_class + preg`).
+    prf_value: Vec<u64>,
+    prf_ready: Vec<u64>,
 
     // backend
     rob: Rob,
     iq: Vec<IqEntry>,
+    /// Parallel to `iq`: the cycle before which the entry provably cannot
+    /// have all sources ready. `NOT_READY` parks an entry blocked on a
+    /// source with no scheduled wakeup yet; it is registered in `waiters`
+    /// for that source and re-evaluated when the source gets a finite
+    /// ready cycle. The per-cycle scan reads this one word per entry and
+    /// only touches the entry itself once the hint expires. Transient
+    /// (rebuilt on snapshot load), never part of saved state.
+    iq_wait: Vec<u64>,
+    /// Per flat-scoreboard-index lists of IQ entry seqs parked on that
+    /// source (see `iq_wait`). Entries are self-validating at wake time
+    /// (looked up by seq and re-checked against `prf_ready`), so stale
+    /// seqs left behind by squashes are harmless and simply skipped.
+    waiters: Vec<Vec<SeqNum>>,
     lq: LoadQueue,
     sq: StoreQueue,
     wheel: Vec<Vec<Event>>,
@@ -187,6 +208,9 @@ pub struct Simulator {
     /// pointer, not a `FetchSnap` copy.
     #[allow(clippy::vec_box)]
     snap_pool: Vec<Box<FetchSnap>>,
+    /// Pool of retired TAGE prediction boxes (same rationale).
+    #[allow(clippy::vec_box)]
+    tage_pool: Vec<Box<TagePrediction>>,
     /// Whether any load may be parked (AGU done, completion not yet
     /// scheduled) — lets the pump skip its ROB scan on quiet cycles.
     loads_parked: bool,
@@ -240,14 +264,14 @@ impl Simulator {
         let tage = Tage::new(cfg.tage.clone());
         let arch_tage = tage.snapshot();
         let ras = ReturnAddressStack::new(cfg.ras_entries);
-        let mut prf_ready = [vec![NOT_READY; pregs], vec![NOT_READY; pregs]];
-        for class_ready in prf_ready.iter_mut() {
-            for slot in class_ready.iter_mut().take(ARCH_REGS_PER_CLASS) {
-                *slot = 0; // initial architectural mappings are ready
+        let mut prf_ready = vec![NOT_READY; 2 * pregs];
+        for ci in 0..2 {
+            for i in 0..ARCH_REGS_PER_CLASS {
+                prf_ready[ci * pregs + i] = 0; // initial mappings are ready
             }
         }
         Simulator {
-            stream: FetchStream::new(Arc::clone(&program)),
+            stream: FetchStream::with_fetch_key(Arc::clone(&program), cfg.fetch_path_digest()),
             mem: MemorySystem::new(cfg.mem.clone()),
             btb: Btb::new(cfg.btb_entries, cfg.btb_ways),
             arch_ras: ras.clone(),
@@ -263,10 +287,12 @@ impl Simulator {
                 FreeList::new(pregs, ARCH_REGS_PER_CLASS),
                 FreeList::new(pregs, ARCH_REGS_PER_CLASS),
             ],
-            prf_value: [vec![0; pregs], vec![0; pregs]],
+            prf_value: vec![0; 2 * pregs],
             prf_ready,
             rob: Rob::new(cfg.rob_entries),
             iq: Vec::with_capacity(cfg.iq_entries),
+            iq_wait: Vec::with_capacity(cfg.iq_entries),
+            waiters: vec![Vec::new(); 2 * pregs],
             lq: LoadQueue::new(cfg.lq_entries),
             sq: StoreQueue::new(cfg.sq_entries),
             wheel: (0..WHEEL).map(|_| Vec::new()).collect(),
@@ -284,6 +310,7 @@ impl Simulator {
             next_ckpt: 0,
             scratch: Scratch::default(),
             snap_pool: Vec::new(),
+            tage_pool: Vec::new(),
             loads_parked: false,
             no_bypass_seq: None,
             now: 0,
@@ -345,6 +372,14 @@ impl Simulator {
     /// architectural state.
     pub fn arch_digest(&self) -> u64 {
         self.arch_digest
+    }
+
+    /// Correct-path µ-ops the front end decoded live (not served by the
+    /// stream cache). Zero for a run fully covered by a cached stream.
+    /// Deliberately not part of [`SimStats`] or any snapshot: cache warmth
+    /// is invisible to the simulated architecture.
+    pub fn frontend_decodes(&self) -> u64 {
+        self.stream.oracle_decodes()
     }
 
     /// Runs until `uops` more µ-ops have committed; returns a stats
@@ -439,6 +474,64 @@ impl Simulator {
         self.stats.cycles = self.now;
     }
 
+    /// Flat scoreboard index of `(class, preg)` in `prf_value`/`prf_ready`.
+    #[inline]
+    fn prf(&self, class: RegClass, preg: PhysReg) -> usize {
+        class.index() * self.cfg.pregs_per_class + preg.index()
+    }
+
+    /// Computes the `iq_wait` hint for a new (or restored) IQ entry and
+    /// registers it on every source that has no scheduled ready cycle yet.
+    /// Returns `NOT_READY` when parked on at least one such source, else
+    /// the max scheduled ready cycle over the sources.
+    fn park_or_bound(&mut self, q: &IqEntry) -> u64 {
+        let mut bound = 0u64;
+        let mut parked = false;
+        for k in 0..q.n_srcs as usize {
+            let idx = q.srcs[k] as usize;
+            let r = self.prf_ready[idx];
+            if r == NOT_READY {
+                self.waiters[idx].push(q.seq);
+                parked = true;
+            } else {
+                bound = bound.max(r);
+            }
+        }
+        if parked {
+            NOT_READY
+        } else {
+            bound
+        }
+    }
+
+    /// Re-evaluates entries parked on scoreboard index `idx` after that
+    /// source received a finite ready cycle. Parked seqs are looked up in
+    /// the (sorted) IQ; vanished or reused seqs fail the lookup or the
+    /// recheck and are dropped — the hint is recomputed from `prf_ready`
+    /// alone, so a stale wake can never mis-time an entry.
+    fn wake_waiters(&mut self, idx: usize) {
+        if self.waiters[idx].is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.waiters[idx]);
+        for seq in list.drain(..) {
+            let Ok(pos) = self.iq.binary_search_by_key(&seq, |q| q.seq) else {
+                continue;
+            };
+            let q = &self.iq[pos];
+            let mut bound = 0u64;
+            for k in 0..q.n_srcs as usize {
+                bound = bound.max(self.prf_ready[q.srcs[k] as usize]);
+            }
+            // A still-pending other source keeps the entry parked; its
+            // registration on that source is still in place.
+            if bound != NOT_READY {
+                self.iq_wait[pos] = bound;
+            }
+        }
+        self.waiters[idx] = list;
+    }
+
     // ------------------------------------------------------------------
     // commit
     // ------------------------------------------------------------------
@@ -452,7 +545,9 @@ impl Simulator {
             {
                 break; // exact-measurement boundary for digest comparisons
             }
-            let Some(head) = self.rob.head() else { break };
+            let Some((head, head_cold)) = self.rob.head() else {
+                break;
+            };
             if !head.completed {
                 break;
             }
@@ -463,7 +558,7 @@ impl Simulator {
             }
             // Reclaim CAM port pressure (§4.3.4): a committing µ-op whose
             // reclaim must CAM the tracker consumes a port; stall when out.
-            let needs_cam = head.dst.is_some_and(|d| d.needs_cam);
+            let needs_cam = head_cold.dst.is_some_and(|d| d.needs_cam);
             if self.cfg.tracker_reclaim_ports > 0
                 && needs_cam
                 && reclaim_cams >= self.cfg.tracker_reclaim_ports
@@ -497,20 +592,20 @@ impl Simulator {
 
     /// Commits the head µ-op (must be completed and trap-free).
     fn commit_one(&mut self) {
-        let e = self.rob.commit_head();
-        let seq = e.seq;
-        let pc = e.pc;
-        let kind = e.kind;
-        let dst = e.dst;
-        let share = e.share;
-        let mem = e.mem;
-        let store_data = e.store_data;
-        let history = e.history;
-        let result = e.result;
-        let branch = e.branch;
-        let lq_idx = e.lq;
-        let sq_idx = e.sq;
-        let bypass = e.bypass;
+        let (hot, cold) = self.rob.commit_head();
+        let seq = hot.seq;
+        let pc = cold.pc;
+        let kind = hot.kind;
+        let dst = cold.dst;
+        let share = cold.share;
+        let mem = cold.mem;
+        let store_data = cold.store_data;
+        let history = cold.history;
+        let result = cold.result;
+        let branch = cold.branch;
+        let lq_idx = cold.lq;
+        let sq_idx = cold.sq;
+        let bypass = cold.bypass;
 
         self.stats.committed += 1;
         self.arch_digest = mix64(self.arch_digest ^ pc).wrapping_add(mix64(result));
@@ -540,6 +635,9 @@ impl Simulator {
         // TAGE direction training for conditionals.
         if let Some((tp, taken)) = self.take_tage_pred(seq, &branch) {
             self.tage.train(pc, &tp, taken);
+            if self.tage_pool.len() < TAGE_POOL_CAP {
+                self.tage_pool.push(tp);
+            }
         }
 
         // Sharer commit (architectural reference image).
@@ -623,24 +721,23 @@ impl Simulator {
         &mut self,
         seq: SeqNum,
         branch: &Option<BranchInfo>,
-    ) -> Option<(TagePrediction, bool)> {
+    ) -> Option<(Box<TagePrediction>, bool)> {
         let b = branch.as_ref()?;
         if b.kind != BranchKind::Conditional {
             return None;
         }
-        let e = self.rob.get_mut(seq)?;
-        let tp = e.tage_pred.take()?;
+        let tp = self.rob.take_tage_pred(seq)?;
         Some((tp, b.taken))
     }
 
     /// Releases one committed entry, processing its register reclaim.
     /// Returns false when release has caught up.
     fn release_one(&mut self) -> bool {
-        let Some(e) = self.rob.release_next() else {
+        let Some((hot, cold)) = self.rob.release_next() else {
             return false;
         };
-        if let Some(d) = e.dst {
-            self.reclaim(d, e.seq);
+        if let Some(d) = cold.dst {
+            self.reclaim(d, hot.seq);
         }
         true
     }
@@ -682,7 +779,8 @@ impl Simulator {
         }
         match decision {
             ReclaimDecision::Free => {
-                self.prf_ready[class.index()][d.old_preg.index()] = NOT_READY;
+                let i = self.prf(class, d.old_preg);
+                self.prf_ready[i] = NOT_READY;
                 self.fl[class.index()].push(d.old_preg);
             }
             ReclaimDecision::Keep => {}
@@ -693,12 +791,12 @@ impl Simulator {
     /// the head (§4.1: restore the CRM and committed free-list pointers; no
     /// checkpoint involved).
     fn commit_flush(&mut self) {
-        let head = self.rob.head().expect("flush with no head");
+        let (head, head_cold) = self.rob.head().expect("flush with no head");
         let seq = head.seq;
         let trap = head.trap.expect("flush without trap");
-        let pc = head.pc;
-        let history = head.history;
-        let mem = head.mem;
+        let pc = head_cold.pc;
+        let history = head_cold.history;
+        let mem = head_cold.mem;
         self.stats.commit_flushes += 1;
         match trap {
             TrapKind::MemOrder => self.stats.memory_traps += 1,
@@ -726,11 +824,17 @@ impl Simulator {
         let mut squashed = 0usize;
         let mut shares = std::mem::take(&mut self.scratch.shares);
         let mut allocs = std::mem::take(&mut self.scratch.allocs);
-        self.rob.squash_all_inflight(|e| {
+        self.rob.squash_all_inflight(|_, cold| {
             squashed += 1;
-            Self::collect_squash(e, &mut shares, &mut allocs);
+            Self::collect_squash(cold, &mut shares, &mut allocs);
         });
         self.iq.clear();
+        self.iq_wait.clear();
+        // A full flush empties the IQ, so every parked registration is
+        // stale; dropping them here keeps the lists from accumulating.
+        for w in &mut self.waiters {
+            w.clear();
+        }
         self.lq.clear();
         self.sq.clear();
         self.stats.squashed_uops += squashed as u64;
@@ -746,7 +850,8 @@ impl Simulator {
         let mut freed = std::mem::take(&mut self.scratch.freed);
         self.tracker.restore_to_committed(&mut freed);
         for (class, preg) in freed.drain(..) {
-            self.prf_ready[class.index()][preg.index()] = NOT_READY;
+            let i = self.prf(class, preg);
+            self.prf_ready[i] = NOT_READY;
             self.fl[class.index()].push(preg);
         }
         self.scratch.freed = freed;
@@ -783,7 +888,8 @@ impl Simulator {
             self.trace_preg("squash-share", c, p, "");
             if let Some((fc, fp)) = self.tracker.on_squash_share(c, p) {
                 self.trace_preg("squash-free", fc, fp, "");
-                self.prf_ready[fc.index()][fp.index()] = NOT_READY;
+                let i = self.prf(fc, fp);
+                self.prf_ready[i] = NOT_READY;
                 self.fl[fc.index()].push(fp);
             }
         }
@@ -811,7 +917,7 @@ impl Simulator {
 
     /// Collects a squashed entry's tracker-relevant events.
     fn collect_squash(
-        e: &RobEntry,
+        e: &RobCold,
         shares: &mut Vec<(RegClass, PhysReg)>,
         allocs: &mut Vec<(RegClass, PhysReg)>,
     ) {
@@ -856,19 +962,20 @@ impl Simulator {
     }
 
     fn on_agu(&mut self, seq: SeqNum, uid: u64) {
-        let Some(e) = self.rob.get_mut(seq) else {
+        let Some(hot) = self.rob.hot_mut(seq) else {
             return;
         };
-        if e.committed || e.uid != uid {
+        if hot.committed || hot.uid != uid {
             return; // stale event from a squashed incarnation
         }
-        e.agu_done = true;
-        let e = self.rob.get(seq).expect("just checked");
-        match e.kind {
+        hot.agu_done = true;
+        let kind = hot.kind;
+        match kind {
             UopKind::Store => {
-                let pc = e.pc;
-                let m = e.mem.expect("store memref");
-                let sq_idx = e.sq.expect("store has SQ slot");
+                let cold = self.rob.cold(seq).expect("just checked");
+                let pc = cold.pc;
+                let m = cold.mem.expect("store memref");
+                let sq_idx = cold.sq.expect("store has SQ slot");
                 if let Some(s) = self.sq.get_mut(sq_idx) {
                     if s.seq == seq {
                         s.executed = true;
@@ -877,24 +984,24 @@ impl Simulator {
                 self.store_sets.store_executed(pc, seq);
                 // Memory-order violation check.
                 if let Some(victim) = self.lq.violation(seq, &m) {
-                    if let Some(le) = self.rob.get_mut(victim) {
-                        if le.trap.is_none() {
-                            le.trap = Some(TrapKind::MemOrder);
+                    if let Some((lh, lc)) = self.rob.get_mut(victim) {
+                        if lh.trap.is_none() {
+                            lh.trap = Some(TrapKind::MemOrder);
                         }
-                        let load_pc = le.pc;
+                        let load_pc = lc.pc;
                         self.store_sets.train_violation(load_pc, pc);
                     }
                 }
                 // The store has executed (address known): it completes.
-                if let Some(e) = self.rob.get_mut(seq) {
-                    e.completed = true;
+                if let Some(hot) = self.rob.hot_mut(seq) {
+                    hot.completed = true;
                 }
             }
             UopKind::Load => {
                 self.resolve_load(seq);
                 // Parked (forward blocked or MSHRs exhausted): flag the pump
                 // so its ROB scan runs only when there is work to retry.
-                if self.rob.get(seq).is_some_and(|e| !e.read_scheduled) {
+                if self.rob.hot(seq).is_some_and(|h| !h.read_scheduled) {
                     self.loads_parked = true;
                 }
             }
@@ -904,10 +1011,12 @@ impl Simulator {
 
     /// Tries to obtain the load's value: forward, wait, or access the cache.
     fn resolve_load(&mut self, seq: SeqNum) {
-        let Some(e) = self.rob.get(seq) else { return };
-        let m = e.mem.expect("load memref");
-        let pc = e.pc;
-        let lq_idx = e.lq.expect("load has LQ slot");
+        let Some(cold) = self.rob.cold(seq) else {
+            return;
+        };
+        let m = cold.mem.expect("load memref");
+        let pc = cold.pc;
+        let lq_idx = cold.lq.expect("load has LQ slot");
         match self.sq.load_action(seq, &m) {
             LoadAction::Forward { store_seq } => {
                 let done = self.now + self.cfg.stlf_latency;
@@ -939,37 +1048,42 @@ impl Simulator {
 
     /// Schedules the load's completion and wakes dependents.
     fn finish_load(&mut self, seq: SeqNum, done: u64) {
-        let Some(e) = self.rob.get_mut(seq) else {
+        let Some((hot, cold)) = self.rob.get_mut(seq) else {
             return;
         };
-        e.read_scheduled = true;
-        let uid = e.uid;
-        let e = self.rob.get(seq).expect("just checked");
-        if let Some(d) = e.dst {
-            if e.bypass.is_none() {
+        hot.read_scheduled = true;
+        let uid = hot.uid;
+        let mut wake = None;
+        if let Some(d) = cold.dst {
+            if cold.bypass.is_none() {
                 // Normal load: its register becomes ready at completion.
-                self.prf_ready[d.arch.class().index()][d.new_preg.index()] = done;
+                let i = d.arch.class().index() * self.cfg.pregs_per_class + d.new_preg.index();
+                self.prf_ready[i] = done;
+                wake = Some(i);
             }
+        }
+        if let Some(i) = wake {
+            self.wake_waiters(i);
         }
         self.schedule(done.max(self.now + 1), Event::Complete { seq, uid });
     }
 
     fn on_complete(&mut self, seq: SeqNum, uid: u64) {
-        let Some(e) = self.rob.get_mut(seq) else {
+        let Some((hot, cold)) = self.rob.get_mut(seq) else {
             return;
         };
-        if e.committed || e.completed || e.uid != uid {
+        if hot.committed || hot.completed || hot.uid != uid {
             return;
         }
-        e.completed = true;
+        hot.completed = true;
         // SMB validation at writeback (§3.2): compare the bypassed register
         // against the memory data.
-        if let Some(b) = e.bypass {
-            if !b.correct && e.trap.is_none() {
-                e.trap = Some(TrapKind::BypassMispredict);
+        if let Some(b) = cold.bypass {
+            if !b.correct && hot.trap.is_none() {
+                hot.trap = Some(TrapKind::BypassMispredict);
             }
         }
-        let mispredicted = e.branch.as_ref().is_some_and(|b| b.mispredicted);
+        let mispredicted = cold.branch.as_ref().is_some_and(|b| b.mispredicted);
         if mispredicted {
             self.recover_branch(seq);
         }
@@ -978,17 +1092,20 @@ impl Simulator {
     /// Branch misprediction recovery: checkpoint restore (§4.1/§4.3).
     fn recover_branch(&mut self, seq: SeqNum) {
         self.stats.branch_mispredicts += 1;
-        let e = self.rob.get(seq).expect("branch entry");
-        let b = e.branch.expect("branch info");
-        let pc = e.pc;
-        debug_assert!(!e.wrong_path, "wrong-path branches never trigger recovery");
+        let (hot, cold) = self.rob.get(seq).expect("branch entry");
+        let b = cold.branch.expect("branch info");
+        let pc = cold.pc;
+        debug_assert!(
+            !hot.wrong_path,
+            "wrong-path branches never trigger recovery"
+        );
 
         // 1. Squash younger µ-ops.
         let mut squashed = 0usize;
         let mut dead_ckpts = std::mem::take(&mut self.scratch.dead_ckpts);
         let mut shares = std::mem::take(&mut self.scratch.shares);
         let mut allocs = std::mem::take(&mut self.scratch.allocs);
-        self.rob.squash_younger(seq, |victim| {
+        self.rob.squash_younger(seq, |_, victim| {
             squashed += 1;
             if let Some(vb) = &victim.branch {
                 if let Some(id) = vb.ckpt {
@@ -1001,6 +1118,10 @@ impl Simulator {
         // squashed set is exactly the suffix younger than the branch: one
         // ordered retain, not an O(IQ × squashed) membership scan.
         self.iq.retain(|q| q.seq <= seq);
+        // Sorted-by-seq means the retain kept a prefix: truncate the
+        // parallel hint lane to match. Registrations of squashed entries
+        // go stale in `waiters`; wake-time rechecks skip them.
+        self.iq_wait.truncate(self.iq.len());
         self.lq.squash_younger(seq);
         self.sq.squash_younger(seq);
         self.stats.squashed_uops += squashed as u64;
@@ -1027,7 +1148,8 @@ impl Simulator {
         self.tracker.restore(ck.tracker, &mut freed);
         for (class, preg) in freed.drain(..) {
             self.trace_preg("restore-free", class, preg, "");
-            self.prf_ready[class.index()][preg.index()] = NOT_READY;
+            let i = self.prf(class, preg);
+            self.prf_ready[i] = NOT_READY;
             self.fl[class.index()].push(preg);
         }
         self.scratch.freed = freed;
@@ -1055,8 +1177,8 @@ impl Simulator {
         self.stats.tracker_recovery_stalls += stall;
 
         // 5. The branch itself is now resolved.
-        if let Some(e) = self.rob.get_mut(seq) {
-            if let Some(bi) = &mut e.branch {
+        if let Some(cold) = self.rob.cold_mut(seq) {
+            if let Some(bi) = &mut cold.branch {
                 bi.mispredicted = false;
                 bi.ckpt = None;
             }
@@ -1077,23 +1199,28 @@ impl Simulator {
         }
         // Collect loads that have issued (AGU done) but not yet started
         // reading and have no scheduled completion: retry them.
-        let parked = |e: &RobEntry| {
-            e.kind == UopKind::Load
-                && !e.completed
-                && !e.committed
-                && e.agu_done
-                && e.lq.is_some()
-                && !e.read_scheduled
+        let parked = |hot: &RobHot, cold: &RobCold| {
+            hot.kind == UopKind::Load
+                && !hot.completed
+                && !hot.committed
+                && hot.agu_done
+                && cold.lq.is_some()
+                && !hot.read_scheduled
         };
         let mut retry = std::mem::take(&mut self.scratch.retry);
-        retry.extend(self.rob.iter().filter(|e| parked(e)).map(|e| e.seq));
+        retry.extend(
+            self.rob
+                .iter()
+                .filter(|(h, c)| parked(h, c))
+                .map(|(h, _)| h.seq),
+        );
         for &seq in &retry {
             self.resolve_load(seq);
         }
         // Still-parked retries keep the flag up for the next cycle.
         self.loads_parked = retry
             .iter()
-            .any(|&seq| self.rob.get(seq).is_some_and(&parked));
+            .any(|&seq| self.rob.get(seq).is_some_and(|(h, c)| parked(h, c)));
         retry.clear();
         self.scratch.retry = retry;
     }
@@ -1124,13 +1251,26 @@ impl Simulator {
             if issued >= self.cfg.issue_width {
                 break;
             }
+            // Hint says not ready (scheduled bound in the future, or
+            // parked on a source with no scheduled wakeup yet): skip
+            // without touching the entry or the scoreboard.
+            if self.iq_wait[i] > self.now {
+                continue;
+            }
             let q = &self.iq[i];
             // Register operands ready?
-            let ready = (0..q.n_srcs as usize).all(|k| {
-                let (c, p) = q.srcs[k];
-                self.prf_ready[c as usize][p as usize] <= self.now
-            });
-            if !ready {
+            let mut max_ready = 0u64;
+            for k in 0..q.n_srcs as usize {
+                max_ready = max_ready.max(self.prf_ready[q.srcs[k] as usize]);
+            }
+            if max_ready > self.now {
+                // Refresh the hint only with a scheduled bound. Parking
+                // (`NOT_READY`) happens at dispatch/restore where the
+                // waiter registration goes with it; an unscheduled source
+                // seen here (a freed register's slot) just re-checks.
+                if max_ready != NOT_READY {
+                    self.iq_wait[i] = max_ready;
+                }
                 continue;
             }
             // Store Sets ordering: wait until the predicted store executed.
@@ -1235,9 +1375,11 @@ impl Simulator {
                     continue;
                 }
                 self.iq[keep] = self.iq[i];
+                self.iq_wait[keep] = self.iq_wait[i];
                 keep += 1;
             }
             self.iq.truncate(keep);
+            self.iq_wait.truncate(keep);
         }
         remove.clear();
         self.scratch.issued = remove;
@@ -1252,28 +1394,35 @@ impl Simulator {
                 // that turned out not to overlap (only decidable while the
                 // store's address is still visible).
                 if q.class == ExecClass::Load && q.waited_dep {
-                    if let (Some(dep), Some(e)) = (q.dep_store, self.rob.get(seq)) {
-                        let lm = e.mem.expect("load memref");
-                        match self.rob.get(dep).and_then(|s| s.mem) {
+                    if let (Some(dep), Some(cold)) = (q.dep_store, self.rob.cold(seq)) {
+                        let lm = cold.mem.expect("load memref");
+                        match self.rob.cold(dep).and_then(|s| s.mem) {
                             Some(sm) if !sm.overlaps(&lm) => self.stats.false_dependencies += 1,
                             Some(_) => self.stats.dep_true += 1,
                             None => self.stats.dep_gone += 1,
                         }
                     }
                 }
-                let uid = self.rob.get(seq).map(|e| e.uid).unwrap_or(0);
+                let uid = self.rob.hot(seq).map(|h| h.uid).unwrap_or(0);
                 self.schedule(self.now + latency(q.class), Event::Agu { seq, uid });
             }
             c => {
                 let done = self.now + latency(c);
                 let mut uid = 0;
-                if let Some(e) = self.rob.get(seq) {
-                    uid = e.uid;
-                    if let Some(d) = e.dst {
-                        if !e.eliminated {
-                            self.prf_ready[d.arch.class().index()][d.new_preg.index()] = done;
+                let mut wake = None;
+                if let Some((hot, cold)) = self.rob.get(seq) {
+                    uid = hot.uid;
+                    if let Some(d) = cold.dst {
+                        if !hot.eliminated {
+                            let i = d.arch.class().index() * self.cfg.pregs_per_class
+                                + d.new_preg.index();
+                            self.prf_ready[i] = done;
+                            wake = Some(i);
                         }
                     }
+                }
+                if let Some(i) = wake {
+                    self.wake_waiters(i);
                 }
                 self.schedule(done, Event::Complete { seq, uid });
             }
@@ -1328,7 +1477,7 @@ impl Simulator {
 
         // Resolve sources through the current map (before remapping dst —
         // merge moves legitimately read their old destination).
-        let mut srcs = [(0u8, 0u16); 4];
+        let mut srcs = [0u32; 4];
         let mut n_srcs = 0u8;
         for s in uop.sources() {
             let p = self.rm.lookup(s);
@@ -1340,7 +1489,7 @@ impl Simulator {
                     &format!("seq={seq} arch={s} wp={}", uop.wrong_path),
                 );
             }
-            srcs[n_srcs as usize] = (s.class().index() as u8, p.index() as u16);
+            srcs[n_srcs as usize] = self.prf(s.class(), p) as u32;
             n_srcs += 1;
         }
 
@@ -1431,15 +1580,15 @@ impl Simulator {
                 self.stats.distance_predictions += 1;
                 if d >= 1 && d <= seq.0 {
                     let producer_seq = SeqNum(seq.0 - d);
-                    let candidate = self.rob.get(producer_seq).and_then(|p| {
-                        let pd = p.dst?;
+                    let candidate = self.rob.get(producer_seq).and_then(|(ph, pc_)| {
+                        let pd = pc_.dst?;
                         if pd.arch.class() != dst.class() {
                             return None;
                         }
-                        if p.committed && !self.cfg.smb_from_committed {
+                        if ph.committed && !self.cfg.smb_from_committed {
                             return None;
                         }
-                        Some((pd.new_preg, p.committed))
+                        Some((pd.new_preg, ph.committed))
                     });
                     match candidate {
                         Some((preg, from_committed)) => {
@@ -1461,8 +1610,8 @@ impl Simulator {
                                             &format!("seq={seq} dst={dst}"),
                                         );
                                     }
-                                    let correct = self.prf_value[dst.class().index()][preg.index()]
-                                        == uop.result;
+                                    let correct =
+                                        self.prf_value[self.prf(dst.class(), preg)] == uop.result;
                                     bypass = Some(BypassInfo {
                                         preg,
                                         class: dst.class(),
@@ -1498,8 +1647,9 @@ impl Simulator {
                         self.trace_preg("alloc", class, p, &format!("seq={seq} dst={dst}"));
                     }
                     self.tracker.on_alloc(class, p);
-                    self.prf_value[class.index()][p.index()] = uop.result;
-                    self.prf_ready[class.index()][p.index()] = NOT_READY;
+                    let i = self.prf(class, p);
+                    self.prf_value[i] = uop.result;
+                    self.prf_ready[i] = NOT_READY;
                     p
                 }
             };
@@ -1531,7 +1681,7 @@ impl Simulator {
 
         // --- Branch checkpointing ---
         let mut branch_info: Option<BranchInfo> = None;
-        let mut tage_pred: Option<TagePrediction> = None;
+        let mut tage_pred: Option<Box<TagePrediction>> = None;
         if let Some(b) = uop.branch {
             let (pred_next, pred_taken, tp, snap) = match pred {
                 Some(p) => (p.pred_next, p.pred_taken, p.tage_pred, p.snap),
@@ -1598,29 +1748,33 @@ impl Simulator {
         // --- ROB allocation ---
         self.next_uid += 1;
         let entry = RobEntry {
-            seq,
-            pc: uop.pc,
-            sidx: uop.sidx,
-            kind: uop.kind,
-            wrong_path: uop.wrong_path,
-            completed: eliminated,
-            committed: false,
-            dst: dst_info,
-            share,
-            eliminated,
-            bypass,
-            mem: uop.mem,
-            lq: lq_idx,
-            sq: sq_idx,
-            store_data: uop.store_data_reg(),
-            branch: branch_info,
-            trap: None,
-            history: uop.history,
-            result: uop.result,
-            uid: self.next_uid,
+            hot: RobHot {
+                seq,
+                uid: self.next_uid,
+                kind: uop.kind,
+                wrong_path: uop.wrong_path,
+                completed: eliminated,
+                committed: false,
+                eliminated,
+                agu_done: false,
+                read_scheduled: false,
+                trap: None,
+            },
+            cold: RobCold {
+                pc: uop.pc,
+                sidx: uop.sidx,
+                dst: dst_info,
+                share,
+                bypass,
+                mem: uop.mem,
+                lq: lq_idx,
+                sq: sq_idx,
+                store_data: uop.store_data_reg(),
+                branch: branch_info,
+                history: uop.history,
+                result: uop.result,
+            },
             tage_pred,
-            agu_done: false,
-            read_scheduled: false,
         };
         self.rob.alloc(entry);
 
@@ -1630,17 +1784,20 @@ impl Simulator {
             let mut n = n_srcs;
             if let Some(b) = bypass {
                 // The bypassed register is an extra source (validation read).
-                all_srcs[n as usize] = (b.class.index() as u8, b.preg.index() as u16);
+                all_srcs[n as usize] = self.prf(b.class, b.preg) as u32;
                 n += 1;
             }
-            self.iq.push(IqEntry {
+            let entry = IqEntry {
                 seq,
                 class: uop.kind.exec_class(),
                 srcs: all_srcs,
                 n_srcs: n,
                 dep_store,
                 waited_dep: false,
-            });
+            };
+            let wait = self.park_or_bound(&entry);
+            self.iq.push(entry);
+            self.iq_wait.push(wait);
         }
     }
 
@@ -1729,7 +1886,12 @@ impl Simulator {
         &mut self,
         uop: &DynUop,
         kind: BranchKind,
-    ) -> (u32, bool, Option<TagePrediction>, Option<Box<FetchSnap>>) {
+    ) -> (
+        u32,
+        bool,
+        Option<Box<TagePrediction>>,
+        Option<Box<FetchSnap>>,
+    ) {
         let b = uop.branch.expect("branch outcome");
         let pc = uop.pc;
         let fallthrough = b.fallthrough_sidx;
@@ -1762,7 +1924,14 @@ impl Simulator {
                 let taken = if uop.wrong_path { b.taken } else { tp.taken };
                 let target = self.cond_target(uop.sidx).unwrap_or(fallthrough);
                 let next = if taken { target } else { fallthrough };
-                (next, taken, Some(tp))
+                let boxed = match self.tage_pool.pop() {
+                    Some(mut bx) => {
+                        *bx = tp;
+                        bx
+                    }
+                    None => Box::new(tp),
+                };
+                (next, taken, Some(boxed))
             }
             BranchKind::Direct | BranchKind::Call => {
                 // Direct transfers: target known at decode; a BTB miss costs
@@ -1802,10 +1971,10 @@ impl Simulator {
 
     /// One-line pipeline state summary for deadlock diagnostics.
     pub fn debug_state(&self) -> String {
-        let head = self.rob.head().map(|e| {
+        let head = self.rob.head().map(|(h, _)| {
             format!(
                 "seq={} kind={:?} completed={} agu={} sched={} trap={:?} wp={}",
-                e.seq, e.kind, e.completed, e.agu_done, e.read_scheduled, e.trap, e.wrong_path
+                h.seq, h.kind, h.completed, h.agu_done, h.read_scheduled, h.trap, h.wrong_path
             )
         });
         format!(
@@ -1828,7 +1997,7 @@ impl Simulator {
 
     /// Why is the commit head not issuing? (deadlock diagnostics)
     pub fn debug_head_block(&self) -> String {
-        let Some(h) = self.rob.head() else {
+        let Some((h, _)) = self.rob.head() else {
             return "no head".into();
         };
         let Some(q) = self.iq.iter().find(|q| q.seq == h.seq) else {
@@ -1836,11 +2005,9 @@ impl Simulator {
         };
         let mut out = format!("head {} class {:?}:", h.seq, q.class);
         for k in 0..q.n_srcs as usize {
-            let (c, p) = q.srcs[k];
-            out += &format!(
-                " src{}=({},p{},ready_at={})",
-                k, c, p, self.prf_ready[c as usize][p as usize]
-            );
+            let i = q.srcs[k] as usize;
+            let (c, p) = (i / self.cfg.pregs_per_class, i % self.cfg.pregs_per_class);
+            out += &format!(" src{}=({},p{},ready_at={})", k, c, p, self.prf_ready[i]);
         }
         if let Some(d) = q.dep_store {
             out += &format!(" dep_store={d}");
@@ -1872,8 +2039,8 @@ impl Simulator {
                     reachable[p.index()] = true;
                 }
             }
-            for e in self.rob.iter() {
-                if let Some(d) = e.dst {
+            for (_, cold) in self.rob.iter() {
+                if let Some(d) = cold.dst {
                     if d.arch.class() == class {
                         reachable[d.new_preg.index()] = true;
                         reachable[d.old_preg.index()] = true;
@@ -2024,12 +2191,8 @@ impl Snapshot for Simulator {
         self.crm.encode(w);
         self.fl[0].save_state(w);
         self.fl[1].save_state(w);
-        for v in &self.prf_value {
-            v.encode(w);
-        }
-        for v in &self.prf_ready {
-            v.encode(w);
-        }
+        self.prf_value.encode(w);
+        self.prf_ready.encode(w);
         self.rob.save_state(w);
         self.iq.encode(w);
         self.lq.save_state(w);
@@ -2077,30 +2240,70 @@ impl Snapshot for Simulator {
         self.ddt.load_state(r)?;
         self.csn = Snap::decode(r)?;
         self.tracker.load_state(r)?;
-        self.rm = Snap::decode(r)?;
-        self.crm = Snap::decode(r)?;
+        let rm: RenameMap = Snap::decode(r)?;
+        let crm: RenameMap = Snap::decode(r)?;
+        if rm
+            .iter()
+            .chain(crm.iter())
+            .any(|(_, p)| p.index() >= self.cfg.pregs_per_class)
+        {
+            return Err(r.corrupt("rename map preg out of range"));
+        }
+        self.rm = rm;
+        self.crm = crm;
         self.fl[0].load_state(r)?;
         self.fl[1].load_state(r)?;
-        for ci in 0..2 {
-            let v: Vec<u64> = Snap::decode(r)?;
-            if v.len() != self.prf_value[ci].len() {
-                return Err(r.corrupt("PRF value size"));
-            }
-            self.prf_value[ci] = v;
+        let v: Vec<u64> = Snap::decode(r)?;
+        if v.len() != self.prf_value.len() {
+            return Err(r.corrupt("PRF value size"));
         }
-        for ci in 0..2 {
-            let v: Vec<u64> = Snap::decode(r)?;
-            if v.len() != self.prf_ready[ci].len() {
-                return Err(r.corrupt("PRF ready size"));
-            }
-            self.prf_ready[ci] = v;
+        self.prf_value = v;
+        let v: Vec<u64> = Snap::decode(r)?;
+        if v.len() != self.prf_ready.len() {
+            return Err(r.corrupt("PRF ready size"));
         }
+        self.prf_ready = v;
         self.rob.load_state(r)?;
+        let preg_ok = |p: PhysReg| p.index() < self.cfg.pregs_per_class;
+        for (_, cold) in self.rob.iter() {
+            let dst_ok = cold
+                .dst
+                .is_none_or(|d| preg_ok(d.new_preg) && preg_ok(d.old_preg));
+            let share_ok = cold.share.as_ref().is_none_or(|s| preg_ok(s.preg));
+            let bypass_ok = cold.bypass.is_none_or(|b| preg_ok(b.preg));
+            if !(dst_ok && share_ok && bypass_ok) {
+                return Err(r.corrupt("ROB preg out of range"));
+            }
+        }
         let iq: Vec<IqEntry> = Snap::decode(r)?;
         if iq.len() > self.cfg.iq_entries {
             return Err(r.corrupt("IQ overflow"));
         }
+        let prf_len = 2 * self.cfg.pregs_per_class;
+        for q in &iq {
+            if q.n_srcs as usize > q.srcs.len() {
+                return Err(r.corrupt("IQ source count"));
+            }
+            if q.srcs[..q.n_srcs as usize]
+                .iter()
+                .any(|&s| s as usize >= prf_len)
+            {
+                return Err(r.corrupt("IQ source index out of range"));
+            }
+        }
         self.iq = iq;
+        // Rebuild the transient scheduler hints from the restored
+        // scoreboard: same computation as at dispatch, so a restored
+        // machine issues identically to one that never snapshotted.
+        self.iq_wait.clear();
+        for w in &mut self.waiters {
+            w.clear();
+        }
+        for pos in 0..self.iq.len() {
+            let entry = self.iq[pos];
+            let wait = self.park_or_bound(&entry);
+            self.iq_wait.push(wait);
+        }
         self.lq.load_state(r)?;
         self.sq.load_state(r)?;
         for v in &mut self.wheel {

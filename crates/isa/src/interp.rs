@@ -14,6 +14,19 @@ use regshare_types::hasher::mix64;
 use regshare_types::{ArchReg, HistorySnapshot, RegClass, SeqNum};
 use std::sync::Arc;
 
+/// One recorded oracle step: the resolved micro-op plus the post-step
+/// control state needed to replay it onto a [`Machine`] via
+/// [`Machine::replay_step`] without re-decoding or re-executing.
+#[derive(Debug, Clone)]
+pub struct TracedStep {
+    /// The fully resolved micro-op, exactly as [`Machine::step`] returned it.
+    pub uop: DynUop,
+    /// The machine's instruction pointer after the step.
+    pub next_ip: u32,
+    /// Whether the machine was halted after the step.
+    pub halted: bool,
+}
+
 /// Architectural register state plus control state that a wrong-path fork
 /// must capture (everything except memory).
 #[derive(Debug, Clone)]
@@ -360,7 +373,7 @@ impl Machine {
     pub fn step(&mut self) -> DynUop {
         let sidx = self.ip;
         let pc = self.program.pc_of(sidx);
-        let program = Arc::clone(&self.program);
+        let program = &self.program;
         let op = if self.halted {
             &Op::Nop
         } else {
@@ -382,6 +395,58 @@ impl Machine {
             self.halted = halt;
         }
         uop
+    }
+
+    /// Like [`Machine::step`], additionally capturing the post-step control
+    /// state so the stream cache can later [`Machine::replay_step`] the
+    /// record onto a fresh machine without re-decoding.
+    pub fn step_traced(&mut self) -> TracedStep {
+        let uop = self.step();
+        TracedStep {
+            uop,
+            next_ip: self.ip,
+            halted: self.halted,
+        }
+    }
+
+    /// Applies a previously recorded step's architectural effects without
+    /// re-decoding or re-executing the instruction. Register and memory
+    /// writes, return-stack pushes/pops and control flow come straight from
+    /// the record, leaving this machine byte-identical to one that executed
+    /// the step via [`Machine::step`] — the record is deterministic in
+    /// `(program, seq)`, which is what makes cached streams safe to share.
+    pub fn replay_step(&mut self, step: &TracedStep) {
+        let uop = &step.uop;
+        debug_assert_eq!(self.seq, uop.seq.0, "replay out of position");
+        debug_assert!(!self.halted, "post-halt steps are never recorded");
+        if let Some(dst) = uop.dst {
+            self.regs[dst.flat()] = uop.result;
+        }
+        if let Some(m) = uop.mem {
+            if m.is_store {
+                // `result` is the size-masked store value and `write` only
+                // touches `size` bytes, so the bytes written are identical
+                // to the original execution's.
+                self.mem.write(m.addr, m.size, uop.result);
+            }
+        }
+        if let Some(b) = uop.branch {
+            match b.kind {
+                BranchKind::Call => {
+                    self.ret_stack.push(b.fallthrough_sidx);
+                    if self.ret_stack.len() > 64 {
+                        self.ret_stack.remove(0); // mirror exec_op's recursion bound
+                    }
+                }
+                BranchKind::Return => {
+                    self.ret_stack.pop();
+                }
+                BranchKind::Conditional | BranchKind::Direct => {}
+            }
+        }
+        self.seq += 1;
+        self.ip = step.next_ip;
+        self.halted = step.halted;
     }
 
     /// Steps `n` µ-ops and folds their `(pc, result)` pairs into the
@@ -442,7 +507,7 @@ impl WrongPath {
     pub fn step(&mut self, oracle_mem: &SparseMemory) -> DynUop {
         let sidx = self.state.ip;
         let pc = self.program.pc_of(sidx);
-        let program = Arc::clone(&self.program);
+        let program = &self.program;
         let op = if self.halted {
             &Op::Nop
         } else {

@@ -47,4 +47,4 @@ pub use op::{
     AluOp, BranchOutcome, Cond, DynUop, ExecClass, MemRef, MoveWidth, Op, Operand, UopKind,
 };
 pub use program::{Program, ProgramBuilder};
-pub use stream::FetchStream;
+pub use stream::{stream_cache_stats, FetchStream, StreamCacheStats};

@@ -8,17 +8,84 @@
 //! micro-ops additionally capture a [`ForkState`] so that a later
 //! misprediction of a replayed branch can still enter a genuine wrong path.
 
-use crate::interp::{ForkState, Machine, WrongPath};
+use crate::interp::{ForkState, Machine, TracedStep, WrongPath};
 use crate::op::DynUop;
 use crate::program::Program;
+use regshare_types::hasher::FastMap;
 use regshare_types::SeqNum;
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 struct BufEntry {
     uop: DynUop,
     /// Post-branch fork state, captured only for branches.
     fork: Option<Box<ForkState>>,
+}
+
+/// Longest correct-path prefix recorded per stream. Streams that run past
+/// the cap replay the cached prefix and continue live from the exact
+/// replayed machine state, so the cap only bounds memory, never changes
+/// behavior.
+const RECORD_CAP: usize = 1 << 16;
+
+/// Maximum cached streams. When full the whole cache is cleared before the
+/// next publish (generational eviction): fuzz soaks and sweeps are
+/// program-major, so by the time the cache fills, older entries are dead.
+const CACHE_CAP: usize = 32;
+
+/// Content-addressed cache of cracked micro-op streams, keyed by
+/// `(program digest, fetch-path key)`. The correct-path stream is a pure
+/// function of the program, so every simulator over the same key replays the
+/// recorded prefix instead of re-decoding through the interpreter.
+type StreamCache = FastMap<(u64, u64), Arc<Vec<TracedStep>>>;
+
+static STREAM_CACHE: OnceLock<Mutex<StreamCache>> = OnceLock::new();
+
+static ORACLE_DECODES: AtomicU64 = AtomicU64::new(0);
+static REPLAYED_UOPS: AtomicU64 = AtomicU64::new(0);
+static STREAM_HITS: AtomicU64 = AtomicU64::new(0);
+static STREAM_MISSES: AtomicU64 = AtomicU64::new(0);
+static STREAMS_PUBLISHED: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<StreamCache> {
+    STREAM_CACHE.get_or_init(|| Mutex::new(FastMap::default()))
+}
+
+/// Process-wide stream-cache counters (monotonic since process start).
+///
+/// Deliberately *not* part of [`crate::Machine`] or any snapshot payload:
+/// whether a run was served from the cache is invisible to the simulated
+/// architecture, and folding these into serialized state would make resumed
+/// runs byte-differ from uninterrupted ones whenever the cache is warm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamCacheStats {
+    /// Correct-path µ-ops decoded live by the interpreter. Flushed from each
+    /// stream when it is dropped.
+    pub oracle_decodes: u64,
+    /// Correct-path µ-ops served by replaying a cached stream.
+    pub replayed_uops: u64,
+    /// Stream constructions that found a cached stream for their key.
+    pub stream_hits: u64,
+    /// Stream constructions that found nothing and started recording.
+    pub stream_misses: u64,
+    /// Recorded streams published into the cache.
+    pub streams_published: u64,
+}
+
+/// Reads the process-wide [`StreamCacheStats`].
+///
+/// Per-stream decode/replay tallies are flushed when the stream (or the
+/// simulator owning it) is dropped, so compare snapshots taken *between*
+/// runs, not mid-run.
+pub fn stream_cache_stats() -> StreamCacheStats {
+    StreamCacheStats {
+        oracle_decodes: ORACLE_DECODES.load(Ordering::Relaxed),
+        replayed_uops: REPLAYED_UOPS.load(Ordering::Relaxed),
+        stream_hits: STREAM_HITS.load(Ordering::Relaxed),
+        stream_misses: STREAM_MISSES.load(Ordering::Relaxed),
+        streams_published: STREAMS_PUBLISHED.load(Ordering::Relaxed),
+    }
 }
 
 /// Fetch-order micro-op source with wrong-path execution and replay.
@@ -50,6 +117,20 @@ pub struct FetchStream {
     /// Next correct-path sequence number to deliver.
     cursor: u64,
     wrong: Option<WrongPath>,
+    /// Cache key: `(program digest, fetch-path key)`.
+    key: (u64, u64),
+    /// Cached stream for `key`, indexed by absolute sequence number.
+    cached: Option<Arc<Vec<TracedStep>>>,
+    /// Recording buffer on a cache miss; `None` once published, once the
+    /// machine state stops being a cold-start prefix (snapshot restore), or
+    /// while a cache-hit stream is still inside the cached prefix. A warm
+    /// stream that runs past the prefix re-arms this with a copy of the
+    /// prefix so the extended stream can be republished (longest wins).
+    rec: Option<Vec<TracedStep>>,
+    /// Correct-path µ-ops decoded live by this stream.
+    decodes: u64,
+    /// Correct-path µ-ops replayed from the cache by this stream.
+    replays: u64,
 }
 
 impl std::fmt::Debug for FetchStream {
@@ -64,15 +145,77 @@ impl std::fmt::Debug for FetchStream {
 }
 
 impl FetchStream {
-    /// Creates a stream over `program`, positioned at its entry.
+    /// Creates a stream over `program`, positioned at its entry, using the
+    /// default fetch-path key (see [`FetchStream::with_fetch_key`]).
     pub fn new(program: Arc<Program>) -> FetchStream {
+        FetchStream::with_fetch_key(program, 0)
+    }
+
+    /// Creates a stream over `program` under an explicit fetch-path key.
+    ///
+    /// The key partitions the stream cache: streams recorded under one
+    /// fetch-path configuration are never replayed under another, even for
+    /// the same program. Callers whose front-end configuration shapes the
+    /// fetched stream pass a digest of those knobs here.
+    pub fn with_fetch_key(program: Arc<Program>, fetch_key: u64) -> FetchStream {
+        let key = (program.digest(), fetch_key);
+        let cached = cache()
+            .lock()
+            .expect("stream cache poisoned")
+            .get(&key)
+            .cloned();
+        let rec = if cached.is_some() {
+            STREAM_HITS.fetch_add(1, Ordering::Relaxed);
+            None
+        } else {
+            STREAM_MISSES.fetch_add(1, Ordering::Relaxed);
+            Some(Vec::new())
+        };
         FetchStream {
             machine: Machine::new(program),
             buf: VecDeque::new(),
             base_seq: 0,
             cursor: 0,
             wrong: None,
+            key,
+            cached,
+            rec,
+            decodes: 0,
+            replays: 0,
         }
+    }
+
+    /// Correct-path µ-ops this stream decoded live (not served by the
+    /// stream cache). Zero for a fully warm run.
+    pub fn oracle_decodes(&self) -> u64 {
+        self.decodes
+    }
+
+    /// Correct-path µ-ops this stream replayed from the stream cache.
+    pub fn replayed_uops(&self) -> u64 {
+        self.replays
+    }
+
+    /// Publishes the recorded prefix into the process-wide cache. The
+    /// longest recording for a key wins: concurrent recorders produce
+    /// identical content over their common prefix (the stream is a pure
+    /// function of the program), so keeping the longer one only widens
+    /// warm coverage — it can never change replayed content.
+    fn publish_recording(&mut self) {
+        let Some(rec) = self.rec.take() else { return };
+        if rec.is_empty() {
+            return;
+        }
+        let mut map = cache().lock().expect("stream cache poisoned");
+        if let Some(existing) = map.get(&self.key) {
+            if existing.len() >= rec.len() {
+                return;
+            }
+        } else if map.len() >= CACHE_CAP {
+            map.clear();
+        }
+        map.insert(self.key, Arc::new(rec));
+        STREAMS_PUBLISHED.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The program being fetched.
@@ -104,7 +247,49 @@ impl FetchStream {
             return uop;
         }
         debug_assert_eq!(self.cursor, self.machine.next_seq().0);
-        let uop = self.machine.step();
+        let pos = self.cursor as usize;
+        let replayable = matches!(&self.cached, Some(steps) if pos < steps.len());
+        let uop = if replayable {
+            // Cache hit: apply the recorded step's effects to the oracle
+            // machine (keeping its state byte-identical to a live decode)
+            // and hand out the recorded µ-op.
+            let steps = self.cached.as_ref().expect("checked above");
+            let step = &steps[pos];
+            self.machine.replay_step(step);
+            self.replays += 1;
+            step.uop.clone()
+        } else {
+            let was_halted = self.machine.is_halted();
+            if !was_halted && self.rec.is_none() {
+                if let Some(steps) = &self.cached {
+                    if pos == steps.len() {
+                        // Ran off the end of the cached prefix (this run
+                        // speculates deeper than the one that recorded it).
+                        // Resume recording on top of the prefix so the
+                        // longer stream replaces the cached one on publish
+                        // and the next warm run never decodes this tail.
+                        self.rec = Some(steps.as_ref().clone());
+                    }
+                }
+            }
+            let step = self.machine.step_traced();
+            if was_halted {
+                // Post-halt Nop spins decode nothing and are never recorded:
+                // the cached stream ends at the halting step and a warm
+                // replay regenerates the spins from the halted machine.
+                self.rec = None;
+            } else {
+                self.decodes += 1;
+                if let Some(rec) = self.rec.as_mut() {
+                    debug_assert_eq!(rec.len() as u64, step.uop.seq.0);
+                    rec.push(step.clone());
+                    if step.halted || rec.len() >= RECORD_CAP {
+                        self.publish_recording();
+                    }
+                }
+            }
+            step.uop
+        };
         let fork = uop.branch.map(|b| {
             // Capture post-branch state so this branch can later fork either
             // direction (actual target for replay bookkeeping; the core
@@ -182,6 +367,16 @@ impl FetchStream {
     }
 }
 
+impl Drop for FetchStream {
+    fn drop(&mut self) {
+        // A stream dropped mid-program still publishes its prefix: later
+        // streams replay it and continue live from the exact machine state.
+        self.publish_recording();
+        ORACLE_DECODES.fetch_add(self.decodes, Ordering::Relaxed);
+        REPLAYED_UOPS.fetch_add(self.replays, Ordering::Relaxed);
+    }
+}
+
 impl regshare_types::snapshot::Snapshot for FetchStream {
     fn save_state(&self, w: &mut regshare_types::snapshot::SnapWriter) {
         use regshare_types::snapshot::Snap;
@@ -224,6 +419,11 @@ impl regshare_types::snapshot::Snapshot for FetchStream {
             )?),
             _ => return Err(r.corrupt("FetchStream wrong-path tag")),
         };
+        // The machine just jumped to an arbitrary point, so anything recorded
+        // so far is no longer a cold-start prefix. Replay from `cached` stays
+        // valid — it is indexed by absolute sequence number and oracle state
+        // at a given seq is unique.
+        self.rec = None;
         Ok(())
     }
 }

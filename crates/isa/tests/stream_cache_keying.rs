@@ -1,0 +1,114 @@
+//! Stream-cache keying: streams recorded under one fetch-path key must
+//! never be replayed under another, and a warm stream must be served
+//! entirely from the cache. Uses the per-stream counters (not the
+//! process-wide ones) so parallel tests cannot interfere.
+
+use regshare_isa::op::{AluOp, Cond, Op, Operand};
+use regshare_isa::program::ProgramBuilder;
+use regshare_isa::FetchStream;
+use regshare_types::ArchReg;
+use std::sync::Arc;
+
+fn r(i: usize) -> ArchReg {
+    ArchReg::int(i)
+}
+
+/// An infinite counting loop with a data-dependent branch. `salt` lands in
+/// an immediate so each test gets a distinct program digest and therefore a
+/// private corner of the process-wide stream cache.
+fn loop_program(salt: u64) -> Arc<regshare_isa::program::Program> {
+    let mut b = ProgramBuilder::new();
+    // 0: r0 += salt
+    b.push(Op::IntAlu {
+        op: AluOp::Add,
+        dst: r(0),
+        src1: r(0),
+        src2: Operand::Imm(salt),
+    });
+    // 1: if r0 bit 0 set goto 3
+    b.push(Op::CondBranch {
+        cond: Cond::BitSet,
+        src1: r(0),
+        src2: Operand::Imm(0),
+        target: 3,
+    });
+    // 2: r1 ^= r0
+    b.push(Op::IntAlu {
+        op: AluOp::Xor,
+        dst: r(1),
+        src1: r(1),
+        src2: Operand::Reg(r(0)),
+    });
+    // 3: r2 += 1 ; 4: jump 0
+    b.push(Op::IntAlu {
+        op: AluOp::Add,
+        dst: r(2),
+        src1: r(2),
+        src2: Operand::Imm(1),
+    });
+    b.push(Op::Jump { target: 0 });
+    Arc::new(b.build())
+}
+
+#[test]
+fn warm_stream_replays_instead_of_decoding() {
+    let program = loop_program(0x5eed_0001);
+    const N: usize = 200;
+
+    let mut cold = FetchStream::with_fetch_key(Arc::clone(&program), 7);
+    let cold_uops: Vec<_> = (0..N).map(|_| cold.next_uop()).collect();
+    assert_eq!(cold.oracle_decodes(), N as u64, "cold stream decodes live");
+    assert_eq!(cold.replayed_uops(), 0);
+    drop(cold); // publishes the recorded prefix
+
+    let mut warm = FetchStream::with_fetch_key(Arc::clone(&program), 7);
+    let warm_uops: Vec<_> = (0..N).map(|_| warm.next_uop()).collect();
+    assert_eq!(
+        warm.oracle_decodes(),
+        0,
+        "warm stream must not touch the interpreter"
+    );
+    assert_eq!(warm.replayed_uops(), N as u64);
+
+    // Replay is content-identical, not merely cheap.
+    for (c, w) in cold_uops.iter().zip(&warm_uops) {
+        assert_eq!(c.seq, w.seq);
+        assert_eq!(c.sidx, w.sidx);
+        assert_eq!(c.result, w.result);
+    }
+}
+
+#[test]
+fn different_fetch_keys_do_not_share_a_stream() {
+    let program = loop_program(0x5eed_0002);
+    const N: usize = 150;
+
+    let mut a = FetchStream::with_fetch_key(Arc::clone(&program), 0xAAAA);
+    for _ in 0..N {
+        a.next_uop();
+    }
+    drop(a); // publishes under key 0xAAAA
+
+    // Same program, different fetch-path key: a keyed miss. The stream
+    // must decode live rather than replay a stream recorded under a
+    // different front-end configuration.
+    let mut b = FetchStream::with_fetch_key(Arc::clone(&program), 0xBBBB);
+    for _ in 0..N {
+        b.next_uop();
+    }
+    assert_eq!(
+        b.oracle_decodes(),
+        N as u64,
+        "keyed miss must not replay another key's stream"
+    );
+    assert_eq!(b.replayed_uops(), 0);
+    drop(b);
+
+    // And the original key is still served warm.
+    let mut a2 = FetchStream::with_fetch_key(Arc::clone(&program), 0xAAAA);
+    for _ in 0..N {
+        a2.next_uop();
+    }
+    assert_eq!(a2.oracle_decodes(), 0);
+    assert_eq!(a2.replayed_uops(), N as u64);
+}

@@ -121,6 +121,10 @@ pub struct Isrb {
     entries: Vec<Entry>,
     /// Free entry slots (index stack).
     free_slots: Vec<usize>,
+    /// Per-class direct map preg → slot + 1 (0 = not present). Models the
+    /// CAM's single-cycle match in O(1) instead of scanning `entries`; the
+    /// scan sat on the reclaim path of every committed destination µ-op.
+    index: [Vec<u32>; 2],
     checkpoints: VecDeque<Checkpoint>,
     /// Recycled checkpoint buffers (see [`CKPT_POOL_CAP`]).
     ckpt_pool: Vec<Vec<u32>>,
@@ -141,6 +145,7 @@ impl Isrb {
         Isrb {
             entries: vec![Entry::default(); n],
             free_slots: (0..n).rev().collect(),
+            index: [vec![0; cfg.pregs_per_class], vec![0; cfg.pregs_per_class]],
             checkpoints: VecDeque::new(),
             ckpt_pool: Vec::new(),
             next_ckpt: 0,
@@ -157,11 +162,32 @@ impl Isrb {
 
     #[inline]
     fn find(&self, class: RegClass, preg: PhysReg) -> Option<usize> {
-        let fp = class == RegClass::Fp;
-        let p = preg.index() as u16;
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.class_fp == fp && e.preg == p)
+        let slot = *self.index[class.index()].get(preg.index())?;
+        (slot != 0).then(|| slot as usize - 1)
+    }
+
+    /// Points the direct map at `slot` for the entry currently stored there.
+    fn index_insert(&mut self, slot: usize) {
+        let e = &self.entries[slot];
+        let lane = &mut self.index[usize::from(e.class_fp)];
+        let p = e.preg as usize;
+        if p >= lane.len() {
+            lane.resize(p + 1, 0);
+        }
+        lane[p] = slot as u32 + 1;
+    }
+
+    /// Rebuilds the direct map from `entries` (snapshot restore).
+    fn reindex(&mut self) {
+        for lane in &mut self.index {
+            lane.clear();
+            lane.resize(self.cfg.pregs_per_class, 0);
+        }
+        for slot in 0..self.entries.len() {
+            if self.entries[slot].valid {
+                self.index_insert(slot);
+            }
+        }
     }
 
     fn alloc_slot(&mut self) -> Option<usize> {
@@ -183,6 +209,10 @@ impl Isrb {
 
     /// Frees entry `slot` and gang-resets it in every live checkpoint.
     fn free_entry(&mut self, slot: usize) {
+        let e = &self.entries[slot];
+        if e.valid {
+            self.index[usize::from(e.class_fp)][e.preg as usize] = 0;
+        }
         self.entries[slot] = Entry::default();
         self.free_slots.push(slot);
         self.stats.entries_freed += 1;
@@ -194,7 +224,9 @@ impl Isrb {
     }
 
     fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        // `free_slots` holds exactly the invalid slots (in unlimited mode
+        // grown slots are valid immediately), so no scan is needed.
+        self.entries.len() - self.free_slots.len()
     }
 
     fn entry_preg(e: &Entry) -> (RegClass, PhysReg) {
@@ -268,6 +300,7 @@ impl SharingTracker for Isrb {
                     committed: 0,
                     referenced_committed: 0,
                 };
+                self.index_insert(slot);
                 self.stats.shares_accepted += 1;
                 self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.occupancy());
                 true
@@ -355,7 +388,7 @@ impl SharingTracker for Isrb {
     }
 
     fn release_checkpoint(&mut self, id: CheckpointId) {
-        if let Some(pos) = self.checkpoints.iter().position(|c| c.id == id) {
+        if let Some(pos) = crate::tracker::ckpt_pos(&self.checkpoints, id, |c| c.id) {
             debug_assert_eq!(pos, 0, "checkpoints must be released oldest-first");
             if let Some(ck) = self.checkpoints.remove(pos) {
                 self.recycle(ck.referenced);
@@ -444,6 +477,7 @@ impl SharingTracker for Isrb {
         }
         self.entries = entries;
         self.free_slots = free_slots;
+        self.reindex();
         self.checkpoints = checkpoints;
         self.ckpt_pool.clear();
         self.next_ckpt = r.get_u64()?;

@@ -64,6 +64,9 @@ const CKPT_POOL_CAP: usize = 64;
 #[derive(Debug)]
 pub struct Rda {
     entries: Vec<Entry>,
+    /// Free entry slots (index stack) — allocation pops in O(1) instead of
+    /// scanning `entries` for an invalid slot.
+    free_slots: Vec<usize>,
     checkpoints: VecDeque<Checkpoint>,
     /// Recycled checkpoint buffers (see [`CKPT_POOL_CAP`]).
     ckpt_pool: Vec<Vec<u32>>,
@@ -84,6 +87,7 @@ impl Rda {
         assert!((2..=31).contains(&counter_bits));
         Rda {
             entries: vec![Entry::default(); entries],
+            free_slots: (0..entries).rev().collect(),
             checkpoints: VecDeque::new(),
             ckpt_pool: Vec::new(),
             next_ckpt: 0,
@@ -103,6 +107,7 @@ impl Rda {
 
     fn free_entry(&mut self, slot: usize) {
         self.entries[slot] = Entry::default();
+        self.free_slots.push(slot);
         self.stats.entries_freed += 1;
         for c in &mut self.checkpoints {
             c.counts[slot] = 0;
@@ -110,7 +115,7 @@ impl Rda {
     }
 
     fn occupancy(&self) -> usize {
-        self.entries.iter().filter(|e| e.valid).count()
+        self.entries.len() - self.free_slots.len()
     }
 
     /// Returns a retired checkpoint buffer to the pool.
@@ -137,7 +142,7 @@ impl SharingTracker for Rda {
             self.stats.shares_accepted += 1;
             return true;
         }
-        match self.entries.iter().position(|e| !e.valid) {
+        match self.free_slots.pop() {
             Some(slot) => {
                 self.entries[slot] = Entry {
                     valid: true,
@@ -234,7 +239,8 @@ impl SharingTracker for Rda {
     }
 
     fn release_checkpoint(&mut self, id: CheckpointId) {
-        if let Some(pos) = self.checkpoints.iter().position(|c| c.id == id) {
+        if let Some(pos) = crate::tracker::ckpt_pos(&self.checkpoints, id, |c| c.id) {
+            debug_assert_eq!(pos, 0, "checkpoints must be released oldest-first");
             if let Some(ck) = self.checkpoints.remove(pos) {
                 self.recycle(ck.counts);
             }
@@ -282,6 +288,7 @@ impl SharingTracker for Rda {
     fn save_state(&self, w: &mut regshare_types::snapshot::SnapWriter) {
         use regshare_types::snapshot::Snap;
         self.entries.encode(w);
+        self.free_slots.encode(w);
         w.put_len(self.checkpoints.len());
         for c in &self.checkpoints {
             w.put_u64(c.id);
@@ -300,6 +307,10 @@ impl SharingTracker for Rda {
         if entries.len() != self.entries.len() {
             return Err(r.corrupt("Rda entry count"));
         }
+        let free_slots: Vec<usize> = Snap::decode(r)?;
+        if free_slots.iter().any(|&s| s >= entries.len()) {
+            return Err(r.corrupt("Rda free slot out of range"));
+        }
         let n = r.get_len()?;
         let mut checkpoints = VecDeque::with_capacity(n);
         for _ in 0..n {
@@ -311,6 +322,7 @@ impl SharingTracker for Rda {
             checkpoints.push_back(Checkpoint { id, counts });
         }
         self.entries = entries;
+        self.free_slots = free_slots;
         self.checkpoints = checkpoints;
         self.ckpt_pool.clear();
         self.next_ckpt = r.get_u64()?;

@@ -43,6 +43,27 @@ use std::fmt;
 /// Monotonically increasing checkpoint identifier.
 pub type CheckpointId = u64;
 
+/// Locates checkpoint `id` in an id-ordered deque in O(1).
+///
+/// Ids are allocated monotonically and checkpoints retire from either end
+/// (restore pops the youngest suffix, release drops the oldest), so the live
+/// ids stay contiguous and `id - front_id` indexes the deque directly. Ids
+/// are sorted ascending regardless, so a binary-search backstop keeps the
+/// lookup correct even if a caller ever breaks the contiguity pattern.
+pub(crate) fn ckpt_pos<T>(
+    deque: &std::collections::VecDeque<T>,
+    id: CheckpointId,
+    id_of: impl FnMut(&T) -> CheckpointId,
+) -> Option<usize> {
+    let mut id_of = id_of;
+    let front = id_of(deque.front()?);
+    let pos = usize::try_from(id.checked_sub(front)?).ok()?;
+    match deque.get(pos) {
+        Some(c) if id_of(c) == id => Some(pos),
+        _ => deque.binary_search_by_key(&id, id_of).ok(),
+    }
+}
+
 /// Outcome of a reclaim request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReclaimDecision {

@@ -169,7 +169,7 @@ impl SharingTracker for UnlimitedTracker {
     }
 
     fn release_checkpoint(&mut self, id: CheckpointId) {
-        if let Some(pos) = self.checkpoints.iter().position(|(i, _)| *i == id) {
+        if let Some(pos) = crate::tracker::ckpt_pos(&self.checkpoints, id, |c| c.0) {
             self.checkpoints.remove(pos);
         }
     }

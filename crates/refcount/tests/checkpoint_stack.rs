@@ -1,0 +1,234 @@
+//! Regression net for the O(1) refcount paths introduced in PR 7:
+//!
+//! - the RDA's free-stack entry allocation must leave every *observable*
+//!   behavior unchanged (slot choice is internal — decisions, counts and
+//!   stats are not), pinned here as a behavior digest;
+//! - checkpoint release/restore must stay correct on deep checkpoint
+//!   stacks whose front id is far from zero (the position-from-id fast
+//!   path) and when ids are released out of order (the backstop).
+
+use regshare_refcount::{
+    Isrb, IsrbConfig, Rda, ReclaimDecision, ReclaimRequest, ShareKind, ShareRequest,
+    SharingTracker, UnlimitedTracker,
+};
+use regshare_types::{ArchReg, PhysReg, RegClass};
+
+fn share(p: usize) -> ShareRequest {
+    ShareRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p),
+        kind: ShareKind::Bypass {
+            arch_dst: ArchReg::int(0),
+        },
+    }
+}
+
+fn reclaim(p: usize) -> ReclaimRequest {
+    ReclaimRequest {
+        class: RegClass::Int,
+        preg: PhysReg::new(p),
+        arch: ArchReg::int(0),
+        renews: false,
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(29)
+}
+
+/// Drives a tracker through a deterministic pseudo-random workload of
+/// shares, reclaims, checkpoints, restores and releases, folding every
+/// observable outcome into a digest.
+fn behavior_digest(t: &mut dyn SharingTracker, steps: u32) -> u64 {
+    let mut h = 0xDEAD_BEEF_u64;
+    let mut rng = 0x1234_5678_9ABC_DEF0_u64;
+    let mut next = move || {
+        // xorshift64*
+        let mut x = rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut live_ckpts: Vec<u64> = Vec::new();
+    let mut freed = Vec::new();
+    for _ in 0..steps {
+        let r = next();
+        let preg = (r >> 8) as usize % 12;
+        match r % 10 {
+            0..=3 => h = mix(h, u64::from(t.try_share(&share(preg)))),
+            4..=6 => {
+                let d = t.on_reclaim(&reclaim(preg));
+                h = mix(h, u64::from(d == ReclaimDecision::Keep));
+            }
+            7 => {
+                let id = t.checkpoint();
+                live_ckpts.push(id);
+                h = mix(h, id);
+            }
+            8 => {
+                if !live_ckpts.is_empty() {
+                    let idx = (r >> 16) as usize % live_ckpts.len();
+                    let id = live_ckpts[idx];
+                    live_ckpts.truncate(idx);
+                    freed.clear();
+                    t.restore(id, &mut freed);
+                    for &(c, p) in &freed {
+                        h = mix(h, (c.index() as u64) << 32 | p.index() as u64);
+                    }
+                }
+            }
+            _ => {
+                if !live_ckpts.is_empty() {
+                    let id = live_ckpts.remove(0);
+                    t.release_checkpoint(id);
+                    h = mix(h, id);
+                }
+            }
+        }
+        h = mix(h, t.shared_count() as u64);
+        h = mix(h, u64::from(t.is_shared(RegClass::Int, PhysReg::new(preg))));
+    }
+    let s = t.stats();
+    for v in [
+        s.shares_accepted,
+        s.shares_rejected_full,
+        s.shares_rejected_saturated,
+        s.reclaims,
+        s.reclaim_cam_hits,
+        s.entries_freed,
+        s.checkpoints_taken,
+        s.restores,
+        s.peak_occupancy as u64,
+        s.commit_checkpoint_writes,
+    ] {
+        h = mix(h, v);
+    }
+    h
+}
+
+/// Satellite 1: the free-stack RDA allocator must be observably identical
+/// to the old lowest-invalid-index scan. This digest was captured against
+/// the pre-free-stack implementation; any change to it means allocation
+/// policy became externally visible.
+#[test]
+fn rda_allocation_order_digest_pinned() {
+    let mut rda = Rda::new(8, 3);
+    let d = behavior_digest(&mut rda, 4000);
+    assert_eq!(d, 0xb6f6d62e2f33fab7, "RDA observable behavior changed");
+}
+
+/// Same pinning for the ISRB (its free stack predates this PR; the digest
+/// guards the O(1) release path) and the unlimited oracle.
+#[test]
+fn isrb_and_unlimited_behavior_digest_pinned() {
+    let mut isrb = Isrb::new(IsrbConfig {
+        entries: 8,
+        counter_bits: 3,
+        ..IsrbConfig::default()
+    });
+    assert_eq!(behavior_digest(&mut isrb, 4000), 0xb038175ba37e89c3);
+    let mut unl = UnlimitedTracker::new();
+    assert_eq!(behavior_digest(&mut unl, 4000), 0x0deab18a3e2f2761);
+}
+
+fn all_trackers() -> Vec<Box<dyn SharingTracker>> {
+    vec![
+        Box::new(Isrb::new(IsrbConfig::default())),
+        Box::new(Isrb::new(IsrbConfig::unlimited())),
+        Box::new(Rda::new(16, 4)),
+        Box::new(UnlimitedTracker::new()),
+    ]
+}
+
+/// Satellite 3: a deep stack of live checkpoints whose oldest id is far
+/// from zero — the position-from-id fast path must keep release and
+/// restore exact.
+#[test]
+fn deep_checkpoint_stack_release_oldest_first() {
+    for mut t in all_trackers() {
+        // Burn 300 ids so the deque front is nowhere near id 0.
+        for _ in 0..300 {
+            let id = t.checkpoint();
+            t.release_checkpoint(id);
+        }
+        assert!(t.try_share(&share(3)));
+        let mut ids: Vec<u64> = (0..200)
+            .map(|i| {
+                if i == 100 {
+                    // A mid-stack share so restores distinguish depths.
+                    assert!(t.try_share(&share(3)));
+                }
+                t.checkpoint()
+            })
+            .collect();
+        // Release the oldest half one at a time (the commit pattern).
+        for id in ids.drain(..100) {
+            t.release_checkpoint(id);
+        }
+        // Restore into the middle of what is left.
+        let mid = ids[50];
+        ids.truncate(50);
+        let mut freed = Vec::new();
+        t.restore(mid, &mut freed);
+        // Both shares predate `mid`: still 1 sharer → Keep, Keep, Free.
+        assert_eq!(
+            t.on_reclaim(&reclaim(3)),
+            ReclaimDecision::Keep,
+            "{}",
+            t.name()
+        );
+        assert_eq!(
+            t.on_reclaim(&reclaim(3)),
+            ReclaimDecision::Keep,
+            "{}",
+            t.name()
+        );
+        assert_eq!(
+            t.on_reclaim(&reclaim(3)),
+            ReclaimDecision::Free,
+            "{}",
+            t.name()
+        );
+        // The surviving older checkpoints still release cleanly.
+        for id in ids {
+            t.release_checkpoint(id);
+        }
+    }
+}
+
+/// Releasing an id that is older than every live checkpoint (already
+/// released) must be a no-op, not a panic or a mis-indexed removal.
+#[test]
+fn release_unknown_checkpoint_is_noop() {
+    for mut t in all_trackers() {
+        let old = t.checkpoint();
+        t.release_checkpoint(old);
+        let live = t.checkpoint();
+        t.release_checkpoint(old); // stale id: no-op
+        t.release_checkpoint(live + 1); // future id: no-op
+        let mut freed = Vec::new();
+        t.restore(live, &mut freed); // still present
+    }
+}
+
+/// The unlimited tracker tolerates out-of-order release (no oldest-first
+/// assert); once contiguity is broken the binary-search backstop must
+/// still find ids exactly.
+#[test]
+fn unlimited_release_out_of_order_keeps_lookups_correct() {
+    let mut t = UnlimitedTracker::new();
+    let ids: Vec<u64> = (0..50).map(|_| t.checkpoint()).collect();
+    // Punch holes: release every third id from the middle out.
+    for id in ids.iter().skip(10).step_by(3) {
+        t.release_checkpoint(*id);
+    }
+    // Ids after the holes are found by the backstop and removed exactly once.
+    t.release_checkpoint(ids[11]);
+    t.release_checkpoint(ids[11]); // no-op now
+    assert!(t.try_share(&share(7)));
+    let mut freed = Vec::new();
+    t.restore(ids[20], &mut freed); // survives the holes around it
+    assert!(!t.is_shared(RegClass::Int, PhysReg::new(7)));
+}

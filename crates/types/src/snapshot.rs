@@ -7,7 +7,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"RGSH"
-//! 4       4     format version (u32 LE), currently 1
+//! 4       4     format version (u32 LE), currently 2
 //! 8       8     context digest (u64 LE): CoreConfig ⊕ Program
 //! ```
 //!
@@ -43,8 +43,8 @@ pub const MAGIC: [u8; 4] = *b"RGSH";
 
 /// Current snapshot format version. Bump on ANY layout change — there is
 /// deliberately no migration path: an old snapshot is refused, never
-/// reinterpreted.
-pub const FORMAT_VERSION: u32 = 1;
+/// reinterpreted. Version 2: RDA free-slot stack joined the payload.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Typed decode failure. Every malformed input maps to one of these —
 /// decoding never panics.
