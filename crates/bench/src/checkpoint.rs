@@ -26,13 +26,11 @@
 //! success the image file is deleted.
 
 use crate::harness::Measurement;
-use crate::options::RunOptions;
 use crate::report::render_report;
 use crate::scenario::{Scenario, ScenarioError};
 use crate::sweep::SweepGrid;
 use regshare_core::{CoreConfig, SimStats, Simulator};
 use regshare_isa::Program;
-use regshare_types::hasher::FastHasher;
 use regshare_types::snapshot::{
     read_header, write_header, Snap, SnapError, SnapReader, SnapWriter,
 };
@@ -101,24 +99,10 @@ impl From<SnapError> for CheckpointError {
     }
 }
 
-/// The digest pinning an image to its scenario: a hash of the canonical
-/// rendering with the window resolved to concrete µ-op counts and the
-/// keys that may legitimately differ between the writing and resuming
-/// invocation (parallelism, checkpoint plumbing) cleared.
-pub fn scenario_digest(scenario: &Scenario) -> u64 {
-    use std::hash::Hasher;
-    let window = scenario.options.window();
-    let mut normalized = scenario.clone();
-    normalized.options = RunOptions::default()
-        .warmup(window.warmup)
-        .measure(window.measure);
-    normalized.options.jobs = None;
-    normalized.checkpoint_interval = None;
-    normalized.resume_from = None;
-    let mut h = FastHasher::default();
-    h.write(normalized.render().as_bytes());
-    h.finish()
-}
+// The digest pinning an image to its scenario lives in the shared digest
+// module, so checkpoint images and the serve daemon's result cache key
+// experiments identically.
+pub use crate::digest::scenario_digest;
 
 /// The decoded image payload: measured cells in row-major order plus an
 /// optional mid-cell machine state.
@@ -353,6 +337,7 @@ fn run_checkpointed(scenario: &Scenario, file: Option<&str>) -> Result<SweepGrid
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::options::RunOptions;
     use crate::scenario::VariantSpec;
 
     fn tiny(name: &str) -> Scenario {

@@ -20,6 +20,7 @@
 
 pub mod checkpoint;
 pub mod cli;
+pub mod digest;
 pub mod fuzz;
 pub mod harness;
 pub mod options;
@@ -29,10 +30,13 @@ pub mod sweep;
 pub mod table;
 pub mod throughput;
 
-pub use checkpoint::{scenario_digest, CheckpointError};
+pub use checkpoint::CheckpointError;
+pub use digest::{cell_digest, scenario_digest};
 pub use fuzz::FuzzOptions;
 pub use harness::{measure, measure_program, measure_with, Measurement, RunWindow};
-pub use options::{env_parse, RunOptions, ZeroJobsError, DEFAULT_MEASURE, DEFAULT_WARMUP};
+pub use options::{
+    env_fallbacks, env_parse, RunOptions, ZeroJobsError, DEFAULT_MEASURE, DEFAULT_WARMUP,
+};
 pub use report::{render_report, run_scenario};
 pub use scenario::{
     preset, valid_name, FuzzSource, Scenario, ScenarioBuilder, ScenarioError, VariantSpec,

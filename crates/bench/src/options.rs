@@ -7,7 +7,10 @@
 //! them into one type that scenario files and CLIs set explicitly; the
 //! environment variables remain as **deprecated fallbacks** — an unset
 //! option still honours them — and will be removed once nothing depends on
-//! them. Resolution order for each knob:
+//! them. The fallbacks are read from the environment **once per process**
+//! and frozen ([`env_fallbacks`]), so long-lived processes (the serve
+//! daemon) can never observe a mid-run environment mutation. Resolution
+//! order for each knob:
 //!
 //! 1. the explicit [`RunOptions`] value (scenario file or CLI flag),
 //! 2. the deprecated environment variable,
@@ -63,6 +66,28 @@ fn warn_once(key: &str, raw: &str) {
              falling back to the default"
         );
     }
+}
+
+/// The deprecated `REGSHARE_WARMUP` / `REGSHARE_MEASURE` / `REGSHARE_JOBS`
+/// fallbacks as a [`RunOptions`] overlay, resolved from the environment
+/// **exactly once per process** (the first time any resolution needs them)
+/// and frozen.
+///
+/// Every resolution path ([`RunOptions::window`], [`RunOptions::job_count`])
+/// reads the environment through this snapshot, so a long-lived process —
+/// the serve daemon in particular — can never observe a mid-run environment
+/// mutation: whatever the variables said at startup is what every request
+/// sees, forever. Short-lived binaries are unaffected (first use *is*
+/// startup). A malformed value still warns once on stderr, at resolution
+/// time.
+pub fn env_fallbacks() -> RunOptions {
+    use std::sync::OnceLock;
+    static SNAPSHOT: OnceLock<RunOptions> = OnceLock::new();
+    *SNAPSHOT.get_or_init(|| RunOptions {
+        warmup: env_parse("REGSHARE_WARMUP"),
+        measure: env_parse("REGSHARE_MEASURE"),
+        jobs: env_parse::<usize>("REGSHARE_JOBS").filter(|&n| n > 0),
+    })
 }
 
 /// Default warmup window (µ-ops) when neither options nor environment say
@@ -155,29 +180,34 @@ impl RunOptions {
         }
     }
 
+    /// Overlays `self` on top of the once-per-process [`env_fallbacks`]
+    /// snapshot, yielding options whose deprecated-environment resolution
+    /// has already happened. A long-lived daemon pins this at startup and
+    /// threads the result through every request, so later environment
+    /// mutation is invisible by construction.
+    pub fn pin_env(self) -> RunOptions {
+        self.over(env_fallbacks())
+    }
+
     /// Resolves the measurement window, applying the deprecated
-    /// `REGSHARE_WARMUP` / `REGSHARE_MEASURE` fallbacks and then the
-    /// defaults.
+    /// `REGSHARE_WARMUP` / `REGSHARE_MEASURE` fallbacks (snapshotted once
+    /// per process, see [`env_fallbacks`]) and then the defaults.
     pub fn window(&self) -> RunWindow {
+        let env = env_fallbacks();
         RunWindow {
-            warmup: self
-                .warmup
-                .or_else(|| env_parse("REGSHARE_WARMUP"))
-                .unwrap_or(DEFAULT_WARMUP),
-            measure: self
-                .measure
-                .or_else(|| env_parse("REGSHARE_MEASURE"))
-                .unwrap_or(DEFAULT_MEASURE),
+            warmup: self.warmup.or(env.warmup).unwrap_or(DEFAULT_WARMUP),
+            measure: self.measure.or(env.measure).unwrap_or(DEFAULT_MEASURE),
         }
     }
 
     /// Resolves the worker count, applying the deprecated `REGSHARE_JOBS`
-    /// fallback and then defaulting to available parallelism. Always at
-    /// least one, whatever a hand-constructed `jobs` field says.
+    /// fallback (snapshotted once per process, see [`env_fallbacks`]) and
+    /// then defaulting to available parallelism. Always at least one,
+    /// whatever a hand-constructed `jobs` field says.
     pub fn job_count(&self) -> usize {
         self.jobs
-            .or_else(|| env_parse::<usize>("REGSHARE_JOBS"))
             .filter(|&n| n > 0)
+            .or(env_fallbacks().jobs)
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
                     .map(|n| n.get())
@@ -248,6 +278,27 @@ mod tests {
         // no-op; this also exercises the locked-set path directly).
         warn_once("REGSHARE_TEST_WARN_ONCE", "lots");
         warn_once("REGSHARE_TEST_WARN_ONCE", "lots");
+    }
+
+    #[test]
+    fn env_fallbacks_are_snapshotted_once_and_pinned() {
+        // Whatever the environment said at first resolution is frozen for
+        // the life of the process: two reads agree, always.
+        let a = env_fallbacks();
+        let b = env_fallbacks();
+        assert_eq!(a, b);
+        // pin_env fills unset fields from the snapshot; explicit fields
+        // win — the overlay a long-lived daemon applies per request.
+        let pinned = RunOptions::default().warmup(9).pin_env();
+        assert_eq!(pinned.warmup, Some(9));
+        assert_eq!(pinned.measure, a.measure);
+        assert_eq!(pinned.jobs, a.jobs);
+        // Resolution through the snapshot matches direct resolution.
+        assert_eq!(pinned.window().warmup, 9);
+        assert_eq!(
+            RunOptions::default().window(),
+            RunOptions::default().pin_env().window()
+        );
     }
 
     #[test]

@@ -185,13 +185,15 @@ pub struct SweepGrid {
 }
 
 impl SweepGrid {
-    /// Assembles a grid from already-measured cells in row-major order —
-    /// the checkpointed serial runner's merge path.
+    /// Assembles a grid from already-measured cells in row-major order
+    /// (`cells[w * labels.len() + v]`) — the merge path for runners that
+    /// obtain cells outside the parallel engine: the checkpointed serial
+    /// runner and the serve daemon's cache-aware scheduler.
     ///
     /// # Panics
     ///
     /// Panics if `cells.len() != workloads.len() * labels.len()`.
-    pub(crate) fn from_parts(
+    pub fn from_parts(
         workloads: Vec<Workload>,
         labels: Vec<String>,
         cells: Vec<Measurement>,

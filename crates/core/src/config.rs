@@ -455,6 +455,24 @@ impl CoreConfig {
         h.finish()
     }
 
+    /// Digest of the **whole** configuration: every knob that can change
+    /// simulated behaviour, so two configs digest equal iff they simulate
+    /// identically.
+    ///
+    /// This is the read-only content-address of a machine: machine
+    /// snapshots pin their context with it (combined with the program
+    /// digest), and the serve daemon's result cache keys each
+    /// (workload × config × window) cell with it. Process-local only — the
+    /// underlying hash is not guaranteed stable across builds, which is
+    /// why every on-disk format that embeds it also carries a format
+    /// version that is bumped on layout changes.
+    pub fn digest(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = regshare_types::hasher::FastHasher::default();
+        h.write(format!("{self:?}").as_bytes());
+        h.finish()
+    }
+
     /// Starts a validated [`CoreConfigBuilder`] from the Table 1 machine.
     pub fn builder() -> CoreConfigBuilder {
         CoreConfigBuilder {

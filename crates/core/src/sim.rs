@@ -2131,7 +2131,7 @@ regshare_types::impl_snap!(PipeUop { ready, uop, pred });
 fn config_digest(cfg: &CoreConfig, program: &Program) -> u64 {
     use std::hash::Hasher;
     let mut h = FastHasher::default();
-    h.write(format!("{cfg:?}").as_bytes());
+    h.write_u64(cfg.digest());
     h.write_u64(program.digest());
     h.finish()
 }

@@ -1,0 +1,180 @@
+//! The daemon and its client, one binary.
+//!
+//! Daemon:
+//!
+//! ```text
+//! serve --listen 127.0.0.1:7878 --cache-dir .regshare-cache \
+//!       [--cache-max-bytes N] [--workers N] [--max-pending N] [--timeout-ms N]
+//! ```
+//!
+//! Client (body to stdout, provenance meta line to stderr, exit 1 on a
+//! server-reported error):
+//!
+//! ```text
+//! serve --client 127.0.0.1:7878 --scenario scenarios/smoke.scenario \
+//!       [--format table|json] [--warmup N] [--measure N] [--retry N]
+//! serve --client 127.0.0.1:7878 --ping | --stats | --shutdown
+//! ```
+//!
+//! An address containing `/` is a Unix-domain socket path.
+
+use regshare_bench::Scenario;
+use regshare_serve::client::Connection;
+use regshare_serve::engine::{Engine, EngineConfig, Format};
+use regshare_serve::server::Server;
+use std::sync::Arc;
+
+struct Args {
+    listen: Option<String>,
+    client: Option<String>,
+    scenario: Option<String>,
+    format: Format,
+    warmup: Option<u64>,
+    measure: Option<u64>,
+    retry: u32,
+    ping: bool,
+    stats: bool,
+    shutdown: bool,
+    engine: EngineConfig,
+}
+
+fn usage() -> String {
+    "usage:\n  serve --listen <addr> [--cache-dir DIR] [--cache-max-bytes N] \
+     [--workers N] [--max-pending N] [--timeout-ms N]\n  serve --client <addr> \
+     --scenario FILE [--format table|json] [--warmup N] [--measure N] [--retry N]\n  \
+     serve --client <addr> --ping | --stats | --shutdown\n\
+     an <addr> containing '/' is a unix socket path\n"
+        .to_string()
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        listen: None,
+        client: None,
+        scenario: None,
+        format: Format::Table,
+        warmup: None,
+        measure: None,
+        retry: 0,
+        ping: false,
+        stats: false,
+        shutdown: false,
+        engine: EngineConfig::default(),
+    };
+    fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        argv.next().ok_or_else(|| format!("{flag} needs a value"))
+    }
+    fn num<T: std::str::FromStr>(v: String, flag: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("{flag}: bad value {v:?}"))
+    }
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--listen" => args.listen = Some(value(&mut argv, "--listen")?),
+            "--client" => args.client = Some(value(&mut argv, "--client")?),
+            "--scenario" => args.scenario = Some(value(&mut argv, "--scenario")?),
+            "--format" => {
+                args.format = match value(&mut argv, "--format")?.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => return Err(format!("--format: expected table|json, got {other:?}")),
+                }
+            }
+            "--warmup" => args.warmup = Some(num(value(&mut argv, "--warmup")?, "--warmup")?),
+            "--measure" => args.measure = Some(num(value(&mut argv, "--measure")?, "--measure")?),
+            "--retry" => args.retry = num(value(&mut argv, "--retry")?, "--retry")?,
+            "--ping" => args.ping = true,
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            "--cache-dir" => args.engine.cache_dir = value(&mut argv, "--cache-dir")?,
+            "--cache-max-bytes" => {
+                args.engine.cache_max_bytes = Some(num(
+                    value(&mut argv, "--cache-max-bytes")?,
+                    "--cache-max-bytes",
+                )?)
+            }
+            "--workers" => args.engine.workers = num(value(&mut argv, "--workers")?, "--workers")?,
+            "--max-pending" => {
+                args.engine.max_pending = num(value(&mut argv, "--max-pending")?, "--max-pending")?
+            }
+            "--timeout-ms" => {
+                args.engine.timeout_ms = num(value(&mut argv, "--timeout-ms")?, "--timeout-ms")?
+            }
+            "--help" | "-h" => {
+                print!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    match (&args.listen, &args.client) {
+        (Some(_), Some(_)) => Err("--listen and --client are mutually exclusive".to_string()),
+        (None, None) => Err("need --listen (daemon) or --client (request)".to_string()),
+        _ => Ok(args),
+    }
+}
+
+fn run_daemon(addr: &str, config: EngineConfig) -> Result<(), String> {
+    let engine = Arc::new(Engine::new(config.clone()).map_err(|e| e.to_string())?);
+    let server = Server::bind(addr, engine).map_err(|e| e.to_string())?;
+    eprintln!(
+        "serve: listening on {} (cache {}, {} max pending, {} ms timeout)",
+        server.local_addr(),
+        config.cache_dir,
+        config.max_pending,
+        config.timeout_ms,
+    );
+    server.run().map_err(|e| e.to_string())
+}
+
+fn run_client(addr: &str, args: &Args) -> Result<(), String> {
+    let mut conn = Connection::connect(addr, args.retry).map_err(|e| e.to_string())?;
+    let reply = if args.ping {
+        conn.ping()
+    } else if args.stats {
+        conn.stats()
+    } else if args.shutdown {
+        conn.shutdown()
+    } else {
+        let path = args
+            .scenario
+            .as_deref()
+            .ok_or("--client needs --scenario (or --ping/--stats/--shutdown)")?;
+        let mut scenario = Scenario::load(path).map_err(|e| e.to_string())?;
+        if let Some(w) = args.warmup {
+            scenario.options.warmup = Some(w);
+        }
+        if let Some(m) = args.measure {
+            scenario.options.measure = Some(m);
+        }
+        conn.run(&scenario.render(), args.format)
+    };
+    match reply.map_err(|e| e.to_string())? {
+        Ok(reply) => {
+            // Body to stdout, provenance to stderr: the body stays
+            // byte-diffable against the batch binaries' output.
+            print!("{}", reply.body);
+            eprintln!("[serve: {}]", reply.meta);
+            Ok(())
+        }
+        Err(server_err) => Err(format!("server: {server_err}")),
+    }
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("serve: {e}\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    let result = if let Some(addr) = &args.listen {
+        run_daemon(addr, args.engine.clone())
+    } else {
+        run_client(args.client.as_deref().unwrap(), &args)
+    };
+    if let Err(e) = result {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}

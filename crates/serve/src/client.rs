@@ -1,0 +1,131 @@
+//! A small synchronous client for the daemon protocol — what the
+//! `serve --client` mode and the end-to-end tests use.
+
+use crate::engine::Format;
+use crate::protocol::{read_reply, write_run, Reply};
+use crate::server::is_unix_addr;
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a daemon. Requests are serial per connection; open
+/// several connections for parallelism.
+pub struct Connection {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+fn connect_once(addr: &str) -> std::io::Result<(Stream, Stream)> {
+    if is_unix_addr(addr) {
+        #[cfg(unix)]
+        {
+            let s = UnixStream::connect(addr)?;
+            let r = s.try_clone()?;
+            return Ok((Stream::Unix(r), Stream::Unix(s)));
+        }
+        #[cfg(not(unix))]
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "unix socket paths are not supported on this platform",
+        ));
+    }
+    let s = TcpStream::connect(addr)?;
+    let r = s.try_clone()?;
+    Ok((Stream::Tcp(r), Stream::Tcp(s)))
+}
+
+impl Connection {
+    /// Connects to `addr` (TCP `host:port`, or a Unix socket path —
+    /// anything containing `/`). `retries` extra attempts are made 100 ms
+    /// apart, so a client started alongside the daemon can wait for the
+    /// socket to come up.
+    pub fn connect(addr: &str, retries: u32) -> std::io::Result<Connection> {
+        let mut attempt = 0;
+        loop {
+            match connect_once(addr) {
+                Ok((r, w)) => {
+                    return Ok(Connection {
+                        reader: BufReader::new(r),
+                        writer: w,
+                    })
+                }
+                Err(e) if attempt < retries => {
+                    let _ = e;
+                    attempt += 1;
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Submits a scenario (in `.scenario` text form) and reads the
+    /// reply. The outer `Err` is transport failure; the inner
+    /// `Err(line)` is a server-reported error such as
+    /// `busy: server is at capacity ...`.
+    pub fn run(
+        &mut self,
+        scenario_text: &str,
+        format: Format,
+    ) -> std::io::Result<Result<Reply, String>> {
+        write_run(&mut self.writer, format, scenario_text)?;
+        read_reply(&mut self.reader)
+    }
+
+    fn command(&mut self, cmd: &str) -> std::io::Result<Result<Reply, String>> {
+        writeln!(self.writer, "{cmd}")?;
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+
+    /// Liveness probe; replies `pong`.
+    pub fn ping(&mut self) -> std::io::Result<Result<Reply, String>> {
+        self.command("ping")
+    }
+
+    /// Engine counters, one `name value` per line.
+    pub fn stats(&mut self) -> std::io::Result<Result<Reply, String>> {
+        self.command("stats")
+    }
+
+    /// Asks the daemon to stop (it drains in-flight work first).
+    pub fn shutdown(&mut self) -> std::io::Result<Result<Reply, String>> {
+        self.command("shutdown")
+    }
+}

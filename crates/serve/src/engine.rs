@@ -1,0 +1,544 @@
+//! The cache-aware scheduling engine behind the daemon.
+//!
+//! [`Engine::submit`] takes a parsed [`Scenario`] and produces the same
+//! report the batch binaries print — but per (workload × configuration ×
+//! window) **cell** rather than per run:
+//!
+//! 1. the request is normalized (checkpoint plumbing cleared, run options
+//!    pinned over the once-per-process environment snapshot) and
+//!    validated with the scenario layer's typed errors;
+//! 2. every cell is content-addressed with
+//!    [`regshare_bench::cell_digest`] and looked up in the persistent
+//!    [`Cache`];
+//! 3. misses are **coalesced** against the in-flight table — two
+//!    concurrent requests needing the same cell trigger exactly one
+//!    simulation — and scheduled onto the worker pool under admission
+//!    control: when the number of queued-plus-running cells would exceed
+//!    the cap, the request is rejected with the typed, retriable
+//!    [`ServeError::Busy`] instead of growing the queue without bound;
+//! 4. the request waits for its cells under a deadline
+//!    ([`ServeError::Timeout`] on expiry — the cells keep computing and
+//!    warm the cache for the retry), then merges everything in spec
+//!    order and renders the body.
+//!
+//! Because the sweep engine is deterministic, a cache hit and a fresh
+//! computation yield byte-identical stats, so the rendered table is
+//! byte-identical whether the request was served cold, warm, or half-and-
+//! half — provenance is reported *next to* the body, never inside it.
+
+use crate::cache::{Cache, CacheError};
+use regshare_bench::digest::cell_digest;
+use regshare_bench::harness::{measure_program, Measurement, RunWindow};
+use regshare_bench::report::render_report;
+use regshare_bench::scenario::{Scenario, ScenarioError};
+use regshare_bench::sweep::SweepGrid;
+use regshare_bench::RunOptions;
+use regshare_core::{CoreConfig, SimStats};
+use regshare_isa::Program;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Any way a request can fail. Everything is typed: the protocol layer
+/// maps each variant to a wire error kind, and `Busy`/`Timeout` are
+/// explicitly retriable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The submitted scenario is invalid (unknown names, bad config...).
+    Scenario(ScenarioError),
+    /// The cache directory could not be opened or written.
+    Cache(CacheError),
+    /// Admission control: the job queue is full. Admission is checked
+    /// per *cell*, so a partially-admitted request's earlier cells keep
+    /// computing and warm the cache — a retry makes progress. Retriable.
+    Busy {
+        /// Cells queued or running when the request was rejected.
+        pending: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The request's cells did not all finish within the deadline. The
+    /// computations keep running and warm the cache, so a retry makes
+    /// progress. Retriable.
+    Timeout {
+        /// The configured per-request deadline.
+        ms: u64,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Scenario(e) => write!(f, "{e}"),
+            ServeError::Cache(e) => write!(f, "{e}"),
+            ServeError::Busy { pending, max } => write!(
+                f,
+                "server is at capacity ({pending}/{max} cells in flight); retry later"
+            ),
+            ServeError::Timeout { ms } => write!(
+                f,
+                "request exceeded the {ms} ms deadline; the cells keep \
+                 computing — retry to pick them up from the cache"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Scenario(e) => Some(e),
+            ServeError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ScenarioError> for ServeError {
+    fn from(e: ScenarioError) -> ServeError {
+        ServeError::Scenario(e)
+    }
+}
+
+impl From<CacheError> for ServeError {
+    fn from(e: CacheError) -> ServeError {
+        ServeError::Cache(e)
+    }
+}
+
+/// Response body format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// The standard report (byte-identical to the batch binaries).
+    Table,
+    /// A JSON document with per-cell provenance.
+    Json,
+}
+
+/// A served result: the rendered body plus per-request provenance.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// Rendered report (table) or JSON document.
+    pub body: String,
+    /// Cells in the request's matrix.
+    pub cells: usize,
+    /// Cells served from the persistent cache.
+    pub cached: usize,
+    /// Cells this request had to wait on a simulation for (fresh or
+    /// coalesced onto another request's in-flight computation).
+    pub computed: usize,
+}
+
+/// Engine construction knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Cache directory (created if missing).
+    pub cache_dir: String,
+    /// Byte cap for the cache; `None` = unbounded.
+    pub cache_max_bytes: Option<u64>,
+    /// Worker threads; 0 = available parallelism.
+    pub workers: usize,
+    /// Admission cap: maximum queued-plus-running cells.
+    pub max_pending: usize,
+    /// Per-request deadline in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_dir: ".regshare-cache".to_string(),
+            cache_max_bytes: None,
+            workers: 0,
+            max_pending: 1024,
+            timeout_ms: 120_000,
+        }
+    }
+}
+
+/// One cell's rendezvous between the worker that computes it and every
+/// request waiting on it.
+struct Slot {
+    stats: Mutex<Option<SimStats>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            stats: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, stats: SimStats) {
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
+        self.ready.notify_all();
+    }
+
+    fn wait_until(&self, deadline: Instant) -> Option<SimStats> {
+        let mut guard = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(stats) = *guard {
+                return Some(stats);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .ready
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+}
+
+/// One unit of work for the pool.
+struct Job {
+    key: u64,
+    workload: String,
+    program: Arc<Program>,
+    cfg: CoreConfig,
+    window: RunWindow,
+    slot: Arc<Slot>,
+}
+
+/// State shared between the engine front and the worker threads.
+struct Shared {
+    cache: Cache,
+    /// Cells currently queued or computing, keyed by content address.
+    inflight: Mutex<HashMap<u64, Arc<Slot>>>,
+    /// Queued-plus-running cell count (admission control).
+    pending: AtomicUsize,
+    /// Cells actually simulated since engine start — THE exactly-once
+    /// witness: a warm request leaves it untouched.
+    computed: AtomicU64,
+    /// Cells served from the persistent cache since engine start.
+    hits: AtomicU64,
+    /// Requests accepted (valid scenarios) since engine start.
+    requests: AtomicU64,
+}
+
+impl Shared {
+    fn run_job(&self, job: Job) {
+        let m = measure_program(job.workload.clone(), &job.program, job.cfg, job.window);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        // Persist before publishing: once the slot is filled and the
+        // in-flight entry removed, later lookups must find the cache hit.
+        if let Err(e) = self.cache.store(job.key, &job.workload, &m.stats) {
+            eprintln!("serve: cache store failed (serving from memory): {e}");
+        }
+        job.slot.fill(m.stats);
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&job.key);
+        self.pending.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The persistent, cache-aware scheduler. Cheap to share (`Arc`) across
+/// connection threads; dropping it drains the worker pool.
+pub struct Engine {
+    shared: Arc<Shared>,
+    /// Senders are cloned per enqueue; `None` after shutdown.
+    tx: Mutex<Option<mpsc::Sender<Job>>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    timeout: Duration,
+    max_pending: usize,
+    /// The deprecated environment fallbacks, pinned at engine start and
+    /// threaded through every request's [`RunOptions`].
+    env_baseline: RunOptions,
+}
+
+impl Engine {
+    /// Opens the cache and starts the worker pool.
+    pub fn new(config: EngineConfig) -> Result<Engine, ServeError> {
+        let cache = Cache::open(&config.cache_dir, config.cache_max_bytes)?;
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        let shared = Arc::new(Shared {
+            cache,
+            inflight: Mutex::new(HashMap::new()),
+            pending: AtomicUsize::new(0),
+            computed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        });
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || loop {
+                let job = {
+                    let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                    guard.recv()
+                };
+                match job {
+                    Ok(job) => shared.run_job(job),
+                    Err(_) => break, // engine dropped
+                }
+            }));
+        }
+        Ok(Engine {
+            shared,
+            tx: Mutex::new(Some(tx)),
+            workers: Mutex::new(handles),
+            timeout: Duration::from_millis(config.timeout_ms),
+            max_pending: config.max_pending,
+            env_baseline: regshare_bench::env_fallbacks(),
+        })
+    }
+
+    /// Cells actually simulated since engine start. A request served
+    /// entirely from the persistent cache leaves this unchanged — the
+    /// acceptance witness for warm serving.
+    pub fn computed_cells(&self) -> u64 {
+        self.shared.computed.load(Ordering::Relaxed)
+    }
+
+    /// Cells served from the persistent cache since engine start.
+    pub fn cache_hits(&self) -> u64 {
+        self.shared.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests accepted (validated) since engine start.
+    pub fn requests(&self) -> u64 {
+        self.shared.requests.load(Ordering::Relaxed)
+    }
+
+    /// The cache this engine serves from.
+    pub fn cache(&self) -> &Cache {
+        &self.shared.cache
+    }
+
+    /// Normalizes a request: the daemon owns parallelism and checkpoint
+    /// plumbing (those keys are cleared), and unset run options resolve
+    /// against the environment snapshot taken at engine start.
+    fn normalize(&self, scenario: &Scenario) -> Scenario {
+        let mut s = scenario.clone();
+        s.options = s.options.over(self.env_baseline);
+        s.checkpoint_interval = None;
+        s.resume_from = None;
+        s
+    }
+
+    /// Serves one request. See the module docs for the full pipeline.
+    pub fn submit(&self, scenario: &Scenario, format: Format) -> Result<ServeResponse, ServeError> {
+        let s = self.normalize(scenario);
+        s.validate()?;
+        let workloads = s.resolve_workloads()?;
+        let mut configs: Vec<CoreConfig> = Vec::with_capacity(s.variants.len());
+        for (label, spec) in &s.variants {
+            configs.push(spec.to_config().map_err(|e| ScenarioError::InVariant {
+                label: label.clone(),
+                source: Box::new(e),
+            })?);
+        }
+        self.shared.requests.fetch_add(1, Ordering::Relaxed);
+
+        let window = s.options.window();
+        let nv = configs.len();
+        let n = workloads.len() * nv;
+        let mut stats: Vec<Option<SimStats>> = vec![None; n];
+        let mut from_cache = vec![false; n];
+        // Duplicate keys inside one request (two labels resolving to the
+        // same machine) share one resolution.
+        let mut first_of_key: HashMap<u64, usize> = HashMap::new();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        let mut waits: Vec<(usize, Arc<Slot>)> = Vec::new();
+        // Programs are built at most once per workload per request, and
+        // only when some cell of that workload actually misses.
+        let mut programs: Vec<Option<Arc<Program>>> = vec![None; workloads.len()];
+
+        for i in 0..n {
+            let (w, v) = (i / nv, i % nv);
+            let name = &workloads[w].name;
+            let key = cell_digest(name, &configs[v], window);
+            if let Some(&j) = first_of_key.get(&key) {
+                dups.push((i, j));
+                continue;
+            }
+            first_of_key.insert(key, i);
+
+            match self.shared.cache.load(key, name) {
+                Ok(Some(hit)) => {
+                    stats[i] = Some(hit);
+                    from_cache[i] = true;
+                    self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    // A damaged entry is recomputed, not served wrong and
+                    // not fatal to the request.
+                    eprintln!("serve: discarding bad cache entry {key:016x}: {e}");
+                    let _ = std::fs::remove_file(self.shared.cache.entry_path(key));
+                }
+            }
+
+            // Build (or reuse) the program before taking the in-flight
+            // lock; on the rare attach the build is wasted, never wrong.
+            let program = programs[w]
+                .get_or_insert_with(|| Arc::new(workloads[w].build()))
+                .clone();
+
+            let slot = {
+                let mut inflight = self
+                    .shared
+                    .inflight
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner());
+                if let Some(slot) = inflight.get(&key) {
+                    // Coalesce onto the computation already in flight.
+                    Arc::clone(slot)
+                } else if let Ok(Some(hit)) = self.shared.cache.load(key, name) {
+                    // The cell completed between our miss and this lock
+                    // (workers persist before unpublishing, so a vanished
+                    // in-flight entry is always a cache hit by now).
+                    stats[i] = Some(hit);
+                    from_cache[i] = true;
+                    self.shared.hits.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                } else {
+                    let pending = self.shared.pending.load(Ordering::Relaxed);
+                    if pending >= self.max_pending {
+                        return Err(ServeError::Busy {
+                            pending,
+                            max: self.max_pending,
+                        });
+                    }
+                    self.shared.pending.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::new(Slot::new());
+                    inflight.insert(key, Arc::clone(&slot));
+                    let tx = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(tx) = tx.as_ref() {
+                        let _ = tx.send(Job {
+                            key,
+                            workload: name.clone(),
+                            program,
+                            cfg: configs[v].clone(),
+                            window,
+                            slot: Arc::clone(&slot),
+                        });
+                    }
+                    slot
+                }
+            };
+            waits.push((i, slot));
+        }
+
+        // Wait for every miss under one request-wide deadline.
+        let deadline = Instant::now() + self.timeout;
+        for (i, slot) in waits {
+            match slot.wait_until(deadline) {
+                Some(computed) => stats[i] = Some(computed),
+                None => {
+                    return Err(ServeError::Timeout {
+                        ms: self.timeout.as_millis() as u64,
+                    })
+                }
+            }
+        }
+        for (i, j) in dups {
+            stats[i] = stats[j];
+            from_cache[i] = from_cache[j];
+        }
+
+        let cached = from_cache.iter().filter(|&&c| c).count();
+        let cells: Vec<Measurement> = stats
+            .iter()
+            .enumerate()
+            .map(|(i, st)| Measurement {
+                name: workloads[i / nv].name.clone(),
+                stats: st.expect("every cell resolved"),
+            })
+            .collect();
+        let labels: Vec<String> = s.variants.iter().map(|(l, _)| l.clone()).collect();
+        let grid = SweepGrid::from_parts(workloads, labels, cells);
+        let body = match format {
+            Format::Table => render_report(&s, &grid),
+            Format::Json => json_report(&s, &grid, &from_cache),
+        };
+        Ok(ServeResponse {
+            body,
+            cells: n,
+            cached,
+            computed: n - cached,
+        })
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Close the queue, then drain the pool: in-flight cells finish
+        // (and land in the cache) before the engine disappears.
+        *self.tx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Renders the JSON body: scenario identity, resolved window, and one
+/// object per cell with IPC, raw cycle/µ-op counts and `cached`
+/// provenance. Hand-rolled like `BENCH_*.json` — the workspace is
+/// dependency-free. Scenario names/notes need no escaping: validation
+/// already rejects quotes, backslashes and control characters.
+fn json_report(scenario: &Scenario, grid: &SweepGrid, from_cache: &[bool]) -> String {
+    let window = scenario.options.window();
+    let labels = grid.labels();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"scenario\": \"{}\",\n", scenario.name));
+    if !scenario.note.is_empty() {
+        out.push_str(&format!("  \"note\": \"{}\",\n", scenario.note));
+    }
+    out.push_str(&format!(
+        "  \"window\": {{ \"warmup\": {}, \"measure\": {} }},\n",
+        window.warmup, window.measure
+    ));
+    out.push_str(&format!(
+        "  \"variants\": [{}],\n",
+        labels
+            .iter()
+            .map(|l| format!("\"{l}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  \"cells\": [\n");
+    let nv = labels.len();
+    let mut first = true;
+    for (w, row) in grid.rows().enumerate() {
+        for (v, label) in labels.iter().enumerate() {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let m = row.get(label);
+            out.push_str(&format!(
+                "    {{ \"workload\": \"{}\", \"variant\": \"{label}\", \
+                 \"ipc\": {:.6}, \"cycles\": {}, \"committed\": {}, \
+                 \"cached\": {} }}",
+                row.workload().name,
+                m.ipc(),
+                m.stats.cycles,
+                m.stats.committed,
+                from_cache[w * nv + v]
+            ));
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

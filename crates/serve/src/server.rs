@@ -1,0 +1,269 @@
+//! The listener: accepts connections, speaks the protocol, drives the
+//! engine. One thread per connection (connections are long-lived and
+//! few; the *cells* are what fan out, and those go through the engine's
+//! bounded worker pool, not through connection threads).
+
+use crate::engine::{Engine, Format, ServeError};
+use crate::protocol::{error_kind, read_request, write_err, write_ok, write_response, Request};
+use regshare_bench::Scenario;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+enum Conn {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Conn {
+    fn split(self) -> std::io::Result<(Conn, Conn)> {
+        match self {
+            Conn::Tcp(s) => {
+                let r = s.try_clone()?;
+                Ok((Conn::Tcp(r), Conn::Tcp(s)))
+            }
+            #[cfg(unix)]
+            Conn::Unix(s) => {
+                let r = s.try_clone()?;
+                Ok((Conn::Unix(r), Conn::Unix(s)))
+            }
+        }
+    }
+}
+
+impl std::io::Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Conn::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound daemon. [`Server::run`] blocks until a client sends
+/// `shutdown`.
+pub struct Server {
+    listener: Listener,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    /// The address [`Server::wake`] reconnects to — for TCP this is the
+    /// *resolved* address, so binding port 0 still works.
+    addr: String,
+    /// A Unix socket path to unlink when the server stops.
+    #[cfg_attr(not(unix), allow(dead_code))]
+    cleanup: Option<String>,
+}
+
+/// Whether `addr` names a Unix socket path (contains `/`) rather than a
+/// TCP `host:port`.
+pub fn is_unix_addr(addr: &str) -> bool {
+    addr.contains('/')
+}
+
+impl Server {
+    /// Binds `addr`: a `host:port` TCP address, or (on Unix) a
+    /// filesystem path — anything containing `/` — for a Unix-domain
+    /// socket. A stale socket file from a crashed daemon is replaced.
+    pub fn bind(addr: &str, engine: Arc<Engine>) -> std::io::Result<Server> {
+        if is_unix_addr(addr) {
+            #[cfg(unix)]
+            {
+                // Only unlink if nothing is listening: a live daemon on
+                // the same path is an error, not a takeover.
+                if std::path::Path::new(addr).exists() {
+                    if UnixStream::connect(addr).is_ok() {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::AddrInUse,
+                            format!("a daemon is already listening on {addr}"),
+                        ));
+                    }
+                    std::fs::remove_file(addr)?;
+                }
+                let listener = UnixListener::bind(addr)?;
+                return Ok(Server {
+                    listener: Listener::Unix(listener),
+                    engine,
+                    stop: Arc::new(AtomicBool::new(false)),
+                    addr: addr.to_string(),
+                    cleanup: Some(addr.to_string()),
+                });
+            }
+            #[cfg(not(unix))]
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "unix socket paths are not supported on this platform",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let resolved = listener.local_addr()?.to_string();
+        Ok(Server {
+            listener: Listener::Tcp(listener),
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+            addr: resolved,
+            cleanup: None,
+        })
+    }
+
+    /// The bound address — the resolved `host:port` for TCP (useful
+    /// after binding port 0), the socket path for Unix.
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// A handle that stops the server from another thread (used by the
+    /// in-process tests; clients use the `shutdown` command).
+    pub fn stop_handle(&self) -> ServerStop {
+        ServerStop {
+            stop: Arc::clone(&self.stop),
+            addr: self.addr.clone(),
+        }
+    }
+
+    /// Accept loop. Returns when `shutdown` is received (or the stop
+    /// handle fires). Connection threads are detached: the daemon does
+    /// not wait for idle clients to hang up before stopping — the
+    /// client that asked for shutdown has its reply by then, and
+    /// dropping the engine afterwards drains the simulation pool.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            let conn = match &self.listener {
+                Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+                #[cfg(unix)]
+                Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            };
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let conn = match conn {
+                Ok(conn) => conn,
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    continue;
+                }
+            };
+            let engine = Arc::clone(&self.engine);
+            let stop = ServerStop {
+                stop: Arc::clone(&self.stop),
+                addr: self.addr.clone(),
+            };
+            std::thread::spawn(move || {
+                if let Err(e) = serve_connection(conn, &engine, &stop) {
+                    // A peer vanishing mid-request is routine, not fatal.
+                    eprintln!("serve: connection ended: {e}");
+                }
+            });
+        }
+        #[cfg(unix)]
+        if let Some(path) = &self.cleanup {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// Stops a running [`Server`] from another thread.
+#[derive(Clone)]
+pub struct ServerStop {
+    stop: Arc<AtomicBool>,
+    addr: String,
+}
+
+impl ServerStop {
+    /// Flags the server to stop and wakes its accept loop.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        #[cfg(unix)]
+        if is_unix_addr(&self.addr) {
+            let _ = UnixStream::connect(&self.addr);
+            return;
+        }
+        let _ = TcpStream::connect(&self.addr);
+    }
+}
+
+fn serve_connection(conn: Conn, engine: &Engine, stop: &ServerStop) -> std::io::Result<()> {
+    let (read_half, mut w) = conn.split()?;
+    let mut r = BufReader::new(read_half);
+    loop {
+        let req = match read_request(&mut r) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                write_err(&mut w, "protocol", &e.to_string())?;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        match req {
+            Request::Quit => return Ok(()),
+            Request::Ping => write_ok(&mut w, "pong", "")?,
+            Request::Stats => {
+                let body = format!(
+                    "requests {}\ncomputed_cells {}\ncache_hits {}\ncache_entries {}\n",
+                    engine.requests(),
+                    engine.computed_cells(),
+                    engine.cache_hits(),
+                    engine.cache().len().unwrap_or(0),
+                );
+                write_ok(&mut w, "stats", &body)?;
+            }
+            Request::Shutdown => {
+                write_ok(&mut w, "bye", "")?;
+                stop.stop();
+                return Ok(());
+            }
+            Request::Run {
+                format,
+                scenario_text,
+            } => match run_request(engine, &scenario_text, format) {
+                Ok(resp) => write_response(&mut w, &resp)?,
+                Err(e) => write_err(&mut w, error_kind(&e), &e.to_string())?,
+            },
+        }
+    }
+}
+
+fn run_request(
+    engine: &Engine,
+    scenario_text: &str,
+    format: Format,
+) -> Result<crate::engine::ServeResponse, ServeError> {
+    let scenario = Scenario::parse(scenario_text)?;
+    engine.submit(&scenario, format)
+}

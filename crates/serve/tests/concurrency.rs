@@ -1,0 +1,192 @@
+//! Scheduling semantics under concurrency: parallel clients match a
+//! serial run, coalescing computes each in-flight cell exactly once,
+//! admission control rejects with the typed `Busy`, and a timed-out
+//! request's cells still land in the cache.
+
+use regshare_bench::{render_report, RunOptions, Scenario, VariantSpec};
+use regshare_serve::engine::{Engine, EngineConfig, Format, ServeError};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny(name: &str, workloads: &[&str]) -> Scenario {
+    Scenario::builder(name)
+        .options(RunOptions::default().warmup(500).measure(1_500))
+        .workloads(workloads)
+        .variant("base", VariantSpec::hpca16())
+        .variant("both", VariantSpec::preset("me_smb"))
+        .build()
+        .unwrap()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("regshare-serve-cc-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn as_str(&self) -> String {
+        self.0.to_str().unwrap().to_string()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn engine_with(dir: &TempDir, f: impl FnOnce(&mut EngineConfig)) -> Engine {
+    let mut config = EngineConfig {
+        cache_dir: dir.as_str(),
+        workers: 2,
+        ..EngineConfig::default()
+    };
+    f(&mut config);
+    Engine::new(config).unwrap()
+}
+
+#[test]
+fn parallel_clients_match_serial_runs() {
+    let dir = TempDir::new("par-eq");
+    let eng = Arc::new(engine_with(&dir, |_| {}));
+    // Overlapping matrices: crafty cells are shared across all three.
+    let scenarios = [
+        tiny("cc_a", &["crafty"]),
+        tiny("cc_b", &["crafty", "hmmer"]),
+        tiny("cc_c", &["hmmer", "crafty"]),
+    ];
+
+    let handles: Vec<_> = scenarios
+        .iter()
+        .map(|s| {
+            let eng = Arc::clone(&eng);
+            let s = s.clone();
+            std::thread::spawn(move || eng.submit(&s, Format::Table).unwrap().body)
+        })
+        .collect();
+    let bodies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    for (s, body) in scenarios.iter().zip(&bodies) {
+        let grid = s.to_sweep().unwrap().run();
+        assert_eq!(
+            *body,
+            render_report(s, &grid),
+            "served {} == batch engine",
+            s.name
+        );
+    }
+    // 4 unique cells across all three requests (crafty and hmmer under 2
+    // variants each): never more than one computation per unique cell,
+    // however the threads interleaved.
+    assert_eq!(eng.computed_cells(), 4);
+}
+
+#[test]
+fn identical_inflight_requests_compute_each_cell_exactly_once() {
+    let dir = TempDir::new("coalesce");
+    let eng = Arc::new(engine_with(&dir, |c| c.workers = 2));
+    let scenario = tiny("cc_dup", &["crafty", "hmmer"]);
+
+    let handles: Vec<_> = (0..8)
+        .map(|_| {
+            let eng = Arc::clone(&eng);
+            let s = scenario.clone();
+            std::thread::spawn(move || eng.submit(&s, Format::Table).unwrap())
+        })
+        .collect();
+    let mut bodies = Vec::new();
+    for h in handles {
+        let resp = h.join().unwrap();
+        assert_eq!(resp.cells, 4);
+        bodies.push(resp.body);
+    }
+    assert!(bodies.windows(2).all(|w| w[0] == w[1]), "all bodies agree");
+    // THE exactly-once witness: 8 concurrent identical requests, 4 unique
+    // cells, 4 simulations total — every duplicate either coalesced onto
+    // the in-flight slot or hit the cache.
+    assert_eq!(eng.computed_cells(), 4);
+}
+
+#[test]
+fn duplicate_variant_labels_share_one_computation() {
+    let dir = TempDir::new("dup-label");
+    let eng = engine_with(&dir, |_| {});
+    // Two labels, same machine: the matrix has 2 cells per workload but
+    // only 1 unique address.
+    let scenario = Scenario::builder("cc_twin")
+        .options(RunOptions::default().warmup(500).measure(1_500))
+        .workloads(&["crafty"])
+        .variant("a", VariantSpec::hpca16())
+        .variant("b", VariantSpec::hpca16())
+        .build()
+        .unwrap();
+    let resp = eng.submit(&scenario, Format::Table).unwrap();
+    assert_eq!(resp.cells, 2);
+    assert_eq!(eng.computed_cells(), 1, "twin cells simulate once");
+    // Both labelled columns render identical numbers.
+    let grid = scenario.to_sweep().unwrap().run();
+    assert_eq!(grid.get(0, "a").stats, grid.get(0, "b").stats);
+    assert_eq!(resp.body, render_report(&scenario, &grid));
+}
+
+#[test]
+fn admission_control_rejects_misses_when_full_but_serves_hits() {
+    let dir = TempDir::new("busy");
+    let scenario = tiny("cc_busy", &["crafty"]);
+
+    // max_pending = 0: every miss is over capacity, deterministically.
+    let strict = engine_with(&dir, |c| c.max_pending = 0);
+    match strict.submit(&scenario, Format::Table) {
+        Err(ServeError::Busy { pending, max }) => {
+            assert_eq!(max, 0);
+            assert_eq!(pending, 0);
+        }
+        other => panic!("expected Busy, got {other:?}"),
+    }
+    assert_eq!(strict.computed_cells(), 0);
+    drop(strict);
+
+    // Warm the cache with a permissive engine...
+    let warm = engine_with(&dir, |_| {});
+    warm.submit(&scenario, Format::Table).unwrap();
+    drop(warm);
+
+    // ...and the strict engine now serves the same request fine:
+    // admission control gates *computation*, never cache hits.
+    let strict = engine_with(&dir, |c| c.max_pending = 0);
+    let resp = strict.submit(&scenario, Format::Table).unwrap();
+    assert_eq!(resp.computed, 0);
+    assert_eq!(resp.cached, 2);
+}
+
+#[test]
+fn timed_out_cells_still_complete_and_warm_the_cache() {
+    let dir = TempDir::new("timeout");
+    let scenario = tiny("cc_timeout", &["crafty"]);
+    let eng = engine_with(&dir, |c| c.timeout_ms = 0);
+
+    match eng.submit(&scenario, Format::Table) {
+        Err(ServeError::Timeout { ms }) => assert_eq!(ms, 0),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+
+    // The abandoned cells keep computing; wait for the pool to finish.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    while eng.computed_cells() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "abandoned cells never completed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // The retry is served entirely from the cache — instantly, so the
+    // zero deadline never fires.
+    let resp = eng.submit(&scenario, Format::Table).unwrap();
+    assert_eq!(resp.computed, 0);
+    assert_eq!(resp.cached, 2);
+}

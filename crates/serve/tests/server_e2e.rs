@@ -1,0 +1,157 @@
+//! End-to-end over real sockets: bind, ping, submit the `.scenario` text
+//! format over the wire, verify cold/warm provenance and byte-identical
+//! bodies, protocol errors, stats, shutdown — on TCP and (on Unix) a
+//! Unix-domain socket.
+
+use regshare_bench::{render_report, RunOptions, Scenario, VariantSpec};
+use regshare_serve::client::Connection;
+use regshare_serve::engine::{Engine, EngineConfig, Format};
+use regshare_serve::server::Server;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tiny(name: &str) -> Scenario {
+    Scenario::builder(name)
+        .options(RunOptions::default().warmup(500).measure(1_500))
+        .workloads(&["crafty"])
+        .variant("base", VariantSpec::hpca16())
+        .variant("both", VariantSpec::preset("me_smb"))
+        .build()
+        .unwrap()
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let dir =
+            std::env::temp_dir().join(format!("regshare-serve-e2e-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn start_server(addr: &str, dir: &TempDir) -> (String, std::thread::JoinHandle<()>) {
+    let engine = Arc::new(
+        Engine::new(EngineConfig {
+            cache_dir: dir.0.join("cache").to_str().unwrap().to_string(),
+            workers: 2,
+            ..EngineConfig::default()
+        })
+        .unwrap(),
+    );
+    let server = Server::bind(addr, engine).unwrap();
+    let bound = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().unwrap());
+    (bound, handle)
+}
+
+#[test]
+fn tcp_end_to_end() {
+    let dir = TempDir::new("tcp");
+    // Port 0: the OS picks a free port; local_addr reports it.
+    let (addr, handle) = start_server("127.0.0.1:0", &dir);
+    let mut conn = Connection::connect(&addr, 5).unwrap();
+
+    // Liveness.
+    let pong = conn.ping().unwrap().unwrap();
+    assert_eq!(pong.meta, "pong len=0");
+
+    // Cold run: the checked-in text format is the wire format.
+    let scenario = tiny("e2e_tcp");
+    let cold = conn
+        .run(&scenario.render(), Format::Table)
+        .unwrap()
+        .unwrap();
+    assert_eq!(cold.meta_field("cells"), Some(2));
+    assert_eq!(cold.meta_field("computed"), Some(2));
+    let grid = scenario.to_sweep().unwrap().run();
+    assert_eq!(cold.body, render_report(&scenario, &grid));
+
+    // Warm run on a second connection: fully cached, byte-identical.
+    let mut conn2 = Connection::connect(&addr, 0).unwrap();
+    let warm = conn2
+        .run(&scenario.render(), Format::Table)
+        .unwrap()
+        .unwrap();
+    assert_eq!(warm.meta_field("computed"), Some(0));
+    assert_eq!(warm.meta_field("cached"), Some(2));
+    assert_eq!(warm.body, cold.body);
+
+    // A bad scenario is a typed wire error, and the connection survives.
+    let err = conn
+        .run("scenario bad\nworkload no_such_workload\n", Format::Table)
+        .unwrap()
+        .unwrap_err();
+    assert!(err.starts_with("scenario: "), "got {err:?}");
+    assert!(conn.ping().unwrap().is_ok(), "connection still usable");
+
+    // Counters made it into stats.
+    let stats = conn.stats().unwrap().unwrap();
+    assert!(stats.body.contains("computed_cells 2"), "{}", stats.body);
+    assert!(stats.body.contains("cache_entries 2"), "{}", stats.body);
+
+    // Shutdown stops the accept loop and joins cleanly.
+    let bye = conn.shutdown().unwrap().unwrap();
+    assert_eq!(bye.meta, "bye len=0");
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_commands_get_protocol_errors() {
+    use std::io::{BufRead, BufReader, Write};
+    let dir = TempDir::new("proto");
+    let (addr, handle) = start_server("127.0.0.1:0", &dir);
+
+    let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+    stream.write_all(b"frobnicate\n").unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("err protocol: "), "got {line:?}");
+
+    // The connection is still alive after the error.
+    stream.write_all(b"ping\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "ok pong len=0\n");
+
+    stream.write_all(b"shutdown\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line, "ok bye len=0\n");
+    handle.join().unwrap();
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_end_to_end() {
+    let dir = TempDir::new("unix");
+    std::fs::create_dir_all(&dir.0).unwrap();
+    let sock = dir.0.join("serve.sock").to_str().unwrap().to_string();
+    let (addr, handle) = start_server(&sock, &dir);
+    assert_eq!(addr, sock);
+
+    let mut conn = Connection::connect(&sock, 5).unwrap();
+    let scenario = tiny("e2e_unix");
+    let cold = conn.run(&scenario.render(), Format::Json).unwrap().unwrap();
+    assert_eq!(cold.meta_field("computed"), Some(2));
+    assert!(cold.body.contains("\"cached\": false"));
+
+    let warm = conn.run(&scenario.render(), Format::Json).unwrap().unwrap();
+    assert_eq!(warm.meta_field("computed"), Some(0));
+    assert!(warm.body.contains("\"cached\": true"));
+
+    conn.shutdown().unwrap().unwrap();
+    handle.join().unwrap();
+    assert!(
+        !std::path::Path::new(&sock).exists(),
+        "socket file cleaned up on shutdown"
+    );
+}

@@ -1,0 +1,126 @@
+//! Content-addressed result-cache entry codec.
+//!
+//! The serve daemon (`regshare-serve`) persists one file per simulated
+//! (workload × configuration × window) cell. Each file is a flat
+//! little-endian stream in the same discipline as [`crate::snapshot`] but
+//! under its **own** magic and version, because the two formats evolve
+//! independently: a machine-snapshot layout bump does not invalidate
+//! cached results, and a result-payload change does not refuse old
+//! machine snapshots.
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"RGSC"
+//! 4       4     cache format version (u32 LE), currently 1
+//! 8       8     cell digest (u64 LE): content address of the entry
+//! ```
+//!
+//! [`read_cache_header`] refuses a stream whose magic, version or digest
+//! does not match, with the same typed [`SnapError`]s the snapshot codec
+//! uses — a truncated or foreign-version cache file is a *diagnosed*
+//! rejection, never a panic or a silently-wrong result.
+
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
+
+/// Magic bytes opening every cache-entry stream.
+pub const CACHE_MAGIC: [u8; 4] = *b"RGSC";
+
+/// Current cache-entry format version. Bump on ANY payload layout change
+/// (including a layout change of the stats the payload embeds) — like the
+/// snapshot format, there is no migration path: an old entry is refused
+/// (and recomputed), never reinterpreted.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Writes the cache-entry header (magic, format version, cell digest).
+pub fn write_cache_header(w: &mut SnapWriter, cell_digest: u64) {
+    w.put_bytes(&CACHE_MAGIC);
+    w.put_u32(CACHE_FORMAT_VERSION);
+    w.put_u64(cell_digest);
+}
+
+/// Reads and validates a cache-entry header against `expected_digest`,
+/// in check order: magic, version, digest.
+pub fn read_cache_header(r: &mut SnapReader<'_>, expected_digest: u64) -> Result<(), SnapError> {
+    let magic: [u8; 4] = r.get_bytes(4)?.try_into().unwrap();
+    if magic != CACHE_MAGIC {
+        return Err(SnapError::BadMagic { found: magic });
+    }
+    let version = r.get_u32()?;
+    if version != CACHE_FORMAT_VERSION {
+        return Err(SnapError::BadVersion {
+            found: version,
+            supported: CACHE_FORMAT_VERSION,
+        });
+    }
+    let digest = r.get_u64()?;
+    if digest != expected_digest {
+        return Err(SnapError::ConfigDigestMismatch {
+            found: digest,
+            expected: expected_digest,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(digest: u64) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        write_cache_header(&mut w, digest);
+        w.put_u64(0xfeed);
+        w.finish()
+    }
+
+    #[test]
+    fn round_trips_and_checks_in_order() {
+        let bytes = entry(42);
+        let mut r = SnapReader::new(&bytes);
+        read_cache_header(&mut r, 42).unwrap();
+        assert_eq!(r.get_u64().unwrap(), 0xfeed);
+        r.expect_eof().unwrap();
+    }
+
+    #[test]
+    fn foreign_streams_are_refused_with_typed_errors() {
+        // A machine snapshot is NOT a cache entry: different magic.
+        let mut w = SnapWriter::new();
+        crate::snapshot::write_header(&mut w, 42);
+        let snap = w.finish();
+        assert!(matches!(
+            read_cache_header(&mut SnapReader::new(&snap), 42),
+            Err(SnapError::BadMagic { .. })
+        ));
+
+        // Foreign version.
+        let mut bytes = entry(42);
+        bytes[4] = CACHE_FORMAT_VERSION as u8 + 1;
+        assert_eq!(
+            read_cache_header(&mut SnapReader::new(&bytes), 42),
+            Err(SnapError::BadVersion {
+                found: CACHE_FORMAT_VERSION + 1,
+                supported: CACHE_FORMAT_VERSION,
+            })
+        );
+
+        // Wrong cell digest (a file renamed over another cell's address).
+        let bytes = entry(7);
+        assert_eq!(
+            read_cache_header(&mut SnapReader::new(&bytes), 42),
+            Err(SnapError::ConfigDigestMismatch {
+                found: 7,
+                expected: 42
+            })
+        );
+
+        // Truncation anywhere in the header.
+        let bytes = entry(42);
+        for cut in [0, 3, 7, 15] {
+            assert!(matches!(
+                read_cache_header(&mut SnapReader::new(&bytes[..cut]), 42),
+                Err(SnapError::ShortRead { .. })
+            ));
+        }
+    }
+}

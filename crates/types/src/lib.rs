@@ -19,6 +19,7 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod counter;
 pub mod hasher;
 pub mod snapshot;

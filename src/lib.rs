@@ -23,6 +23,7 @@
 //! | [`core`] | `regshare-core` | the cycle-level out-of-order core simulator |
 //! | [`workloads`] | `regshare-workloads` | synthetic SPEC-like workload suite |
 //! | [`mod@bench`] | `regshare-bench` | scenario layer, measurement harness and the deterministic parallel sweep engine |
+//! | [`serve`] | `regshare-serve` | persistent simulation daemon with a content-addressed result cache |
 //!
 //! The experiment front door is the scenario layer: a [`Scenario`] names a
 //! (workloads × configurations) experiment, validates it with typed errors,
@@ -77,6 +78,7 @@ pub use regshare_isa as isa;
 pub use regshare_mem as mem;
 pub use regshare_predictors as predictors;
 pub use regshare_refcount as refcount;
+pub use regshare_serve as serve;
 pub use regshare_types as types;
 pub use regshare_workloads as workloads;
 
