@@ -14,7 +14,11 @@ use regshare_types::stats::geomean;
 fn main() {
     let scenario = preset("fig4_baseline").expect("built-in scenario");
     let window = scenario.options.window();
-    let grid = scenario.to_sweep().expect("preset validates").run();
+    let grid = scenario
+        .to_sweep()
+        .expect("preset validates")
+        .run()
+        .expect("sweep completes");
     let mut t = Table::new(vec![
         "bench",
         "class",
@@ -26,7 +30,7 @@ fn main() {
     ]);
     let mut ipcs = Vec::new();
     for row in grid.rows() {
-        let m = row.get("base");
+        let m = row.get("base").expect("declared label");
         ipcs.push(m.ipc());
         t.row(vec![
             row.workload().name.clone(),

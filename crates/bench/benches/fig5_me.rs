@@ -16,7 +16,11 @@ const SIZES: [(usize, &str); 4] = [(8, "me8"), (16, "me16"), (32, "me32"), (0, "
 
 fn main() {
     let scenario = preset("fig5_me").expect("built-in scenario");
-    let grid = scenario.to_sweep().expect("preset validates").run();
+    let grid = scenario
+        .to_sweep()
+        .expect("preset validates")
+        .run()
+        .expect("sweep completes");
 
     let mut t = Table::new(vec![
         "bench",
@@ -30,14 +34,20 @@ fn main() {
     for row in grid.rows() {
         let mut cells = vec![
             row.workload().name.clone(),
-            format!("{:.3}", row.get("base").ipc()),
+            format!("{:.3}", row.get("base").expect("declared label").ipc()),
         ];
         for (_, label) in SIZES {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
         cells.push(format!(
             "{:.2}%",
-            row.get("meUnl").stats.pct_renamed_eliminated()
+            row.get("meUnl")
+                .expect("declared label")
+                .stats
+                .pct_renamed_eliminated()
         ));
         t.row(cells);
     }
@@ -49,7 +59,7 @@ fn main() {
         };
         t.footer(format!(
             "geomean speedup, ISRB {pretty}: {:+.2}%",
-            grid.geomean_speedup("base", label)
+            grid.geomean_speedup("base", label).expect("declared label")
         ));
     }
     println!("# Figure 5(a)+(b): move elimination vs ISRB size\n");

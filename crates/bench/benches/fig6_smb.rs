@@ -20,7 +20,11 @@ const SIZES: [(usize, &str); 4] = [(16, "smb16"), (24, "smb24"), (32, "smb32"), 
 
 fn main() {
     let scenario = preset("fig6_smb").expect("built-in scenario");
-    let grid = scenario.to_sweep().expect("preset validates").run();
+    let grid = scenario
+        .to_sweep()
+        .expect("preset validates")
+        .run()
+        .expect("sweep completes");
 
     let mut t = Table::new(vec![
         "bench",
@@ -41,13 +45,19 @@ fn main() {
         "speedup%",
     ]);
     for row in grid.rows() {
-        let base = row.get("base");
-        let unl = row.get("smbUnl");
+        let base = row.get("base").expect("declared label");
+        let unl = row.get("smbUnl").expect("declared label");
         let mut cells = vec![row.workload().name.clone(), format!("{:.3}", base.ipc())];
         for (_, label) in SIZES {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
-        cells.push(format!("{:+.2}", row.speedup("base", "nosqUnl")));
+        cells.push(format!(
+            "{:+.2}",
+            row.speedup("base", "nosqUnl").expect("declared label")
+        ));
         cells.push(format!("{:.1}%", unl.stats.pct_loads_bypassed()));
         t.row(cells);
         // Figure 6(b): only workloads with meaningful baseline event counts.
@@ -58,7 +68,10 @@ fn main() {
                 format!("{}", unl.stats.memory_traps),
                 format!("{}", base.stats.false_dependencies),
                 format!("{}", unl.stats.false_dependencies),
-                format!("{:+.2}", row.speedup("base", "smbUnl")),
+                format!(
+                    "{:+.2}",
+                    row.speedup("base", "smbUnl").expect("declared label")
+                ),
             ]);
         }
     }
@@ -71,7 +84,7 @@ fn main() {
     ] {
         t.footer(format!(
             "geomean speedup, {pretty}: {:+.2}%",
-            grid.geomean_speedup("base", label)
+            grid.geomean_speedup("base", label).expect("declared label")
         ));
     }
     println!("# Figure 6(a): SMB speedup vs ISRB size (+ NoSQ-style predictor)\n");

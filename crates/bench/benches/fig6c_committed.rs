@@ -16,7 +16,11 @@ const LABELS: [&str; 4] = ["eager-unl", "lazy-unl", "eager-24", "lazy-24"];
 
 fn main() {
     let scenario = preset("fig6c_committed").expect("built-in scenario");
-    let grid = scenario.to_sweep().expect("preset validates").run();
+    let grid = scenario
+        .to_sweep()
+        .expect("preset validates")
+        .run()
+        .expect("sweep completes");
 
     let mut t = Table::new(vec![
         "bench",
@@ -29,18 +33,24 @@ fn main() {
     for row in grid.rows() {
         let mut cells = vec![row.workload().name.clone()];
         for label in LABELS {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
         cells.push(format!(
             "{}",
-            row.get("lazy-unl").stats.bypass_from_committed
+            row.get("lazy-unl")
+                .expect("declared label")
+                .stats
+                .bypass_from_committed
         ));
         t.row(cells);
     }
     for label in LABELS {
         t.footer(format!(
             "geomean speedup, {label}: {:+.2}%",
-            grid.geomean_speedup("base", label)
+            grid.geomean_speedup("base", label).expect("declared label")
         ));
     }
     println!("# Figure 6(c): eager vs lazy reclaim (bypass from committed)\n");

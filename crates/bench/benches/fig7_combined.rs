@@ -26,7 +26,11 @@ const WIDTHS: [(u32, &str); 5] = [(1, "w1"), (2, "w2"), (3, "w3"), (4, "w4"), (3
 
 fn main() {
     let scenario = preset("fig7_combined").expect("built-in scenario");
-    let grid = scenario.to_sweep().expect("preset validates").run();
+    let grid = scenario
+        .to_sweep()
+        .expect("preset validates")
+        .run()
+        .expect("sweep completes");
 
     let mut t = Table::new(vec![
         "bench",
@@ -42,12 +46,21 @@ fn main() {
     for row in grid.rows() {
         let mut cells = vec![row.workload().name.clone()];
         for (_, label) in SIZES {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
-        cells.push(format!("{:+.2}", row.speedup("base", "meUnl")));
-        cells.push(format!("{:+.2}", row.speedup("base", "smbUnl")));
+        cells.push(format!(
+            "{:+.2}",
+            row.speedup("base", "meUnl").expect("declared label")
+        ));
+        cells.push(format!(
+            "{:+.2}",
+            row.speedup("base", "smbUnl").expect("declared label")
+        ));
         t.row(cells);
-        let m32 = row.get("both32");
+        let m32 = row.get("both32").expect("declared label");
         if let Some(d) = m32.stats.share_distance.mean() {
             share_dist.push(d);
         }
@@ -65,7 +78,7 @@ fn main() {
     ] {
         t.footer(format!(
             "geomean speedup, {pretty}: {:+.2}%",
-            grid.geomean_speedup("base", label)
+            grid.geomean_speedup("base", label).expect("declared label")
         ));
     }
     println!("# Figure 7: ME + SMB combined vs ISRB size\n");
@@ -90,7 +103,8 @@ fn main() {
         .expect("width-study scenario validates")
         .to_sweep()
         .expect("validated")
-        .run();
+        .run()
+        .expect("sweep completes");
     let mut tw = Table::new(vec!["bench", "1bit%", "2bit%", "3bit%", "4bit%", "31bit%"]);
     for row in wgrid.rows() {
         let base = grid
@@ -100,7 +114,7 @@ fn main() {
         for (_, label) in WIDTHS {
             cells.push(format!(
                 "{:+.2}",
-                speedup_pct(base.ipc(), row.get(label).ipc())
+                speedup_pct(base.ipc(), row.get(label).expect("declared label").ipc())
             ));
         }
         tw.row(cells);

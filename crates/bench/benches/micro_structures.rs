@@ -120,8 +120,9 @@ fn bench_sweep_engine(c: &mut Criterion) {
                     .variant("base", base.clone())
                     .variant("both", both.clone())
                     .jobs(jobs)
-                    .run();
-                black_box(grid.get(0, "both").ipc())
+                    .run()
+                    .expect("sweep completes");
+                black_box(grid.get(0, "both").expect("declared label").ipc())
             });
         });
     }

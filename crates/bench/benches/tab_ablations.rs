@@ -82,8 +82,8 @@ fn tracker_table(grid: &SweepGrid, trackers: &[(&str, VariantSpec)]) -> Table {
         let mut stalls = 0u64;
         let mut ckpt_writes = 0u64;
         for row in grid.rows() {
-            let m = row.get(name);
-            speedups.push(1.0 + row.speedup("base", name) / 100.0);
+            let m = row.get(name).expect("declared label");
+            speedups.push(1.0 + row.speedup("base", name).expect("declared label") / 100.0);
             stalls += m.stats.tracker_recovery_stalls;
             ckpt_writes += m.stats.tracker.commit_checkpoint_writes;
         }
@@ -150,7 +150,8 @@ fn main() {
         .expect("tracker scenario validates")
         .to_sweep()
         .expect("validated")
-        .run();
+        .run()
+        .expect("sweep completes");
     tracker_table(&grid, &trackers).print();
 
     // --- 2 + 3. DDT sizing and load-load bypassing share one sweep over
@@ -184,14 +185,18 @@ fn main() {
                 .expect("valid"),
         )
         .variant("with-load-load", smb_unl.to_config().expect("valid"))
-        .run();
+        .run()
+        .expect("sweep completes");
 
     println!("\n# §3.1: DDT sizing (SMB, unlimited ISRB)\n");
     let mut t = Table::new(vec!["bench", "ddt_unlimited%", "ddt_16k%", "ddt_1k%"]);
     for row in grid.rows() {
         let mut cells = vec![row.workload().name.clone()];
         for (_, label) in ddts {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
         t.row(cells);
     }
@@ -202,8 +207,16 @@ fn main() {
     for row in grid.rows() {
         t.row(vec![
             row.workload().name.clone(),
-            format!("{:+.2}", row.speedup("base", "store-load-only")),
-            format!("{:+.2}", row.speedup("base", "with-load-load")),
+            format!(
+                "{:+.2}",
+                row.speedup("base", "store-load-only")
+                    .expect("declared label")
+            ),
+            format!(
+                "{:+.2}",
+                row.speedup("base", "with-load-load")
+                    .expect("declared label")
+            ),
         ]);
     }
     t.print();
@@ -227,7 +240,8 @@ fn main() {
         .expect("ports scenario validates")
         .to_sweep()
         .expect("validated")
-        .run();
+        .run()
+        .expect("sweep completes");
     let mut t = Table::new(vec![
         "bench",
         "ports_unl%",
@@ -239,9 +253,12 @@ fn main() {
     for row in grid.rows() {
         let mut cells = vec![row.workload().name.clone()];
         for (_, _, label) in ports {
-            cells.push(format!("{:+.2}", row.speedup("base", label)));
+            cells.push(format!(
+                "{:+.2}",
+                row.speedup("base", label).expect("declared label")
+            ));
         }
-        let unl = row.get("ports-unl");
+        let unl = row.get("ports-unl").expect("declared label");
         cells.push(format!("{}", unl.stats.reclaims_flag_filtered));
         cells.push(format!("{}", unl.stats.reclaims_cam_checked));
         t.row(cells);

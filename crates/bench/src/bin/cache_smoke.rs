@@ -8,14 +8,14 @@
 //! `smoke` preset.
 
 use regshare_bench::cli::run_front_door;
-use regshare_bench::render_report;
+use regshare_bench::run_scenario;
 use regshare_isa::stream_cache_stats;
 
 fn main() {
     let (_args, scenario) = run_front_door("cache_smoke", "smoke");
 
-    let run = || match scenario.to_sweep().map(|s| s.run()) {
-        Ok(grid) => render_report(&scenario, &grid),
+    let run = || match run_scenario(&scenario) {
+        Ok(report) => report,
         Err(e) => {
             eprintln!("cache_smoke: {e}");
             std::process::exit(1);

@@ -40,15 +40,21 @@ fn main() {
             std::process::exit(1);
         }
     };
-    print!("{}", render_report(&scenario, &grid));
+    match render_report(&scenario, &grid) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("smoke: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let mut t = Table::new(vec![
         "bench", "elim", "bypassed", "traps_b", "traps_s", "fdep_b", "fdep_s",
     ]);
     for row in grid.rows() {
-        let base = row.get("base");
-        let me = row.get("me");
-        let smb = row.get("smb");
+        let base = row.get("base").expect("smoke preset label");
+        let me = row.get("me").expect("smoke preset label");
+        let smb = row.get("smb").expect("smoke preset label");
         t.row(vec![
             row.workload().name.clone(),
             format!("{:.2}%", me.stats.pct_renamed_eliminated()),

@@ -99,6 +99,12 @@ impl From<SnapError> for CheckpointError {
     }
 }
 
+impl From<crate::sweep::SweepError> for CheckpointError {
+    fn from(e: crate::sweep::SweepError) -> CheckpointError {
+        CheckpointError::Scenario(ScenarioError::Sweep(e))
+    }
+}
+
 // The digest pinning an image to its scenario lives in the shared digest
 // module, so checkpoint images and the serve daemon's result cache key
 // experiments identically.
@@ -196,7 +202,7 @@ pub fn default_checkpoint_path(scenario: &Scenario) -> String {
 pub fn run_sweep(scenario: &Scenario, file: Option<&str>) -> Result<SweepGrid, CheckpointError> {
     scenario.validate()?;
     if scenario.checkpoint_interval.is_none() && scenario.resume_from.is_none() {
-        return Ok(scenario.to_sweep()?.run());
+        return Ok(scenario.to_sweep()?.run()?);
     }
     run_checkpointed(scenario, file)
 }
@@ -205,7 +211,7 @@ pub fn run_sweep(scenario: &Scenario, file: Option<&str>) -> Result<SweepGrid, C
 /// equivalent of [`crate::run_scenario`].
 pub fn run_report(scenario: &Scenario, file: Option<&str>) -> Result<String, CheckpointError> {
     let grid = run_sweep(scenario, file)?;
-    Ok(render_report(scenario, &grid))
+    Ok(render_report(scenario, &grid)?)
 }
 
 fn run_checkpointed(scenario: &Scenario, file: Option<&str>) -> Result<SweepGrid, CheckpointError> {
@@ -331,7 +337,7 @@ fn run_checkpointed(scenario: &Scenario, file: Option<&str>) -> Result<SweepGrid
         .into_iter()
         .map(|(name, stats)| Measurement { name, stats })
         .collect();
-    Ok(SweepGrid::from_parts(workloads, labels, cells))
+    Ok(SweepGrid::from_parts(workloads, labels, cells)?)
 }
 
 #[cfg(test)]
@@ -363,7 +369,11 @@ mod tests {
         assert_eq!(a.workloads().len(), b.workloads().len());
         for w in 0..a.workloads().len() {
             for label in a.labels() {
-                assert_eq!(a.get(w, label).stats, b.get(w, label).stats, "{label}/{w}");
+                assert_eq!(
+                    a.get(w, label).unwrap().stats,
+                    b.get(w, label).unwrap().stats,
+                    "{label}/{w}"
+                );
             }
         }
     }
@@ -371,7 +381,7 @@ mod tests {
     #[test]
     fn checkpointed_run_matches_the_parallel_engine_and_cleans_up() {
         let plain = tiny("ckpt_eq");
-        let reference = plain.to_sweep().unwrap().run();
+        let reference = plain.to_sweep().unwrap().run().unwrap();
 
         let mut s = plain.clone();
         // A short interval fires the writer many times per cell; the
@@ -387,14 +397,14 @@ mod tests {
         // Reports are byte-identical too (the end-to-end CI contract).
         assert_eq!(
             run_report(&s, Some(&path)).unwrap(),
-            render_report(&plain, &reference)
+            render_report(&plain, &reference).unwrap()
         );
     }
 
     #[test]
     fn resume_mid_cell_reproduces_the_uninterrupted_grid() {
         let plain = tiny("ckpt_resume");
-        let reference = plain.to_sweep().unwrap().run();
+        let reference = plain.to_sweep().unwrap().run().unwrap();
         let digest = scenario_digest(&plain);
         let window = plain.options.window();
 

@@ -39,9 +39,9 @@ pub use options::{
 };
 pub use report::{render_report, run_scenario};
 pub use scenario::{
-    preset, valid_name, FuzzSource, Scenario, ScenarioBuilder, ScenarioError, VariantSpec,
-    CONFIG_PRESETS, SCENARIO_PRESETS,
+    preset, valid_name, AsmSource, FuzzSource, Scenario, ScenarioBuilder, ScenarioError,
+    VariantSpec, CONFIG_PRESETS, SCENARIO_PRESETS,
 };
-pub use sweep::{jobs_from_env, SweepGrid, SweepRow, SweepSpec, Variant};
+pub use sweep::{jobs_from_env, panic_detail, SweepError, SweepGrid, SweepRow, SweepSpec, Variant};
 pub use table::Table;
 pub use throughput::{measure_preset, measure_scenario, PresetThroughput, ThroughputReport};

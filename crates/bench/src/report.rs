@@ -8,14 +8,15 @@
 //! `csv:` echo, and geomean-speedup footers.
 
 use crate::scenario::{Scenario, ScenarioError};
-use crate::sweep::SweepGrid;
+use crate::sweep::{SweepError, SweepGrid};
 use crate::table::Table;
 use regshare_types::stats::geomean;
 
 /// Renders the standard report for a completed grid (header, table, CSV,
 /// geomean footers). `scenario` supplies the names; `grid` must be the
-/// result of running that scenario's sweep.
-pub fn render_report(scenario: &Scenario, grid: &SweepGrid) -> String {
+/// result of running that scenario's sweep — a grid missing that
+/// scenario's labels is a typed [`SweepError`], not a panic.
+pub fn render_report(scenario: &Scenario, grid: &SweepGrid) -> Result<String, SweepError> {
     let window = scenario.options.window();
     let mut out = String::new();
     out.push_str(&format!("# scenario: {}\n", scenario.name));
@@ -36,11 +37,11 @@ pub fn render_report(scenario: &Scenario, grid: &SweepGrid) -> String {
     for row in grid.rows() {
         let mut cells = vec![
             row.workload().name.clone(),
-            format!("{:.3}", row.get(base).ipc()),
+            format!("{:.3}", row.get(base)?.ipc()),
         ];
-        base_ipcs.push(row.get(base).ipc());
+        base_ipcs.push(row.get(base)?.ipc());
         for label in &labels[1..] {
-            cells.push(format!("{:+.2}", row.speedup(base, label)));
+            cells.push(format!("{:+.2}", row.speedup(base, label)?));
         }
         t.row(cells);
     }
@@ -53,18 +54,19 @@ pub fn render_report(scenario: &Scenario, grid: &SweepGrid) -> String {
     for label in &labels[1..] {
         t.footer(format!(
             "geomean speedup, {label} vs {base}: {:+.2}%",
-            grid.geomean_speedup(base, label)
+            grid.geomean_speedup(base, label)?
         ));
     }
     out.push_str(&t.render());
-    out
+    Ok(out)
 }
 
 /// Validates the scenario, runs its sweep, and renders the standard
-/// report — the whole `--scenario` front door in one call.
+/// report — the whole `--scenario` front door in one call. Sweep-time
+/// failures surface as [`ScenarioError::Sweep`].
 pub fn run_scenario(scenario: &Scenario) -> Result<String, ScenarioError> {
-    let grid = scenario.to_sweep()?.run();
-    Ok(render_report(scenario, &grid))
+    let grid = scenario.to_sweep()?.run()?;
+    Ok(render_report(scenario, &grid)?)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@ use regshare_core::{
 use regshare_distance::{DdtConfig, NosqConfig};
 use regshare_refcount::IsrbConfig;
 use regshare_workloads::fuzz::FuzzSpec;
-use regshare_workloads::{suite, try_by_names, Workload};
+use regshare_workloads::{suite, try_by_names, AsmSpec, Workload};
 
 /// Any way a scenario can be malformed: syntax errors in a `.scenario`
 /// file, unknown names (presets, trackers, predictors, workloads), misused
@@ -106,7 +106,7 @@ pub enum ScenarioError {
     UnknownDdt(String),
     /// A workload name absent from the suite registry.
     UnknownWorkload(String),
-    /// A `kind` value that is neither `"suite"` nor `"fuzz"`.
+    /// A `kind` value that is none of `"suite"`, `"fuzz"`, `"asm"`.
     UnknownKind(String),
     /// A fuzz-only key (`seed`, `profile`, `programs`) without
     /// `kind = "fuzz"`.
@@ -121,6 +121,33 @@ pub enum ScenarioError {
     UnknownFuzzProfile(String),
     /// A fuzz scenario generating zero programs.
     ZeroFuzzPrograms,
+    /// An asm-only key (`kernel`, `path`) without `kind = "asm"`.
+    AsmKeyWithoutKind {
+        /// The offending key.
+        key: &'static str,
+    },
+    /// An asm scenario that also lists `workloads` (the kernel selection
+    /// *is* the workload list).
+    AsmWithWorkloads,
+    /// A scenario carrying both a fuzz family and an asm source; only one
+    /// generated workload source can apply.
+    AsmWithFuzz,
+    /// An asm scenario naming both an embedded `kernel` and an external
+    /// `path` — pick one (or neither, for the whole corpus).
+    AsmKernelAndPath,
+    /// A `kernel` value naming no embedded corpus kernel.
+    UnknownAsmKernel(String),
+    /// An asm `path` that is empty or contains a quote, backslash or
+    /// control character — the text format has no escape sequences, so it
+    /// could not be rendered to a parseable `.scenario` file.
+    InvalidAsmPath(String),
+    /// An external assembly file that failed to assemble.
+    AsmParse {
+        /// The file's path.
+        path: String,
+        /// The assembler error, including its line number.
+        msg: String,
+    },
     /// A key that only makes sense for a tracker the variant did not
     /// select (e.g. `walk_width` without `tracker = "counters"`).
     KeyRequiresTracker {
@@ -131,6 +158,10 @@ pub enum ScenarioError {
     },
     /// The resolved [`CoreConfig`] is structurally impossible.
     Config(ConfigError),
+    /// The sweep failed after validation — a worker job died or a grid
+    /// accessor was asked for an unknown label (see
+    /// [`SweepError`](crate::sweep::SweepError)).
+    Sweep(crate::sweep::SweepError),
     /// An error in one specific variant, wrapped with its label.
     InVariant {
         /// The variant's label.
@@ -213,7 +244,10 @@ impl std::fmt::Display for ScenarioError {
                 )
             }
             ScenarioError::UnknownKind(kind) => {
-                write!(f, "unknown scenario kind {kind:?} (known: suite, fuzz)")
+                write!(
+                    f,
+                    "unknown scenario kind {kind:?} (known: suite, fuzz, asm)"
+                )
             }
             ScenarioError::FuzzKeyWithoutKind { key } => {
                 write!(f, "{key} requires kind = \"fuzz\"")
@@ -228,10 +262,42 @@ impl std::fmt::Display for ScenarioError {
                 regshare_workloads::fuzz::profile_names().join(", ")
             ),
             ScenarioError::ZeroFuzzPrograms => write!(f, "programs must be at least 1"),
+            ScenarioError::AsmKeyWithoutKind { key } => {
+                write!(f, "{key} requires kind = \"asm\"")
+            }
+            ScenarioError::AsmWithWorkloads => write!(
+                f,
+                "an asm scenario selects its workload list; drop `workloads = [...]`"
+            ),
+            ScenarioError::AsmWithFuzz => write!(
+                f,
+                "a scenario cannot combine a fuzz family with an asm source"
+            ),
+            ScenarioError::AsmKernelAndPath => {
+                write!(f, "an asm scenario takes `kernel` or `path`, not both")
+            }
+            ScenarioError::UnknownAsmKernel(name) => write!(
+                f,
+                "unknown asm kernel {name:?} (known: {})",
+                regshare_workloads::asm::CORPUS
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            ScenarioError::InvalidAsmPath(path) => write!(
+                f,
+                "asm path {path:?} is empty or contains a quote, backslash \
+                 or control character (the scenario format has no escape sequences)"
+            ),
+            ScenarioError::AsmParse { path, msg } => {
+                write!(f, "cannot assemble {path:?}: {msg}")
+            }
             ScenarioError::KeyRequiresTracker { key, tracker } => {
                 write!(f, "{key} only applies to tracker = {tracker}")
             }
             ScenarioError::Config(e) => write!(f, "invalid core config: {e}"),
+            ScenarioError::Sweep(e) => write!(f, "sweep failed: {e}"),
             ScenarioError::InVariant { label, source } => {
                 write!(f, "variant {label:?}: {source}")
             }
@@ -244,6 +310,7 @@ impl std::error::Error for ScenarioError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ScenarioError::Config(e) => Some(e),
+            ScenarioError::Sweep(e) => Some(e),
             ScenarioError::InVariant { source, .. } => Some(&**source),
             _ => None,
         }
@@ -253,6 +320,12 @@ impl std::error::Error for ScenarioError {
 impl From<ConfigError> for ScenarioError {
     fn from(e: ConfigError) -> ScenarioError {
         ScenarioError::Config(e)
+    }
+}
+
+impl From<crate::sweep::SweepError> for ScenarioError {
+    fn from(e: crate::sweep::SweepError) -> ScenarioError {
+        ScenarioError::Sweep(e)
     }
 }
 
@@ -678,6 +751,22 @@ pub struct FuzzSource {
     pub programs: u32,
 }
 
+/// An assembled-kernel workload source: `kind = "asm"` in a `.scenario`
+/// file. Selects the embedded `programs/*.asm` corpus (no keys), one
+/// kernel from it (`kernel = "quicksort"`), or an external assembly file
+/// (`path = "my.asm"`), which is read and assembled when workloads
+/// resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmSource {
+    /// Embedded corpus kernel short name (see
+    /// `regshare_workloads::asm::CORPUS`); `None` selects the whole corpus
+    /// unless `path` is given.
+    pub kernel: Option<String>,
+    /// External assembly file, assembled at resolution time with typed
+    /// errors ([`ScenarioError::AsmParse`]).
+    pub path: Option<String>,
+}
+
 /// A named, validated experiment: workloads × labelled variants, plus run
 /// options. The unit the sweep engine, the binaries' CLIs, and `.scenario`
 /// files all exchange.
@@ -697,6 +786,9 @@ pub struct Scenario {
     /// Generated workload family (`kind = "fuzz"`); mutually exclusive
     /// with a non-empty `workloads` list.
     pub fuzz: Option<FuzzSource>,
+    /// Assembled-kernel source (`kind = "asm"`); mutually exclusive with
+    /// both `fuzz` and a non-empty `workloads` list.
+    pub asm: Option<AsmSource>,
     /// Ordered labelled variants; the first is the baseline column.
     pub variants: Vec<(String, VariantSpec)>,
     /// Checkpoint-write interval in committed µ-ops. `Some(n)` makes runs
@@ -719,6 +811,7 @@ impl Scenario {
                 options: RunOptions::default(),
                 workloads: Vec::new(),
                 fuzz: None,
+                asm: None,
                 variants: Vec::new(),
                 checkpoint_interval: None,
                 resume_from: None,
@@ -793,9 +886,45 @@ impl Scenario {
     }
 
     /// The workload list this scenario runs over — the generated fuzz
-    /// family, the named workloads, or the full suite when neither is
-    /// given — with unknown names rejected as typed errors.
+    /// family, the assembled-kernel source, the named workloads, or the
+    /// full suite when none is given — with unknown names rejected as
+    /// typed errors.
     pub fn resolve_workloads(&self) -> Result<Vec<Workload>, ScenarioError> {
+        if self.fuzz.is_some() && self.asm.is_some() {
+            return Err(ScenarioError::AsmWithFuzz);
+        }
+        if let Some(asm) = &self.asm {
+            if !self.workloads.is_empty() {
+                return Err(ScenarioError::AsmWithWorkloads);
+            }
+            return match (&asm.kernel, &asm.path) {
+                (Some(_), Some(_)) => Err(ScenarioError::AsmKernelAndPath),
+                (Some(kernel), None) => AsmSpec::new(kernel)
+                    .map(|spec| vec![spec.workload()])
+                    .ok_or_else(|| ScenarioError::UnknownAsmKernel(kernel.clone())),
+                (None, Some(path)) => {
+                    if path.is_empty() || !valid_note(path) {
+                        return Err(ScenarioError::InvalidAsmPath(path.clone()));
+                    }
+                    let src = std::fs::read_to_string(path).map_err(|e| ScenarioError::Io {
+                        path: path.clone(),
+                        msg: e.to_string(),
+                    })?;
+                    let stem = std::path::Path::new(path)
+                        .file_stem()
+                        .map(|s| s.to_string_lossy().into_owned())
+                        .unwrap_or_default();
+                    check_name("asm kernel", &stem)?;
+                    AsmSpec::from_source(stem, src)
+                        .map(|spec| vec![spec.workload()])
+                        .map_err(|e| ScenarioError::AsmParse {
+                            path: path.clone(),
+                            msg: e.to_string(),
+                        })
+                }
+                (None, None) => Ok(regshare_workloads::asm::corpus_workloads()),
+            };
+        }
         if let Some(fuzz) = &self.fuzz {
             if !self.workloads.is_empty() {
                 return Err(ScenarioError::FuzzWithWorkloads);
@@ -858,8 +987,8 @@ impl SweepSpec {
 ///     .variant("both24", VariantSpec::preset("me_smb").isrb_entries(24))
 ///     .build()
 ///     .unwrap();
-/// let grid = scenario.to_sweep().unwrap().run();
-/// assert!(grid.get(0, "both24").ipc() > 0.0);
+/// let grid = scenario.to_sweep().unwrap().run().unwrap();
+/// assert!(grid.get(0, "both24").unwrap().ipc() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ScenarioBuilder {
@@ -889,6 +1018,7 @@ impl ScenarioBuilder {
     pub fn full_suite(mut self) -> Self {
         self.scenario.workloads.clear();
         self.scenario.fuzz = None;
+        self.scenario.asm = None;
         self
     }
 
@@ -900,6 +1030,40 @@ impl ScenarioBuilder {
             seed,
             programs,
         });
+        self.scenario.asm = None;
+        self
+    }
+
+    /// Runs over the whole embedded `programs/*.asm` corpus
+    /// (`kind = "asm"` with no selector keys in scenario files).
+    pub fn asm_corpus(mut self) -> Self {
+        self.scenario.asm = Some(AsmSource {
+            kernel: None,
+            path: None,
+        });
+        self.scenario.fuzz = None;
+        self
+    }
+
+    /// Runs over one embedded corpus kernel (`kind = "asm"` +
+    /// `kernel = "<name>"` in scenario files).
+    pub fn asm_kernel(mut self, kernel: impl Into<String>) -> Self {
+        self.scenario.asm = Some(AsmSource {
+            kernel: Some(kernel.into()),
+            path: None,
+        });
+        self.scenario.fuzz = None;
+        self
+    }
+
+    /// Runs over an external assembly file, read and assembled when
+    /// workloads resolve (`kind = "asm"` + `path = "<file>"`).
+    pub fn asm_path(mut self, path: impl Into<String>) -> Self {
+        self.scenario.asm = Some(AsmSource {
+            kernel: None,
+            path: Some(path.into()),
+        });
+        self.scenario.fuzz = None;
         self
     }
 
@@ -933,7 +1097,7 @@ impl ScenarioBuilder {
 
 /// The built-in named scenarios (`--list-presets` in the binaries). Each
 /// covers one of the paper's experiments end to end.
-pub const SCENARIO_PRESETS: [(&str, &str); 8] = [
+pub const SCENARIO_PRESETS: [(&str, &str); 9] = [
     (
         "smoke",
         "quick shape check: ME / SMB / combined on 9 representative workloads",
@@ -956,6 +1120,10 @@ pub const SCENARIO_PRESETS: [(&str, &str); 8] = [
     (
         "fuzz_smoke",
         "IPC sweep over a generated fuzz family (differential checks live in the fuzz bin)",
+    ),
+    (
+        "asm_kernels",
+        "assembled real-program corpus under every configuration preset",
     ),
 ];
 
@@ -1029,6 +1197,14 @@ pub fn preset(name: &str) -> Option<Scenario> {
             .fuzz("balanced", 1, 8)
             .variant("base", VariantSpec::hpca16())
             .variant("both", VariantSpec::preset("me_smb")),
+        "asm_kernels" => Scenario::builder("asm_kernels")
+            .note("hand-written kernels with real control flow; differential-gated vs the oracle")
+            .asm_corpus()
+            .variant("base", VariantSpec::hpca16())
+            .variant("me", VariantSpec::preset("me"))
+            .variant("smb", VariantSpec::preset("smb"))
+            .variant("both", VariantSpec::preset("me_smb"))
+            .variant("lazy", VariantSpec::preset("lazy_reclaim")),
         _ => return None,
     };
     Some(b.build().expect("presets are valid by construction"))
@@ -1287,12 +1463,133 @@ mod tests {
     }
 
     #[test]
+    fn asm_scenarios_resolve_kernels_with_typed_guards() {
+        let s = Scenario::builder("a")
+            .asm_kernel("matmul")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        let workloads = s.resolve_workloads().unwrap();
+        assert_eq!(workloads.len(), 1);
+        assert_eq!(workloads[0].name, "asm-matmul");
+
+        let s = Scenario::builder("a")
+            .asm_corpus()
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        let workloads = s.resolve_workloads().unwrap();
+        assert_eq!(workloads.len(), regshare_workloads::asm::CORPUS.len());
+        assert!(workloads.iter().all(|w| w.name.starts_with("asm-")));
+
+        let err = Scenario::builder("a")
+            .asm_kernel("doom")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::UnknownAsmKernel("doom".into()));
+
+        let err = Scenario::builder("a")
+            .workloads(&["crafty"])
+            .asm_corpus()
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::AsmWithWorkloads);
+
+        // kernel + path (only reachable by hand-mutation) is rejected.
+        let mut s = Scenario::builder("a")
+            .asm_kernel("matmul")
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        s.asm.as_mut().unwrap().path = Some("x.asm".into());
+        assert_eq!(s.validate().unwrap_err(), ScenarioError::AsmKernelAndPath);
+
+        // So is a hand-set fuzz family alongside an asm source.
+        let mut s = Scenario::builder("a")
+            .asm_corpus()
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        s.fuzz = Some(FuzzSource {
+            profile: "balanced".into(),
+            seed: 1,
+            programs: 2,
+        });
+        assert_eq!(s.validate().unwrap_err(), ScenarioError::AsmWithFuzz);
+
+        // `asm-<kernel>` names also resolve through the registry path.
+        let s = Scenario::builder("mixed")
+            .workloads(&["crafty", "asm-quicksort"])
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        assert_eq!(s.resolve_workloads().unwrap()[1].name, "asm-quicksort");
+    }
+
+    #[test]
+    fn asm_path_scenarios_assemble_external_files() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/tmp");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let good = dir.join(format!("asm-path-ok-{}.asm", std::process::id()));
+        std::fs::write(&good, "    li r15, 1\n    halt\n").unwrap();
+        let s = Scenario::builder("ext")
+            .asm_path(good.to_str().unwrap())
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap();
+        let workloads = s.resolve_workloads().unwrap();
+        assert_eq!(workloads.len(), 1);
+        assert!(workloads[0].name.starts_with("asm-asm-path-ok-"));
+        assert_eq!(workloads[0].build().len(), 2);
+        std::fs::remove_file(&good).ok();
+
+        // Assembly errors surface as typed AsmParse with the asm line.
+        let bad = dir.join(format!("asm-path-bad-{}.asm", std::process::id()));
+        std::fs::write(&bad, "    bogus r1\n").unwrap();
+        let err = Scenario::builder("ext")
+            .asm_path(bad.to_str().unwrap())
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        match err {
+            ScenarioError::AsmParse { msg, .. } => assert!(msg.contains("line 1"), "{msg}"),
+            other => panic!("unexpected {other:?}"),
+        }
+        std::fs::remove_file(&bad).ok();
+
+        // A missing file is an Io error, not a panic.
+        let err = Scenario::builder("ext")
+            .asm_path(dir.join("nope.asm").to_str().unwrap())
+            .variant("base", VariantSpec::hpca16())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::Io { .. }));
+    }
+
+    #[test]
+    fn asm_preset_drives_the_sweep_engine() {
+        let mut s = preset("asm_kernels").expect("preset exists");
+        s.options = RunOptions::default().warmup(300).measure(900).jobs(2);
+        let grid = s.to_sweep().unwrap().run().unwrap();
+        assert_eq!(grid.workloads().len(), 4);
+        assert_eq!(
+            grid.labels(),
+            &["base", "me", "smb", "both", "lazy"].map(String::from)
+        );
+        assert!(grid.get(0, "both").unwrap().ipc() > 0.0);
+        assert!(grid.workloads()[0].name.starts_with("asm-"));
+    }
+
+    #[test]
     fn fuzz_preset_drives_the_sweep_engine() {
         let mut s = preset("fuzz_smoke").expect("preset exists");
         s.options = RunOptions::default().warmup(300).measure(900).jobs(2);
-        let grid = s.to_sweep().unwrap().run();
+        let grid = s.to_sweep().unwrap().run().unwrap();
         assert_eq!(grid.workloads().len(), 8);
-        assert!(grid.get(0, "both").ipc() > 0.0);
+        assert!(grid.get(0, "both").unwrap().ipc() > 0.0);
         assert!(grid.workloads()[0].name.starts_with("fuzz-balanced-"));
     }
 
@@ -1327,9 +1624,9 @@ mod tests {
             .variant("both", VariantSpec::preset("me_smb"))
             .build()
             .unwrap();
-        let grid = SweepSpec::from_scenario(&s).unwrap().run();
+        let grid = SweepSpec::from_scenario(&s).unwrap().run().unwrap();
         assert_eq!(grid.labels(), &["base".to_string(), "both".to_string()]);
-        assert!(grid.get(0, "both").ipc() > 0.0);
-        assert_eq!(grid.get(0, "base").name, "crafty");
+        assert!(grid.get(0, "both").unwrap().ipc() > 0.0);
+        assert_eq!(grid.get(0, "base").unwrap().name, "crafty");
     }
 }

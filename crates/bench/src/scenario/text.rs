@@ -26,6 +26,10 @@
 //! isrb_entries = 24
 //! ```
 //!
+//! Assembled-kernel scenarios (`kind = "asm"`) run the embedded
+//! `programs/*.asm` corpus, one of its kernels (`kernel = "quicksort"`),
+//! or an external assembly file (`path = "my.asm"`).
+//!
 //! Supported values: unsigned integers, `true`/`false`, quoted strings
 //! (identifier charset plus spaces for `note`), and arrays of quoted
 //! strings. [`render`] emits keys in one canonical order and only when
@@ -33,7 +37,7 @@
 //! `parse(render(scenario))` is the identity — the round-trip guarantees
 //! the proptest in `tests/scenario_roundtrip.rs` pins down.
 
-use super::{FuzzSource, Scenario, ScenarioError, VariantSpec};
+use super::{AsmSource, FuzzSource, Scenario, ScenarioError, VariantSpec};
 use crate::options::RunOptions;
 
 /// One parsed right-hand-side value.
@@ -221,6 +225,8 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
     let mut seed: Option<u64> = None;
     let mut profile: Option<String> = None;
     let mut programs: Option<u32> = None;
+    let mut kernel: Option<String> = None;
+    let mut path: Option<String> = None;
     let mut variants: Vec<(String, VariantSpec)> = Vec::new();
     // None = top level; Some(i) = inside variants[i].
     let mut current: Option<usize> = None;
@@ -294,6 +300,14 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
                     "kind" => kind = Some(expect_str(lineno, key, value)?),
                     "seed" => seed = Some(expect_int(lineno, key, value)?),
                     "profile" => profile = Some(expect_str(lineno, key, value)?),
+                    "kernel" => kernel = Some(expect_str(lineno, key, value)?),
+                    "path" => {
+                        let p = expect_str(lineno, key, value)?;
+                        if p.is_empty() || !super::valid_note(&p) {
+                            return Err(ScenarioError::InvalidAsmPath(p));
+                        }
+                        path = Some(p);
+                    }
                     "programs" => {
                         let n = expect_int(lineno, key, value)?;
                         if n > u32::MAX as u64 {
@@ -326,25 +340,50 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         }
     }
 
-    let fuzz = match kind.as_deref() {
+    // Kind-specific keys are meaningless under any other kind.
+    let fuzz_keys = [
+        ("seed", seed.is_some()),
+        ("profile", profile.is_some()),
+        ("programs", programs.is_some()),
+    ];
+    let asm_keys = [("kernel", kernel.is_some()), ("path", path.is_some())];
+    let reject_fuzz_keys = || {
+        fuzz_keys
+            .iter()
+            .find(|(_, set)| *set)
+            .map_or(Ok(()), |(key, _)| {
+                Err(ScenarioError::FuzzKeyWithoutKind { key })
+            })
+    };
+    let reject_asm_keys = || {
+        asm_keys
+            .iter()
+            .find(|(_, set)| *set)
+            .map_or(Ok(()), |(key, _)| {
+                Err(ScenarioError::AsmKeyWithoutKind { key })
+            })
+    };
+    let (fuzz, asm) = match kind.as_deref() {
         None | Some("suite") => {
-            // Fuzz-only keys are meaningless without kind = "fuzz".
-            for (key, set) in [
-                ("seed", seed.is_some()),
-                ("profile", profile.is_some()),
-                ("programs", programs.is_some()),
-            ] {
-                if set {
-                    return Err(ScenarioError::FuzzKeyWithoutKind { key });
-                }
-            }
-            None
+            reject_fuzz_keys()?;
+            reject_asm_keys()?;
+            (None, None)
         }
-        Some("fuzz") => Some(FuzzSource {
-            profile: profile.unwrap_or_else(|| "balanced".to_string()),
-            seed: seed.unwrap_or(1),
-            programs: programs.unwrap_or(8),
-        }),
+        Some("fuzz") => {
+            reject_asm_keys()?;
+            (
+                Some(FuzzSource {
+                    profile: profile.unwrap_or_else(|| "balanced".to_string()),
+                    seed: seed.unwrap_or(1),
+                    programs: programs.unwrap_or(8),
+                }),
+                None,
+            )
+        }
+        Some("asm") => {
+            reject_fuzz_keys()?;
+            (None, Some(AsmSource { kernel, path }))
+        }
         Some(other) => return Err(ScenarioError::UnknownKind(other.to_string())),
     };
     Ok(Scenario {
@@ -353,6 +392,7 @@ pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
         options,
         workloads,
         fuzz,
+        asm,
         variants,
         checkpoint_interval,
         resume_from,
@@ -379,6 +419,15 @@ pub fn render(s: &Scenario) -> String {
         out.push_str(&format!("profile = \"{}\"\n", fuzz.profile));
         out.push_str(&format!("seed = {}\n", fuzz.seed));
         out.push_str(&format!("programs = {}\n", fuzz.programs));
+    }
+    if let Some(asm) = &s.asm {
+        out.push_str("kind = \"asm\"\n");
+        if let Some(kernel) = &asm.kernel {
+            out.push_str(&format!("kernel = \"{kernel}\"\n"));
+        }
+        if let Some(path) = &asm.path {
+            out.push_str(&format!("path = \"{path}\"\n"));
+        }
     }
     if let Some(v) = s.options.warmup {
         out.push_str(&format!("warmup = {v}\n"));
@@ -458,7 +507,7 @@ pub fn render(s: &Scenario) -> String {
 
 #[cfg(test)]
 mod tests {
-    use super::super::{preset, Scenario, ScenarioError, VariantSpec, SCENARIO_PRESETS};
+    use super::super::{preset, AsmSource, Scenario, ScenarioError, VariantSpec, SCENARIO_PRESETS};
 
     #[test]
     fn worked_example_parses() {
@@ -594,6 +643,53 @@ mod tests {
     }
 
     #[test]
+    fn asm_kind_parses_renders_and_is_guarded() {
+        let text = "name = \"a\"\nkind = \"asm\"\nkernel = \"quicksort\"\n\n\
+                    [variant.base]\npreset = \"hpca16\"\n";
+        let s = Scenario::parse(text).unwrap();
+        let asm = s.asm.as_ref().expect("asm source");
+        assert_eq!(asm.kernel.as_deref(), Some("quicksort"));
+        assert_eq!(asm.path, None);
+        s.validate().unwrap();
+        // Canonical render round-trips.
+        let rendered = s.render();
+        assert_eq!(Scenario::parse(&rendered).unwrap(), s);
+        assert_eq!(Scenario::parse(&rendered).unwrap().render(), rendered);
+        // No selector keys = the whole embedded corpus.
+        let s = Scenario::parse("name = \"a\"\nkind = \"asm\"\n[variant.v]\n").unwrap();
+        assert_eq!(
+            s.asm,
+            Some(AsmSource {
+                kernel: None,
+                path: None
+            })
+        );
+        assert_eq!(s.resolve_workloads().unwrap().len(), 4);
+        // A path key survives the round trip too.
+        let s = Scenario::parse("name = \"a\"\nkind = \"asm\"\npath = \"k.asm\"\n[variant.v]\n")
+            .unwrap();
+        assert_eq!(s.asm.as_ref().unwrap().path.as_deref(), Some("k.asm"));
+        assert_eq!(Scenario::parse(&s.render()).unwrap(), s);
+        // Typed guards.
+        assert_eq!(
+            Scenario::parse("name = \"a\"\nkernel = \"quicksort\"\n").unwrap_err(),
+            ScenarioError::AsmKeyWithoutKind { key: "kernel" }
+        );
+        assert_eq!(
+            Scenario::parse("name = \"a\"\nkind = \"fuzz\"\npath = \"x.asm\"\n").unwrap_err(),
+            ScenarioError::AsmKeyWithoutKind { key: "path" }
+        );
+        assert_eq!(
+            Scenario::parse("name = \"a\"\nkind = \"asm\"\nseed = 1\n").unwrap_err(),
+            ScenarioError::FuzzKeyWithoutKind { key: "seed" }
+        );
+        assert_eq!(
+            Scenario::parse("name = \"a\"\nkind = \"asm\"\npath = \"\"\n").unwrap_err(),
+            ScenarioError::InvalidAsmPath(String::new())
+        );
+    }
+
+    #[test]
     fn checkpoint_keys_parse_render_and_are_guarded() {
         let text = "name = \"c\"\ncheckpoint_interval = 5000\n\
                     resume_from = \"out/c.ckpt\"\n\n[variant.base]\npreset = \"hpca16\"\n";
@@ -624,6 +720,7 @@ mod tests {
             options: Default::default(),
             workloads: vec![],
             fuzz: None,
+            asm: None,
             variants: vec![("only".into(), VariantSpec::hpca16())],
             checkpoint_interval: None,
             resume_from: None,

@@ -23,8 +23,74 @@ use regshare_core::CoreConfig;
 use regshare_isa::Program;
 use regshare_types::stats::{geomean, speedup_pct};
 use regshare_workloads::Workload;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, OnceLock};
+
+/// Any way a sweep can fail at run time: a grid accessor asked for a label
+/// the spec never declared, a worker job died (a simulator bug surfaced as
+/// a panic — caught so long-running callers like the serve daemon degrade
+/// to an error reply instead of aborting), or hand-assembled cells with the
+/// wrong shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A label no variant of this sweep carries.
+    UnknownVariant {
+        /// The unresolvable label.
+        label: String,
+    },
+    /// One (workload × variant) job panicked instead of measuring.
+    JobFailed {
+        /// The workload's name.
+        workload: String,
+        /// The variant's label.
+        label: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// [`SweepGrid::from_parts`] got a cell count that does not match
+    /// `workloads × labels`.
+    Shape {
+        /// `workloads.len() * labels.len()`.
+        expected: usize,
+        /// The cell count actually supplied.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::UnknownVariant { label } => {
+                write!(f, "unknown sweep variant {label:?}")
+            }
+            SweepError::JobFailed {
+                workload,
+                label,
+                detail,
+            } => write!(f, "sweep job {workload}/{label} failed: {detail}"),
+            SweepError::Shape { expected, got } => write!(
+                f,
+                "grid shape mismatch: expected {expected} cells, got {got}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// Renders a caught panic payload into a human-readable detail string
+/// (used for [`SweepError::JobFailed`], and by the serve daemon's
+/// per-cell failure reporting).
+pub fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
 
 /// One labelled core configuration of a sweep.
 #[derive(Debug, Clone)]
@@ -56,10 +122,11 @@ pub fn jobs_from_env() -> usize {
 ///     .variant("base", CoreConfig::hpca16())
 ///     .variant("both", CoreConfig::hpca16().with_me().with_smb())
 ///     .jobs(2)
-///     .run();
+///     .run()
+///     .unwrap();
 /// let row = grid.rows().next().unwrap();
-/// assert!(row.get("base").ipc() > 0.0);
-/// assert!(row.get("both").ipc() > 0.0);
+/// assert!(row.get("base").unwrap().ipc() > 0.0);
+/// assert!(row.get("both").unwrap().ipc() > 0.0);
 /// ```
 #[derive(Debug)]
 pub struct SweepSpec {
@@ -111,11 +178,16 @@ impl SweepSpec {
     /// Expands the matrix into jobs, runs them on the worker pool, and
     /// merges the measurements back in spec order.
     ///
+    /// A worker panic (a simulator bug) is caught and reported as
+    /// [`SweepError::JobFailed`] naming the cell, so long-running callers
+    /// — the serve daemon above all — degrade to an error instead of
+    /// aborting the process.
+    ///
     /// # Panics
     ///
-    /// Panics if the spec has no variants, or if a worker thread panics
-    /// (a simulator bug — the sweep does not hide it).
-    pub fn run(self) -> SweepGrid {
+    /// Panics if the spec has no variants (an API-misuse bug in the
+    /// caller; every scenario front door rejects it long before here).
+    pub fn run(self) -> Result<SweepGrid, SweepError> {
         assert!(
             !self.variants.is_empty(),
             "sweep spec needs at least one variant"
@@ -128,11 +200,11 @@ impl SweepSpec {
             self.workloads.iter().map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         let n_variants = self.variants.len();
-        let mut cells: Vec<Option<Measurement>> = Vec::with_capacity(n_jobs_total);
+        let mut cells: Vec<Option<Result<Measurement, String>>> = Vec::with_capacity(n_jobs_total);
         cells.resize_with(n_jobs_total, || None);
 
         std::thread::scope(|s| {
-            let (tx, rx) = mpsc::channel::<(usize, Measurement)>();
+            let (tx, rx) = mpsc::channel::<(usize, Result<Measurement, String>)>();
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
@@ -146,13 +218,19 @@ impl SweepSpec {
                         break;
                     }
                     let (w, v) = (i / n_variants, i % n_variants);
-                    let program = programs[w].get_or_init(|| workloads[w].build());
-                    let m = measure_program(
-                        workloads[w].name.as_str(),
-                        program,
-                        variants[v].cfg.clone(),
-                        window,
-                    );
+                    // Shared state is a program cache and an atomic job
+                    // counter; a panicked job leaves both usable, so
+                    // AssertUnwindSafe holds.
+                    let m = catch_unwind(AssertUnwindSafe(|| {
+                        let program = programs[w].get_or_init(|| workloads[w].build());
+                        measure_program(
+                            workloads[w].name.as_str(),
+                            program,
+                            variants[v].cfg.clone(),
+                            window,
+                        )
+                    }))
+                    .map_err(panic_detail);
                     // The receiver outlives all senders inside this scope;
                     // a send failure means the main thread died first.
                     let _ = tx.send((i, m));
@@ -164,14 +242,25 @@ impl SweepSpec {
             }
         });
 
-        SweepGrid {
-            workloads: self.workloads,
-            labels: self.variants.into_iter().map(|v| v.label).collect(),
-            cells: cells
-                .into_iter()
-                .map(|c| c.expect("all sweep jobs completed"))
-                .collect(),
+        let labels: Vec<String> = self.variants.into_iter().map(|v| v.label).collect();
+        let mut merged = Vec::with_capacity(n_jobs_total);
+        for (i, cell) in cells.into_iter().enumerate() {
+            let job_failed = |detail: String| SweepError::JobFailed {
+                workload: self.workloads[i / n_variants].name.clone(),
+                label: labels[i % n_variants].clone(),
+                detail,
+            };
+            match cell {
+                Some(Ok(m)) => merged.push(m),
+                Some(Err(detail)) => return Err(job_failed(detail)),
+                None => return Err(job_failed("worker exited without a result".to_string())),
+            }
         }
+        Ok(SweepGrid {
+            workloads: self.workloads,
+            labels,
+            cells: merged,
+        })
     }
 }
 
@@ -190,20 +279,26 @@ impl SweepGrid {
     /// obtain cells outside the parallel engine: the checkpointed serial
     /// runner and the serve daemon's cache-aware scheduler.
     ///
-    /// # Panics
-    ///
-    /// Panics if `cells.len() != workloads.len() * labels.len()`.
+    /// Rejects a cell count that does not match `workloads × labels` with
+    /// [`SweepError::Shape`] instead of asserting, so the daemon's merge
+    /// path cannot abort the process.
     pub fn from_parts(
         workloads: Vec<Workload>,
         labels: Vec<String>,
         cells: Vec<Measurement>,
-    ) -> SweepGrid {
-        assert_eq!(cells.len(), workloads.len() * labels.len());
-        SweepGrid {
+    ) -> Result<SweepGrid, SweepError> {
+        let expected = workloads.len() * labels.len();
+        if cells.len() != expected {
+            return Err(SweepError::Shape {
+                expected,
+                got: cells.len(),
+            });
+        }
+        Ok(SweepGrid {
             workloads,
             labels,
             cells,
-        }
+        })
     }
 
     /// The workloads, in spec order.
@@ -216,27 +311,30 @@ impl SweepGrid {
         &self.labels
     }
 
-    fn variant_index(&self, label: &str) -> usize {
+    fn variant_index(&self, label: &str) -> Result<usize, SweepError> {
         self.labels
             .iter()
             .position(|l| l == label)
-            .unwrap_or_else(|| panic!("unknown sweep variant {label:?}"))
+            .ok_or_else(|| SweepError::UnknownVariant {
+                label: label.to_string(),
+            })
     }
 
-    /// The measurement for workload index `w` under `label`.
+    /// The measurement for workload index `w` under `label`; a label the
+    /// spec never declared is [`SweepError::UnknownVariant`], not a panic.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown label or out-of-range index.
-    pub fn get(&self, w: usize, label: &str) -> &Measurement {
-        &self.cells[w * self.labels.len() + self.variant_index(label)]
+    /// Panics on an out-of-range workload index.
+    pub fn get(&self, w: usize, label: &str) -> Result<&Measurement, SweepError> {
+        Ok(&self.cells[w * self.labels.len() + self.variant_index(label)?])
     }
 
-    /// The measurement for the workload named `name` under `label`, if that
-    /// workload is part of this sweep.
+    /// The measurement for the workload named `name` under `label`;
+    /// `None` if either name is absent from this sweep.
     pub fn by_name(&self, name: &str, label: &str) -> Option<&Measurement> {
         let w = self.workloads.iter().position(|wl| wl.name == name)?;
-        Some(self.get(w, label))
+        self.get(w, label).ok()
     }
 
     /// Iterates rows (one per workload) in spec order.
@@ -246,11 +344,14 @@ impl SweepGrid {
 
     /// Geomean speedup (percent) of `label` over `base` across all
     /// workloads of the sweep.
-    pub fn geomean_speedup(&self, base: &str, label: &str) -> f64 {
-        let ratios: Vec<f64> = (0..self.workloads.len())
-            .map(|w| 1.0 + speedup_pct(self.get(w, base).ipc(), self.get(w, label).ipc()) / 100.0)
-            .collect();
-        (geomean(&ratios).unwrap_or(1.0) - 1.0) * 100.0
+    pub fn geomean_speedup(&self, base: &str, label: &str) -> Result<f64, SweepError> {
+        let mut ratios = Vec::with_capacity(self.workloads.len());
+        for w in 0..self.workloads.len() {
+            ratios.push(
+                1.0 + speedup_pct(self.get(w, base)?.ipc(), self.get(w, label)?.ipc()) / 100.0,
+            );
+        }
+        Ok((geomean(&ratios).unwrap_or(1.0) - 1.0) * 100.0)
     }
 }
 
@@ -267,18 +368,15 @@ impl<'a> SweepRow<'a> {
         &self.grid.workloads[self.w]
     }
 
-    /// The row's measurement under `label`.
-    ///
-    /// # Panics
-    ///
-    /// Panics on an unknown label.
-    pub fn get(&self, label: &str) -> &'a Measurement {
+    /// The row's measurement under `label`; an unknown label is
+    /// [`SweepError::UnknownVariant`], not a panic.
+    pub fn get(&self, label: &str) -> Result<&'a Measurement, SweepError> {
         self.grid.get(self.w, label)
     }
 
     /// Speedup (percent) of `label` over `base` for this workload.
-    pub fn speedup(&self, base: &str, label: &str) -> f64 {
-        speedup_pct(self.get(base).ipc(), self.get(label).ipc())
+    pub fn speedup(&self, base: &str, label: &str) -> Result<f64, SweepError> {
+        Ok(speedup_pct(self.get(base)?.ipc(), self.get(label)?.ipc()))
     }
 }
 
@@ -300,12 +398,13 @@ mod tests {
             .variant("base", CoreConfig::hpca16())
             .variant("me", CoreConfig::hpca16().with_me())
             .jobs(2)
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(grid.labels(), &["base".to_string(), "me".to_string()]);
         assert_eq!(grid.workloads().len(), 1);
         let row = grid.rows().next().unwrap();
         assert_eq!(row.workload().name, "mini");
-        assert!(row.get("base").ipc() > 0.0);
+        assert!(row.get("base").unwrap().ipc() > 0.0);
         assert!(grid.by_name("mini", "me").is_some());
         assert!(grid.by_name("absent", "me").is_none());
     }
@@ -318,22 +417,96 @@ mod tests {
                 .variant("both", CoreConfig::hpca16().with_me().with_smb())
                 .jobs(jobs)
                 .run()
+                .unwrap()
         };
         let (a, b) = (spec(1), spec(3));
         for w in 0..1 {
             for label in ["base", "both"] {
-                assert_eq!(a.get(w, label).stats, b.get(w, label).stats);
+                assert_eq!(
+                    a.get(w, label).unwrap().stats,
+                    b.get(w, label).unwrap().stats
+                );
             }
         }
     }
 
     #[test]
-    #[should_panic(expected = "unknown sweep variant")]
-    fn unknown_label_panics() {
+    fn unknown_label_is_a_typed_error_not_a_panic() {
         let grid = SweepSpec::new(vec![mini()], tiny_window())
             .variant("base", CoreConfig::hpca16())
             .jobs(1)
-            .run();
-        let _ = grid.get(0, "nope");
+            .run()
+            .unwrap();
+        let err = grid.get(0, "nope").unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::UnknownVariant {
+                label: "nope".into()
+            }
+        );
+        assert!(err.to_string().contains("unknown sweep variant"));
+        let row = grid.rows().next().unwrap();
+        assert!(row.get("nope").is_err());
+        assert!(row.speedup("base", "nope").is_err());
+        assert!(grid.geomean_speedup("nope", "base").is_err());
+        assert!(grid.by_name("mini", "nope").is_none());
+    }
+
+    #[test]
+    fn worker_panics_surface_as_job_failed_not_aborts() {
+        // A hand-built spec with an unregistered profile builds a workload
+        // whose program generation panics inside the worker.
+        let doomed = regshare_workloads::fuzz::FuzzSpec {
+            profile: "doom".into(),
+            seed: 1,
+        }
+        .workload();
+        let err = SweepSpec::new(vec![mini(), doomed], tiny_window())
+            .variant("base", CoreConfig::hpca16())
+            .jobs(2)
+            .run()
+            .unwrap_err();
+        match err {
+            SweepError::JobFailed {
+                workload,
+                label,
+                detail,
+            } => {
+                assert_eq!(workload, "fuzz-doom-1");
+                assert_eq!(label, "base");
+                assert!(detail.contains("unknown fuzz profile"), "{detail}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_shape_mismatches() {
+        let grid = SweepSpec::new(vec![mini()], tiny_window())
+            .variant("base", CoreConfig::hpca16())
+            .jobs(1)
+            .run()
+            .unwrap();
+        let cell = grid.get(0, "base").unwrap().clone();
+        let rebuilt = SweepGrid::from_parts(
+            grid.workloads().to_vec(),
+            grid.labels().to_vec(),
+            vec![cell.clone()],
+        )
+        .unwrap();
+        assert_eq!(rebuilt.get(0, "base").unwrap().stats, cell.stats);
+        let err = SweepGrid::from_parts(
+            grid.workloads().to_vec(),
+            grid.labels().to_vec(),
+            vec![cell.clone(), cell],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SweepError::Shape {
+                expected: 1,
+                got: 2
+            }
+        );
     }
 }

@@ -1,0 +1,105 @@
+//! Differential gate for the assembled real-program corpus.
+//!
+//! Every `programs/*.asm` kernel must (a) assemble, (b) pass its own
+//! self-check epilogue under the in-order oracle, and (c) commit the exact
+//! oracle µ-op trace under **all five tracker presets** — the same
+//! discipline as the fuzz harness, but on real control flow.
+
+use regshare_bench::fuzz::tracker_presets;
+use regshare_core::Simulator;
+use regshare_isa::asm;
+use regshare_isa::interp::Machine;
+use regshare_isa::Program;
+use std::sync::Arc;
+
+/// µ-ops per differential run — long enough that every kernel reaches its
+/// epilogue and spends time in the post-halt tail.
+const UOPS: u64 = 30_000;
+
+/// Register the corpus convention reserves for the self-check verdict.
+const VERDICT_REG: usize = 15;
+
+fn run_oracle_to_halt(program: &Program) -> Machine {
+    let mut m = Machine::new(Arc::new(program.clone()));
+    for _ in 0..2_000_000u64 {
+        if m.is_halted() {
+            return m;
+        }
+        m.step();
+    }
+    panic!("kernel did not halt within 2M steps");
+}
+
+#[test]
+fn halting_program_commits_full_window_under_all_presets() {
+    let program = asm::assemble(
+        "    li r1, 100
+         top:
+             add r2, r2, r1
+             sub r1, r1, 1
+             bne r1, 0, top
+             halt",
+    )
+    .unwrap();
+    let uops = 5_000;
+    let expected = Machine::new(Arc::new(program.clone())).run_digest(uops);
+    for (preset, cfg) in tracker_presets() {
+        let mut sim = Simulator::new(&program, cfg);
+        let stats = sim.run(uops);
+        assert_eq!(stats.committed, uops, "{preset}: short run");
+        assert_eq!(sim.arch_digest(), expected, "{preset}: digest mismatch");
+        sim.audit_registers().unwrap();
+    }
+}
+
+#[test]
+fn corpus_kernels_self_check_under_the_oracle() {
+    for (name, src) in regshare_workloads::asm::CORPUS {
+        let program = asm::assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let m = run_oracle_to_halt(&program);
+        assert_eq!(
+            m.regs()[VERDICT_REG],
+            1,
+            "{name}: self-check failed (r15 = {})",
+            m.regs()[VERDICT_REG]
+        );
+    }
+}
+
+#[test]
+fn corpus_matches_oracle_under_all_tracker_presets() {
+    for (name, src) in regshare_workloads::asm::CORPUS {
+        let program = asm::assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let expected = Machine::new(Arc::new(program.clone())).run_digest(UOPS);
+        for (preset, cfg) in tracker_presets() {
+            let mut sim = Simulator::new(&program, cfg);
+            let stats = sim.run(UOPS);
+            assert_eq!(
+                stats.committed, UOPS,
+                "{name}/{preset}: short run ({} committed)",
+                stats.committed
+            );
+            assert_eq!(
+                sim.arch_digest(),
+                expected,
+                "{name}/{preset}: architectural digest diverged from oracle"
+            );
+            if let Err(msg) = sim.audit_registers() {
+                panic!("{name}/{preset}: register audit failed: {msg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_the_renderer() {
+    for (name, src) in regshare_workloads::asm::CORPUS {
+        let program = asm::assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let text = asm::render(&program);
+        let again = asm::assemble(&text).unwrap_or_else(|e| panic!("{name} (re-assembled): {e}"));
+        assert!(
+            program.iter().eq(again.iter()),
+            "{name}: assemble→render→re-assemble changed the program"
+        );
+    }
+}

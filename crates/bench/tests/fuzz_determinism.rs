@@ -26,8 +26,8 @@ fn fuzz_scenario_sweep_is_byte_identical_serial_vs_sharded() {
     let run = |jobs| {
         let mut s = preset("fuzz_smoke").expect("preset");
         s.options = RunOptions::default().warmup(300).measure(900).jobs(jobs);
-        let grid = s.to_sweep().expect("valid").run();
-        render_sweep(&s, &grid)
+        let grid = s.to_sweep().expect("valid").run().expect("sweep completes");
+        render_sweep(&s, &grid).expect("declared labels")
     };
     // The rendered reports differ only in the jobs option's effect on
     // execution, which must be none; the header prints the window, not

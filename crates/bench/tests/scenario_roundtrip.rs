@@ -10,7 +10,7 @@
 //! pools and arbitrary identifier names.
 
 use proptest::prelude::*;
-use regshare_bench::{FuzzSource, RunOptions, Scenario, ScenarioError, VariantSpec};
+use regshare_bench::{AsmSource, FuzzSource, RunOptions, Scenario, ScenarioError, VariantSpec};
 
 const IDENT_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.-";
 const NOTE_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_.,:+%()= -";
@@ -116,20 +116,40 @@ fn scenario_from(raw: &[u64]) -> Scenario {
     if d.next().is_multiple_of(2) {
         options.jobs = Some(1 + (d.next() % 64) as usize);
     }
-    // A scenario draws either a workload list or a fuzz family (both is
-    // invalid, and the renderer would emit both sections).
-    let (workloads, fuzz) = if d.next().is_multiple_of(4) {
-        (
+    // A scenario draws a workload list, a fuzz family, or an asm source
+    // (combining them is invalid, and the renderer would emit conflicting
+    // sections).
+    let (workloads, fuzz, asm) = match d.next() % 8 {
+        0 | 1 => (
             Vec::new(),
             Some(FuzzSource {
                 profile: d.ident(),
                 seed: d.next(),
                 programs: 1 + (d.next() % 64) as u32,
             }),
-        )
-    } else {
-        let n_workloads = (d.next() % 4) as usize;
-        ((0..n_workloads).map(|_| d.ident()).collect(), None)
+            None,
+        ),
+        2 | 3 => {
+            let asm = match d.next() % 3 {
+                0 => AsmSource {
+                    kernel: None,
+                    path: None,
+                },
+                1 => AsmSource {
+                    kernel: Some(d.ident()),
+                    path: None,
+                },
+                _ => AsmSource {
+                    kernel: None,
+                    path: Some(format!("{}/{}.asm", d.ident(), d.ident())),
+                },
+            };
+            (Vec::new(), None, Some(asm))
+        }
+        _ => {
+            let n_workloads = (d.next() % 4) as usize;
+            ((0..n_workloads).map(|_| d.ident()).collect(), None, None)
+        }
     };
     let n_variants = 1 + (d.next() % 4) as usize;
     let variants = (0..n_variants)
@@ -154,6 +174,7 @@ fn scenario_from(raw: &[u64]) -> Scenario {
         options,
         workloads,
         fuzz,
+        asm,
         variants,
         checkpoint_interval,
         resume_from,

@@ -21,6 +21,7 @@ fn representative_spec(window: RunWindow) -> impl Fn(usize) -> SweepGrid {
             )
             .jobs(jobs)
             .run()
+            .expect("sweep completes")
     }
 }
 
@@ -31,16 +32,16 @@ fn render(grid: &SweepGrid) -> String {
     for row in grid.rows() {
         t.row(vec![
             row.workload().name.to_string(),
-            format!("{:.3}", row.get("base").ipc()),
-            format!("{:+.2}", row.speedup("base", "me")),
-            format!("{:+.2}", row.speedup("base", "both32")),
-            format!("{}", row.get("base").stats.memory_traps),
+            format!("{:.3}", row.get("base").unwrap().ipc()),
+            format!("{:+.2}", row.speedup("base", "me").unwrap()),
+            format!("{:+.2}", row.speedup("base", "both32").unwrap()),
+            format!("{}", row.get("base").unwrap().stats.memory_traps),
         ]);
     }
     for label in ["me", "both32"] {
         t.footer(format!(
             "geomean speedup, {label}: {:+.2}%",
-            grid.geomean_speedup("base", label)
+            grid.geomean_speedup("base", label).unwrap()
         ));
     }
     t.render()
@@ -77,8 +78,8 @@ fn full_measurements_are_identical_across_job_counts() {
     for (ra, rb) in a.rows().zip(b.rows()) {
         for label in ["base", "me", "both32"] {
             assert_eq!(
-                ra.get(label).stats,
-                rb.get(label).stats,
+                ra.get(label).unwrap().stats,
+                rb.get(label).unwrap().stats,
                 "{}/{label} diverged across job counts",
                 ra.workload().name
             );

@@ -1,0 +1,987 @@
+//! A dependency-free two-pass text assembler for the µ-op ISA.
+//!
+//! The assembler turns human-readable kernel sources (the checked-in
+//! `programs/*.asm` corpus) into validated [`Program`]s. Pass one walks the
+//! source collecting label definitions while emitting instructions; pass two
+//! resolves forward label references and validates the result.
+//!
+//! # Syntax
+//!
+//! - One instruction per line; `#` and `;` start comments.
+//! - Registers are `r0`–`r15` (integer) and `f0`–`f15` (floating-point).
+//! - Immediates are decimal (optionally negative) or `0x…` hexadecimal, and
+//!   may name a constant declared earlier with `.equ`.
+//! - `label:` defines a branch/call target; labels may share a line with an
+//!   instruction. Branch targets are labels (or raw static indices).
+//! - `.equ NAME value` defines a named constant usable wherever an
+//!   immediate is accepted (must be declared before use).
+//! - `.data addr v0 v1 …` emits an initialization sequence storing the
+//!   64-bit words `v0, v1, …` at `addr, addr+8, …`. Because the simulated
+//!   memory is *not* zero-filled, every byte a kernel reads must first be
+//!   written — either with `.data` or with an explicit init loop. The
+//!   expansion clobbers `r0` and `r1`.
+//!
+//! Mnemonics (operands comma- or space-separated):
+//!
+//! | Mnemonic | Operation |
+//! |---|---|
+//! | `add/sub/and/or/xor/shl/shr d, s1, s2` | integer ALU (`s2` reg or imm) |
+//! | `mul d, s1, s2` / `div d, s1, s2` | integer multiply / divide |
+//! | `fadd/fmul/fdiv fd, fs1, fs2` | FP arithmetic (dataflow tokens) |
+//! | `mov d, s` (also `mov32/mov16/mov8`) | integer move of that width |
+//! | `fmov fd, fs` | FP move |
+//! | `li d, imm` | load immediate |
+//! | `ld/ldw/ldh/ldb d, base, off` | load 8/4/2/1 bytes |
+//! | `st/stw/sth/stb data, base, off` | store 8/4/2/1 bytes |
+//! | `beq/bne/blt/bge s1, s2, target` | conditional branch (unsigned compare) |
+//! | `bbs s1, target` | branch if bit 0 of `s1` is set |
+//! | `jmp target` / `call target` / `ret` | control flow |
+//! | `nop` / `halt` | no-op / stop the machine |
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_isa::asm::assemble;
+//! use regshare_isa::interp::Machine;
+//!
+//! let program = assemble(
+//!     "    li r1, 10      # counter
+//!      loop:
+//!          add r2, r2, r1
+//!          sub r1, r1, 1
+//!          bne r1, 0, loop
+//!          halt",
+//! )
+//! .unwrap();
+//! let mut m = Machine::new(std::sync::Arc::new(program));
+//! while !m.is_halted() {
+//!     m.step();
+//! }
+//! assert_eq!(m.regs()[2], 55); // 10 + 9 + … + 1
+//! ```
+
+use crate::op::{AluOp, Cond, MoveWidth, Op, Operand};
+use crate::program::{Program, ValidateProgramError};
+use regshare_types::{ArchReg, RegClass, ARCH_REGS_PER_CLASS};
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Error produced while assembling a text program.
+///
+/// Line numbers are 1-based indices into the source text, and the `Display`
+/// form follows the `.scenario` parser's `line {line}: …` convention.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The first token of an instruction is not a known mnemonic.
+    UnknownMnemonic {
+        /// 1-based source line.
+        line: usize,
+        /// The unrecognized mnemonic.
+        mnemonic: String,
+    },
+    /// A label (or `.equ` constant) was defined twice.
+    DuplicateLabel {
+        /// 1-based source line of the second definition.
+        line: usize,
+        /// The label name.
+        label: String,
+    },
+    /// A branch/jump/call names a label that is never defined.
+    UndefinedLabel {
+        /// 1-based source line of the reference.
+        line: usize,
+        /// The missing label name.
+        label: String,
+    },
+    /// A numeric literal does not fit its operand (u64 immediate, i64
+    /// displacement, or u32 branch target).
+    ImmediateOutOfRange {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A token in a register position is not `r0`–`r15` / `f0`–`f15`, or
+    /// has the wrong class for the instruction.
+    BadRegister {
+        /// 1-based source line.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// Extra tokens remain after a complete instruction.
+    TrailingGarbage {
+        /// 1-based source line.
+        line: usize,
+        /// The first extra token.
+        token: String,
+    },
+    /// Any other malformed line (missing operands, bad directive, …).
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// The assembled instruction sequence failed [`Program`] validation.
+    Invalid(ValidateProgramError),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnknownMnemonic { line, mnemonic } => {
+                write!(f, "line {line}: unknown mnemonic `{mnemonic}`")
+            }
+            AsmError::DuplicateLabel { line, label } => {
+                write!(f, "line {line}: duplicate label `{label}`")
+            }
+            AsmError::UndefinedLabel { line, label } => {
+                write!(f, "line {line}: undefined label `{label}`")
+            }
+            AsmError::ImmediateOutOfRange { line, token } => {
+                write!(f, "line {line}: immediate `{token}` out of range")
+            }
+            AsmError::BadRegister { line, token } => {
+                write!(f, "line {line}: bad register `{token}`")
+            }
+            AsmError::TrailingGarbage { line, token } => {
+                write!(f, "line {line}: trailing garbage `{token}`")
+            }
+            AsmError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            AsmError::Invalid(e) => write!(f, "assembled program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A pending label reference recorded in pass one, patched in pass two.
+struct Fixup {
+    /// Index into the emitted instruction vector.
+    at: usize,
+    /// Referenced label.
+    label: String,
+    /// 1-based source line of the reference.
+    line: usize,
+}
+
+/// Assembles source text into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, carrying the 1-based source
+/// line number.
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut out: Vec<Op> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+    let mut consts: HashMap<String, u64> = HashMap::new();
+    let mut fixups: Vec<Fixup> = Vec::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let mut text = raw;
+        if let Some(cut) = text.find(['#', ';']) {
+            text = &text[..cut];
+        }
+        let mut text = text.trim();
+
+        // Leading `label:` definitions (an instruction may follow on the
+        // same line).
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let name = head.trim();
+            if !is_ident(name) {
+                break;
+            }
+            if labels.contains_key(name) || consts.contains_key(name) {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: name.to_string(),
+                });
+            }
+            labels.insert(name.to_string(), out.len() as u32);
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+
+        let cleaned = text.replace(',', " ");
+        let toks: Vec<&str> = cleaned.split_whitespace().collect();
+        if let Some(directive) = toks[0].strip_prefix('.') {
+            parse_directive(directive, &toks, line, &mut out, &mut labels, &mut consts)?;
+        } else {
+            parse_inst(&toks, line, &mut out, &mut fixups, &consts)?;
+        }
+    }
+
+    for fx in fixups {
+        match labels.get(&fx.label) {
+            Some(&target) => match &mut out[fx.at] {
+                Op::CondBranch { target: t, .. }
+                | Op::Jump { target: t }
+                | Op::Call { target: t } => {
+                    *t = target;
+                }
+                _ => unreachable!("fixup recorded on a non-control-flow op"),
+            },
+            None => {
+                return Err(AsmError::UndefinedLabel {
+                    line: fx.line,
+                    label: fx.label,
+                })
+            }
+        }
+    }
+
+    Program::validated(out).map_err(AsmError::Invalid)
+}
+
+/// Whether `s` is a valid label/constant identifier.
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Whether `s` is shaped like a register name (`r…`/`f…` + digits), even if
+/// the index is out of range — used to pick the right error.
+fn looks_like_reg(s: &str) -> bool {
+    matches!(s.as_bytes().first(), Some(b'r' | b'f'))
+        && s.len() > 1
+        && s.bytes().skip(1).all(|b| b.is_ascii_digit())
+}
+
+/// Parses a register token of either class.
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, AsmError> {
+    let bad = || AsmError::BadRegister {
+        line,
+        token: tok.to_string(),
+    };
+    if !looks_like_reg(tok) {
+        return Err(bad());
+    }
+    let n: usize = tok[1..].parse().map_err(|_| bad())?;
+    if n >= ARCH_REGS_PER_CLASS {
+        return Err(bad());
+    }
+    Ok(match tok.as_bytes()[0] {
+        b'r' => ArchReg::int(n),
+        _ => ArchReg::fp(n),
+    })
+}
+
+/// Parses a register token, additionally requiring `class`.
+fn parse_reg_class(tok: &str, class: RegClass, line: usize) -> Result<ArchReg, AsmError> {
+    let r = parse_reg(tok, line)?;
+    if r.class() != class {
+        return Err(AsmError::BadRegister {
+            line,
+            token: tok.to_string(),
+        });
+    }
+    Ok(r)
+}
+
+/// Raw numeric parse into an i128 (sign-extended); `None` means the token is
+/// not number-shaped at all, `Some(Err)` means it overflowed.
+fn parse_i128(tok: &str, consts: &HashMap<String, u64>) -> Option<Result<i128, ()>> {
+    if let Some(&v) = consts.get(tok) {
+        return Some(Ok(v as i128));
+    }
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, tok),
+    };
+    let parsed = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        if hex.is_empty() || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        i128::from_str_radix(hex, 16)
+    } else {
+        if body.is_empty() || !body.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        body.parse::<i128>()
+    };
+    Some(match parsed {
+        Ok(v) => Ok(if neg { -v } else { v }),
+        Err(_) => Err(()),
+    })
+}
+
+/// Parses a u64 immediate (negative literals wrap to two's complement).
+fn parse_imm(tok: &str, line: usize, consts: &HashMap<String, u64>) -> Result<u64, AsmError> {
+    let out_of_range = || AsmError::ImmediateOutOfRange {
+        line,
+        token: tok.to_string(),
+    };
+    match parse_i128(tok, consts) {
+        Some(Ok(v)) if (-(1i128 << 63)..(1i128 << 64)).contains(&v) => Ok(v as u64),
+        Some(_) => Err(out_of_range()),
+        None => Err(AsmError::Syntax {
+            line,
+            msg: format!("expected immediate or constant, got `{tok}`"),
+        }),
+    }
+}
+
+/// Parses an i64 displacement.
+fn parse_offset(tok: &str, line: usize, consts: &HashMap<String, u64>) -> Result<i64, AsmError> {
+    let out_of_range = || AsmError::ImmediateOutOfRange {
+        line,
+        token: tok.to_string(),
+    };
+    match parse_i128(tok, consts) {
+        Some(Ok(v)) if i64::try_from(v).is_ok() => Ok(v as i64),
+        Some(_) => Err(out_of_range()),
+        None => Err(AsmError::Syntax {
+            line,
+            msg: format!("expected displacement, got `{tok}`"),
+        }),
+    }
+}
+
+/// Parses a register-or-immediate second operand.
+fn parse_operand(
+    tok: &str,
+    line: usize,
+    consts: &HashMap<String, u64>,
+) -> Result<Operand, AsmError> {
+    if looks_like_reg(tok) {
+        return parse_reg_class(tok, RegClass::Int, line).map(Operand::Reg);
+    }
+    parse_imm(tok, line, consts).map(Operand::Imm)
+}
+
+/// Fetches operand `i`, or reports a missing-operand syntax error.
+fn need<'t>(toks: &[&'t str], i: usize, line: usize) -> Result<&'t str, AsmError> {
+    toks.get(i).copied().ok_or_else(|| AsmError::Syntax {
+        line,
+        msg: format!("`{}` is missing operand {}", toks[0], i),
+    })
+}
+
+/// Rejects extra tokens past the expected operand count.
+fn done(toks: &[&str], n: usize, line: usize) -> Result<(), AsmError> {
+    match toks.get(n) {
+        None => Ok(()),
+        Some(extra) => Err(AsmError::TrailingGarbage {
+            line,
+            token: extra.to_string(),
+        }),
+    }
+}
+
+/// Handles `.equ` and `.data` directives.
+fn parse_directive(
+    directive: &str,
+    toks: &[&str],
+    line: usize,
+    out: &mut Vec<Op>,
+    labels: &mut HashMap<String, u32>,
+    consts: &mut HashMap<String, u64>,
+) -> Result<(), AsmError> {
+    match directive {
+        "equ" => {
+            let name = need(toks, 1, line)?;
+            if !is_ident(name) {
+                return Err(AsmError::Syntax {
+                    line,
+                    msg: format!("`.equ` name `{name}` is not an identifier"),
+                });
+            }
+            if consts.contains_key(name) || labels.contains_key(name) {
+                return Err(AsmError::DuplicateLabel {
+                    line,
+                    label: name.to_string(),
+                });
+            }
+            let value = parse_imm(need(toks, 2, line)?, line, consts)?;
+            done(toks, 3, line)?;
+            consts.insert(name.to_string(), value);
+            Ok(())
+        }
+        "data" => {
+            let addr = parse_imm(need(toks, 1, line)?, line, consts)?;
+            if toks.len() < 3 {
+                return Err(AsmError::Syntax {
+                    line,
+                    msg: "`.data` needs at least one value".to_string(),
+                });
+            }
+            // The simulated memory has no zero-fill guarantee, so `.data`
+            // lowers to explicit stores; r0 holds the base, r1 each word.
+            out.push(Op::LoadImm {
+                dst: ArchReg::int(0),
+                imm: addr,
+            });
+            for (k, tok) in toks[2..].iter().enumerate() {
+                let value = parse_imm(tok, line, consts)?;
+                out.push(Op::LoadImm {
+                    dst: ArchReg::int(1),
+                    imm: value,
+                });
+                out.push(Op::Store {
+                    data: ArchReg::int(1),
+                    base: ArchReg::int(0),
+                    offset: (k * 8) as i64,
+                    size: 8,
+                });
+            }
+            Ok(())
+        }
+        other => Err(AsmError::Syntax {
+            line,
+            msg: format!("unknown directive `.{other}`"),
+        }),
+    }
+}
+
+/// Parses one instruction line (tokens already split) and appends its op.
+fn parse_inst(
+    toks: &[&str],
+    line: usize,
+    out: &mut Vec<Op>,
+    fixups: &mut Vec<Fixup>,
+    consts: &HashMap<String, u64>,
+) -> Result<(), AsmError> {
+    let m = toks[0];
+    // Records a control-flow target: raw index now, or a label fixup.
+    let target = |tok: &str, at: usize, fixups: &mut Vec<Fixup>| -> Result<u32, AsmError> {
+        if is_ident(tok) && !consts.contains_key(tok) {
+            fixups.push(Fixup {
+                at,
+                label: tok.to_string(),
+                line,
+            });
+            return Ok(0);
+        }
+        match parse_imm(tok, line, consts) {
+            Ok(v) if u32::try_from(v).is_ok() => Ok(v as u32),
+            Ok(_) => Err(AsmError::ImmediateOutOfRange {
+                line,
+                token: tok.to_string(),
+            }),
+            Err(e) => Err(e),
+        }
+    };
+    let int = RegClass::Int;
+    let fp = RegClass::Fp;
+    let op = match m {
+        "add" | "sub" | "and" | "or" | "xor" | "shl" | "shr" => {
+            let alu = match m {
+                "add" => AluOp::Add,
+                "sub" => AluOp::Sub,
+                "and" => AluOp::And,
+                "or" => AluOp::Or,
+                "xor" => AluOp::Xor,
+                "shl" => AluOp::Shl,
+                _ => AluOp::Shr,
+            };
+            let op = Op::IntAlu {
+                op: alu,
+                dst: parse_reg_class(need(toks, 1, line)?, int, line)?,
+                src1: parse_reg_class(need(toks, 2, line)?, int, line)?,
+                src2: parse_operand(need(toks, 3, line)?, line, consts)?,
+            };
+            done(toks, 4, line)?;
+            op
+        }
+        "mul" | "div" => {
+            let dst = parse_reg_class(need(toks, 1, line)?, int, line)?;
+            let src1 = parse_reg_class(need(toks, 2, line)?, int, line)?;
+            let src2 = parse_operand(need(toks, 3, line)?, line, consts)?;
+            done(toks, 4, line)?;
+            if m == "mul" {
+                Op::IntMul { dst, src1, src2 }
+            } else {
+                Op::IntDiv { dst, src1, src2 }
+            }
+        }
+        "fadd" | "fmul" | "fdiv" => {
+            let dst = parse_reg_class(need(toks, 1, line)?, fp, line)?;
+            let src1 = parse_reg_class(need(toks, 2, line)?, fp, line)?;
+            let src2 = parse_reg_class(need(toks, 3, line)?, fp, line)?;
+            done(toks, 4, line)?;
+            match m {
+                "fadd" => Op::FpAdd { dst, src1, src2 },
+                "fmul" => Op::FpMul { dst, src1, src2 },
+                _ => Op::FpDiv { dst, src1, src2 },
+            }
+        }
+        "mov" | "mov32" | "mov16" | "mov8" => {
+            let width = match m {
+                "mov" => MoveWidth::W64,
+                "mov32" => MoveWidth::W32,
+                "mov16" => MoveWidth::W16,
+                _ => MoveWidth::W8,
+            };
+            let op = Op::MovInt {
+                dst: parse_reg_class(need(toks, 1, line)?, int, line)?,
+                src: parse_reg_class(need(toks, 2, line)?, int, line)?,
+                width,
+            };
+            done(toks, 3, line)?;
+            op
+        }
+        "fmov" => {
+            let op = Op::MovFp {
+                dst: parse_reg_class(need(toks, 1, line)?, fp, line)?,
+                src: parse_reg_class(need(toks, 2, line)?, fp, line)?,
+            };
+            done(toks, 3, line)?;
+            op
+        }
+        "li" => {
+            let op = Op::LoadImm {
+                dst: parse_reg(need(toks, 1, line)?, line)?,
+                imm: parse_imm(need(toks, 2, line)?, line, consts)?,
+            };
+            done(toks, 3, line)?;
+            op
+        }
+        "ld" | "ldw" | "ldh" | "ldb" => {
+            let size = mem_size(m);
+            let op = Op::Load {
+                dst: parse_reg(need(toks, 1, line)?, line)?,
+                base: parse_reg_class(need(toks, 2, line)?, int, line)?,
+                offset: parse_offset(need(toks, 3, line)?, line, consts)?,
+                size,
+            };
+            done(toks, 4, line)?;
+            op
+        }
+        "st" | "stw" | "sth" | "stb" => {
+            let size = mem_size(m);
+            let op = Op::Store {
+                data: parse_reg(need(toks, 1, line)?, line)?,
+                base: parse_reg_class(need(toks, 2, line)?, int, line)?,
+                offset: parse_offset(need(toks, 3, line)?, line, consts)?,
+                size,
+            };
+            done(toks, 4, line)?;
+            op
+        }
+        "beq" | "bne" | "blt" | "bge" => {
+            let cond = match m {
+                "beq" => Cond::Eq,
+                "bne" => Cond::Ne,
+                "blt" => Cond::Lt,
+                _ => Cond::Ge,
+            };
+            let src1 = parse_reg_class(need(toks, 1, line)?, int, line)?;
+            let src2 = parse_operand(need(toks, 2, line)?, line, consts)?;
+            let t = target(need(toks, 3, line)?, out.len(), fixups)?;
+            done(toks, 4, line)?;
+            Op::CondBranch {
+                cond,
+                src1,
+                src2,
+                target: t,
+            }
+        }
+        "bbs" => {
+            let src1 = parse_reg_class(need(toks, 1, line)?, int, line)?;
+            let t = target(need(toks, 2, line)?, out.len(), fixups)?;
+            done(toks, 3, line)?;
+            Op::CondBranch {
+                cond: Cond::BitSet,
+                src1,
+                src2: Operand::Imm(0),
+                target: t,
+            }
+        }
+        "jmp" | "call" => {
+            let t = target(need(toks, 1, line)?, out.len(), fixups)?;
+            done(toks, 2, line)?;
+            if m == "jmp" {
+                Op::Jump { target: t }
+            } else {
+                Op::Call { target: t }
+            }
+        }
+        "ret" => {
+            done(toks, 1, line)?;
+            Op::Ret
+        }
+        "nop" => {
+            done(toks, 1, line)?;
+            Op::Nop
+        }
+        "halt" => {
+            done(toks, 1, line)?;
+            Op::Halt
+        }
+        other => {
+            return Err(AsmError::UnknownMnemonic {
+                line,
+                mnemonic: other.to_string(),
+            })
+        }
+    };
+    out.push(op);
+    Ok(())
+}
+
+/// Access size for a load/store mnemonic suffix.
+fn mem_size(m: &str) -> u8 {
+    match m.as_bytes()[m.len() - 1] {
+        b'w' => 4,
+        b'h' => 2,
+        b'b' => 1,
+        _ => 8,
+    }
+}
+
+/// Renders a program back to canonical assembly text.
+///
+/// Branch targets become `L<index>` labels. The output re-assembles to an
+/// instruction-for-instruction identical program, so
+/// `assemble(render(&p))` round-trips.
+pub fn render(p: &Program) -> String {
+    let mut targets: BTreeSet<u32> = BTreeSet::new();
+    for op in p.iter() {
+        if let Op::CondBranch { target, .. } | Op::Jump { target } | Op::Call { target } = op {
+            targets.insert(*target);
+        }
+    }
+    let mut s = String::new();
+    for (i, op) in p.iter().enumerate() {
+        if targets.contains(&(i as u32)) {
+            s.push_str(&format!("L{i}:\n"));
+        }
+        s.push_str("    ");
+        s.push_str(&render_op(op));
+        s.push('\n');
+    }
+    s
+}
+
+/// Renders a u64 immediate so it re-parses to the same value.
+fn fmt_imm(v: u64) -> String {
+    if v <= i64::MAX as u64 {
+        format!("{v}")
+    } else {
+        format!("{}", v as i64)
+    }
+}
+
+/// Renders an operand.
+fn fmt_operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("{r}"),
+        Operand::Imm(v) => fmt_imm(*v),
+    }
+}
+
+/// Renders one instruction in canonical mnemonic form.
+fn render_op(op: &Op) -> String {
+    match op {
+        Op::IntAlu {
+            op: alu,
+            dst,
+            src1,
+            src2,
+        } => {
+            let m = match alu {
+                AluOp::Add => "add",
+                AluOp::Sub => "sub",
+                AluOp::And => "and",
+                AluOp::Or => "or",
+                AluOp::Xor => "xor",
+                AluOp::Shl => "shl",
+                AluOp::Shr => "shr",
+            };
+            format!("{m} {dst}, {src1}, {}", fmt_operand(src2))
+        }
+        Op::IntMul { dst, src1, src2 } => format!("mul {dst}, {src1}, {}", fmt_operand(src2)),
+        Op::IntDiv { dst, src1, src2 } => format!("div {dst}, {src1}, {}", fmt_operand(src2)),
+        Op::FpAdd { dst, src1, src2 } => format!("fadd {dst}, {src1}, {src2}"),
+        Op::FpMul { dst, src1, src2 } => format!("fmul {dst}, {src1}, {src2}"),
+        Op::FpDiv { dst, src1, src2 } => format!("fdiv {dst}, {src1}, {src2}"),
+        Op::MovInt { dst, src, width } => {
+            let m = match width {
+                MoveWidth::W64 => "mov",
+                MoveWidth::W32 => "mov32",
+                MoveWidth::W16 => "mov16",
+                MoveWidth::W8 => "mov8",
+            };
+            format!("{m} {dst}, {src}")
+        }
+        Op::MovFp { dst, src } => format!("fmov {dst}, {src}"),
+        Op::LoadImm { dst, imm } => format!("li {dst}, {}", fmt_imm(*imm)),
+        Op::Load {
+            dst,
+            base,
+            offset,
+            size,
+        } => format!("{} {dst}, {base}, {offset}", mem_mnemonic("ld", *size)),
+        Op::Store {
+            data,
+            base,
+            offset,
+            size,
+        } => format!("{} {data}, {base}, {offset}", mem_mnemonic("st", *size)),
+        Op::CondBranch {
+            cond,
+            src1,
+            src2,
+            target,
+        } => match cond {
+            Cond::Eq => format!("beq {src1}, {}, L{target}", fmt_operand(src2)),
+            Cond::Ne => format!("bne {src1}, {}, L{target}", fmt_operand(src2)),
+            Cond::Lt => format!("blt {src1}, {}, L{target}", fmt_operand(src2)),
+            Cond::Ge => format!("bge {src1}, {}, L{target}", fmt_operand(src2)),
+            Cond::BitSet => format!("bbs {src1}, L{target}"),
+        },
+        Op::Jump { target } => format!("jmp L{target}"),
+        Op::Call { target } => format!("call L{target}"),
+        Op::Ret => "ret".to_string(),
+        Op::Nop => "nop".to_string(),
+        Op::Halt => "halt".to_string(),
+    }
+}
+
+/// Load/store mnemonic for an access size.
+fn mem_mnemonic(stem: &str, size: u8) -> String {
+    let suffix = match size {
+        4 => "w",
+        2 => "h",
+        1 => "b",
+        _ => "",
+    };
+    format!("{stem}{suffix}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Machine;
+    use std::sync::Arc;
+
+    fn run_to_halt(p: Program) -> Machine {
+        let mut m = Machine::new(Arc::new(p));
+        for _ in 0..1_000_000 {
+            if m.is_halted() {
+                return m;
+            }
+            m.step();
+        }
+        panic!("program did not halt within 1M steps");
+    }
+
+    #[test]
+    fn loop_with_backward_branch_executes() {
+        let p = assemble(
+            "    li r1, 10
+             top:
+                 add r2, r2, r1
+                 sub r1, r1, 1
+                 bne r1, 0, top
+                 halt",
+        )
+        .unwrap();
+        let m = run_to_halt(p);
+        assert_eq!(m.regs()[2], 55);
+    }
+
+    #[test]
+    fn data_directive_initializes_memory() {
+        let p = assemble(
+            ".equ BASE 0x1000
+             .data BASE 7 11 13
+                 li r4, BASE
+                 ld r5, r4, 16
+                 halt",
+        )
+        .unwrap();
+        let m = run_to_halt(p);
+        assert_eq!(m.memory().read(0x1000, 8), 7);
+        assert_eq!(m.memory().read(0x1008, 8), 11);
+        assert_eq!(m.regs()[5], 13);
+    }
+
+    #[test]
+    fn call_and_ret_work() {
+        let p = assemble(
+            "    li r1, 5
+                 call double
+                 halt
+             double:
+                 add r1, r1, r1
+                 ret",
+        )
+        .unwrap();
+        let m = run_to_halt(p);
+        assert_eq!(m.regs()[1], 10);
+    }
+
+    #[test]
+    fn fp_and_moves_assemble() {
+        let p = assemble(
+            "    li f0, 3
+                 li f1, 4
+                 fadd f2, f0, f1
+                 fmul f3, f2, f2
+                 fdiv f4, f3, f1
+                 fmov f5, f4
+                 mov r1, r0
+                 mov32 r2, r1
+                 mov16 r3, r1
+                 mov8 r4, r1
+                 halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 11);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let err = assemble("    nop\n    nop\n    frobnicate r1, r2\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UnknownMnemonic {
+                line: 3,
+                mnemonic: "frobnicate".to_string()
+            }
+        );
+        assert_eq!(err.to_string(), "line 3: unknown mnemonic `frobnicate`");
+    }
+
+    #[test]
+    fn duplicate_label_reports_line() {
+        let err = assemble("top:\n    nop\ntop:\n    halt\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::DuplicateLabel {
+                line: 3,
+                label: "top".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn undefined_label_reports_line() {
+        let err = assemble("    nop\n    jmp nowhere\n    halt\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::UndefinedLabel {
+                line: 2,
+                label: "nowhere".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_immediate_reports_line() {
+        let err = assemble("    li r0, 99999999999999999999999999\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::ImmediateOutOfRange {
+                line: 1,
+                token: "99999999999999999999999999".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn bad_register_reports_line() {
+        let err = assemble("    nop\n    add r1, r16, 3\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::BadRegister {
+                line: 2,
+                token: "r16".to_string()
+            }
+        );
+        // Wrong class is also a register error.
+        let err = assemble("    fadd f0, f1, r2\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::BadRegister {
+                line: 1,
+                token: "r2".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_reports_line() {
+        let err = assemble("    nop\n    mov r1, r2, r3\n").unwrap_err();
+        assert_eq!(
+            err,
+            AsmError::TrailingGarbage {
+                line: 2,
+                token: "r3".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn negative_and_hex_immediates_round_trip() {
+        let p = assemble("    li r0, -1\n    li r1, 0xdeadbeef\n    st r0, r1, -8\n    halt\n")
+            .unwrap();
+        assert_eq!(
+            *p.op(0),
+            Op::LoadImm {
+                dst: ArchReg::int(0),
+                imm: u64::MAX
+            }
+        );
+        assert_eq!(
+            *p.op(1),
+            Op::LoadImm {
+                dst: ArchReg::int(1),
+                imm: 0xdead_beef
+            }
+        );
+        let text = render(&p);
+        let p2 = assemble(&text).unwrap();
+        assert!(p.iter().eq(p2.iter()), "round-trip changed the program");
+    }
+
+    #[test]
+    fn render_round_trips_all_op_shapes() {
+        let src = "start:
+                 li r1, 8
+                 li r4, 0x2000
+             loop:
+                 st r1, r4, 0
+                 ldb r2, r4, 0
+                 sth r2, r4, 8
+                 ldw r3, r4, 8
+                 mul r5, r3, r1
+                 div r6, r5, 3
+                 bbs r6, odd
+                 xor r7, r7, r6
+             odd:
+                 shl r8, r6, 2
+                 shr r9, r8, r1
+                 call helper
+                 sub r1, r1, 1
+                 bne r1, 0, loop
+                 halt
+             helper:
+                 nop
+                 ret";
+        let p = assemble(src).unwrap();
+        let text = render(&p);
+        let p2 = assemble(&text).unwrap();
+        assert!(p.iter().eq(p2.iter()), "round-trip changed the program");
+        // Rendering is a fixed point after one round.
+        assert_eq!(text, render(&p2));
+    }
+
+    #[test]
+    fn empty_source_is_invalid() {
+        assert_eq!(
+            assemble("# nothing but comments\n").unwrap_err(),
+            AsmError::Invalid(ValidateProgramError::Empty)
+        );
+    }
+}

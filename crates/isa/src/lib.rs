@@ -36,12 +36,14 @@
 
 #![deny(missing_docs)]
 
+pub mod asm;
 pub mod interp;
 pub mod mem;
 pub mod op;
 pub mod program;
 pub mod stream;
 
+pub use asm::{assemble, AsmError};
 pub use interp::Machine;
 pub use op::{
     AluOp, BranchOutcome, Cond, DynUop, ExecClass, MemRef, MoveWidth, Op, Operand, UopKind,

@@ -31,11 +31,12 @@ use regshare_bench::digest::cell_digest;
 use regshare_bench::harness::{measure_program, Measurement, RunWindow};
 use regshare_bench::report::render_report;
 use regshare_bench::scenario::{Scenario, ScenarioError};
-use regshare_bench::sweep::SweepGrid;
+use regshare_bench::sweep::{panic_detail, SweepError, SweepGrid};
 use regshare_bench::RunOptions;
 use regshare_core::{CoreConfig, SimStats};
 use regshare_isa::Program;
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -65,6 +66,20 @@ pub enum ServeError {
         /// The configured per-request deadline.
         ms: u64,
     },
+    /// One cell's simulation died (a panic, caught so the daemon keeps
+    /// serving). Failures are **not** cached, so a retry recomputes the
+    /// cell — but an unchanged request will fail the same way.
+    Cell {
+        /// The workload whose cell failed.
+        workload: String,
+        /// The variant label of the failed cell.
+        label: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+    /// The completed cells could not be merged into a grid or rendered
+    /// (a sweep-layer shape or label error — indicates an engine bug).
+    Grid(SweepError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -81,6 +96,12 @@ impl std::fmt::Display for ServeError {
                 "request exceeded the {ms} ms deadline; the cells keep \
                  computing — retry to pick them up from the cache"
             ),
+            ServeError::Cell {
+                workload,
+                label,
+                detail,
+            } => write!(f, "cell {workload}/{label} failed: {detail}"),
+            ServeError::Grid(e) => write!(f, "{e}"),
         }
     }
 }
@@ -90,6 +111,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Scenario(e) => Some(e),
             ServeError::Cache(e) => Some(e),
+            ServeError::Grid(e) => Some(e),
             _ => None,
         }
     }
@@ -104,6 +126,12 @@ impl From<ScenarioError> for ServeError {
 impl From<CacheError> for ServeError {
     fn from(e: CacheError) -> ServeError {
         ServeError::Cache(e)
+    }
+}
+
+impl From<SweepError> for ServeError {
+    fn from(e: SweepError) -> ServeError {
+        ServeError::Grid(e)
     }
 }
 
@@ -158,30 +186,33 @@ impl Default for EngineConfig {
 }
 
 /// One cell's rendezvous between the worker that computes it and every
-/// request waiting on it.
+/// request waiting on it. The payload is an *outcome*: `Err` carries the
+/// rendered panic detail of a cell whose simulation died, so waiters get
+/// a typed error instead of hanging until their deadline.
 struct Slot {
-    stats: Mutex<Option<SimStats>>,
+    outcome: Mutex<Option<Result<SimStats, String>>>,
     ready: Condvar,
 }
 
 impl Slot {
     fn new() -> Slot {
         Slot {
-            stats: Mutex::new(None),
+            outcome: Mutex::new(None),
             ready: Condvar::new(),
         }
     }
 
-    fn fill(&self, stats: SimStats) {
-        *self.stats.lock().unwrap_or_else(|e| e.into_inner()) = Some(stats);
+    fn fill(&self, outcome: Result<SimStats, String>) {
+        *self.outcome.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
         self.ready.notify_all();
     }
 
-    fn wait_until(&self, deadline: Instant) -> Option<SimStats> {
-        let mut guard = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+    /// `None` on deadline expiry; otherwise the cell's outcome.
+    fn wait_until(&self, deadline: Instant) -> Option<Result<SimStats, String>> {
+        let mut guard = self.outcome.lock().unwrap_or_else(|e| e.into_inner());
         loop {
-            if let Some(stats) = *guard {
-                return Some(stats);
+            if let Some(outcome) = guard.as_ref() {
+                return Some(outcome.clone());
             }
             let now = Instant::now();
             if now >= deadline {
@@ -224,18 +255,40 @@ struct Shared {
 
 impl Shared {
     fn run_job(&self, job: Job) {
-        let m = measure_program(job.workload.clone(), &job.program, job.cfg, job.window);
-        self.computed.fetch_add(1, Ordering::Relaxed);
-        // Persist before publishing: once the slot is filled and the
-        // in-flight entry removed, later lookups must find the cache hit.
-        if let Err(e) = self.cache.store(job.key, &job.workload, &m.stats) {
-            eprintln!("serve: cache store failed (serving from memory): {e}");
-        }
-        job.slot.fill(m.stats);
+        let Job {
+            key,
+            workload,
+            program,
+            cfg,
+            window,
+            slot,
+        } = job;
+        // A panicking simulation must not take the worker thread (and with
+        // it the daemon's capacity) down: catch it, publish the detail to
+        // every waiter, and keep serving.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            measure_program(workload.clone(), &program, cfg, window)
+        }))
+        .map_err(panic_detail);
+        let outcome = match outcome {
+            Ok(m) => {
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                // Persist before publishing: once the slot is filled and
+                // the in-flight entry removed, later lookups must find the
+                // cache hit. Failures are NOT persisted — a retry gets a
+                // fresh computation, not a replayed panic.
+                if let Err(e) = self.cache.store(key, &workload, &m.stats) {
+                    eprintln!("serve: cache store failed (serving from memory): {e}");
+                }
+                Ok(m.stats)
+            }
+            Err(detail) => Err(detail),
+        };
+        slot.fill(outcome);
         self.inflight
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .remove(&job.key);
+            .remove(&key);
         self.pending.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -350,6 +403,7 @@ impl Engine {
         let window = s.options.window();
         let nv = configs.len();
         let n = workloads.len() * nv;
+        let label_of = |i: usize| s.variants[i % nv].0.clone();
         let mut stats: Vec<Option<SimStats>> = vec![None; n];
         let mut from_cache = vec![false; n];
         // Duplicate keys inside one request (two labels resolving to the
@@ -389,9 +443,28 @@ impl Engine {
 
             // Build (or reuse) the program before taking the in-flight
             // lock; on the rare attach the build is wasted, never wrong.
-            let program = programs[w]
-                .get_or_insert_with(|| Arc::new(workloads[w].build()))
-                .clone();
+            // A panicking build (a broken generator) is a typed per-cell
+            // failure, not a dead connection thread.
+            let program = match &programs[w] {
+                Some(p) => Arc::clone(p),
+                None => {
+                    match catch_unwind(AssertUnwindSafe(|| Arc::new(workloads[w].build())))
+                        .map_err(panic_detail)
+                    {
+                        Ok(p) => {
+                            programs[w] = Some(Arc::clone(&p));
+                            p
+                        }
+                        Err(detail) => {
+                            return Err(ServeError::Cell {
+                                workload: workloads[w].name.clone(),
+                                label: label_of(i),
+                                detail,
+                            })
+                        }
+                    }
+                }
+            };
 
             let slot = {
                 let mut inflight = self
@@ -404,8 +477,9 @@ impl Engine {
                     Arc::clone(slot)
                 } else if let Ok(Some(hit)) = self.shared.cache.load(key, name) {
                     // The cell completed between our miss and this lock
-                    // (workers persist before unpublishing, so a vanished
-                    // in-flight entry is always a cache hit by now).
+                    // (successful workers persist before unpublishing). A
+                    // vanished in-flight entry with no cache hit was a
+                    // *failed* cell — fall through and recompute it.
                     stats[i] = Some(hit);
                     from_cache[i] = true;
                     self.shared.hits.fetch_add(1, Ordering::Relaxed);
@@ -438,11 +512,20 @@ impl Engine {
             waits.push((i, slot));
         }
 
-        // Wait for every miss under one request-wide deadline.
+        // Wait for every miss under one request-wide deadline. A cell
+        // whose simulation died surfaces as a typed per-cell failure —
+        // the daemon degrades to an error reply and keeps serving.
         let deadline = Instant::now() + self.timeout;
         for (i, slot) in waits {
             match slot.wait_until(deadline) {
-                Some(computed) => stats[i] = Some(computed),
+                Some(Ok(computed)) => stats[i] = Some(computed),
+                Some(Err(detail)) => {
+                    return Err(ServeError::Cell {
+                        workload: workloads[i / nv].name.clone(),
+                        label: label_of(i),
+                        detail,
+                    })
+                }
                 None => {
                     return Err(ServeError::Timeout {
                         ms: self.timeout.as_millis() as u64,
@@ -456,19 +539,30 @@ impl Engine {
         }
 
         let cached = from_cache.iter().filter(|&&c| c).count();
-        let cells: Vec<Measurement> = stats
-            .iter()
-            .enumerate()
-            .map(|(i, st)| Measurement {
-                name: workloads[i / nv].name.clone(),
-                stats: st.expect("every cell resolved"),
-            })
-            .collect();
+        let mut cells: Vec<Measurement> = Vec::with_capacity(n);
+        for (i, st) in stats.into_iter().enumerate() {
+            match st {
+                Some(stats) => cells.push(Measurement {
+                    name: workloads[i / nv].name.clone(),
+                    stats,
+                }),
+                // Unreachable by construction (every non-dup cell is a hit
+                // or a wait, and dups copy) — but a hole in the matrix is
+                // an error reply, never a dead connection thread.
+                None => {
+                    return Err(ServeError::Cell {
+                        workload: workloads[i / nv].name.clone(),
+                        label: label_of(i),
+                        detail: "cell was never scheduled or resolved".to_string(),
+                    })
+                }
+            }
+        }
         let labels: Vec<String> = s.variants.iter().map(|(l, _)| l.clone()).collect();
-        let grid = SweepGrid::from_parts(workloads, labels, cells);
+        let grid = SweepGrid::from_parts(workloads, labels, cells)?;
         let body = match format {
-            Format::Table => render_report(&s, &grid),
-            Format::Json => json_report(&s, &grid, &from_cache),
+            Format::Table => render_report(&s, &grid)?,
+            Format::Json => json_report(&s, &grid, &from_cache)?,
         };
         Ok(ServeResponse {
             body,
@@ -495,8 +589,13 @@ impl Drop for Engine {
 /// object per cell with IPC, raw cycle/µ-op counts and `cached`
 /// provenance. Hand-rolled like `BENCH_*.json` — the workspace is
 /// dependency-free. Scenario names/notes need no escaping: validation
-/// already rejects quotes, backslashes and control characters.
-fn json_report(scenario: &Scenario, grid: &SweepGrid, from_cache: &[bool]) -> String {
+/// already rejects quotes, backslashes and control characters. A grid
+/// missing a label is a typed [`SweepError`], not a panic.
+fn json_report(
+    scenario: &Scenario,
+    grid: &SweepGrid,
+    from_cache: &[bool],
+) -> Result<String, SweepError> {
     let window = scenario.options.window();
     let labels = grid.labels();
     let mut out = String::new();
@@ -526,7 +625,7 @@ fn json_report(scenario: &Scenario, grid: &SweepGrid, from_cache: &[bool]) -> St
                 out.push_str(",\n");
             }
             first = false;
-            let m = row.get(label);
+            let m = row.get(label)?;
             out.push_str(&format!(
                 "    {{ \"workload\": \"{}\", \"variant\": \"{label}\", \
                  \"ipc\": {:.6}, \"cycles\": {}, \"committed\": {}, \
@@ -540,5 +639,107 @@ fn json_report(scenario: &Scenario, grid: &SweepGrid, from_cache: &[bool]) -> St
         }
     }
     out.push_str("\n  ]\n}\n");
-    out
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_bench::VariantSpec;
+    use std::path::PathBuf;
+
+    /// A cache rooted inside `target/tmp` (unique per test, wiped on entry).
+    fn tmp_cache(name: &str) -> Cache {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/tmp")
+            .join(format!("engine-unit-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::open(&dir, None).expect("cache opens")
+    }
+
+    #[test]
+    fn slot_failure_reaches_every_waiter() {
+        let slot = Arc::new(Slot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait_until(Instant::now() + Duration::from_secs(30)))
+        };
+        slot.fill(Err("simulated cell death".to_string()));
+        assert_eq!(
+            waiter.join().unwrap(),
+            Some(Err("simulated cell death".to_string()))
+        );
+    }
+
+    #[test]
+    fn panicking_job_publishes_a_failure_and_releases_capacity() {
+        let shared = Shared {
+            cache: tmp_cache("panicking-job"),
+            inflight: Mutex::new(HashMap::new()),
+            pending: AtomicUsize::new(1),
+            computed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+        };
+        let program = Arc::new(
+            regshare_isa::asm::assemble("    li r15, 1\n    halt\n").expect("tiny program"),
+        );
+        // A PRF smaller than the architectural register file trips rename's
+        // internal assert — exactly the class of simulator bug the worker
+        // must survive. (The scenario layer can never produce this config;
+        // the test bypasses validation on purpose.)
+        let mut cfg = VariantSpec::hpca16().to_config().expect("valid preset");
+        cfg.pregs_per_class = 1;
+        let key = 0xdead_beef_u64;
+        let slot = Arc::new(Slot::new());
+        shared
+            .inflight
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&slot));
+
+        shared.run_job(Job {
+            key,
+            workload: "tiny".to_string(),
+            program,
+            cfg,
+            window: RunWindow {
+                warmup: 10,
+                measure: 50,
+            },
+            slot: Arc::clone(&slot),
+        });
+
+        // The slot carries the panic detail, not a hang or an abort...
+        let outcome = slot.wait_until(Instant::now()).expect("slot filled");
+        let detail = outcome.expect_err("job must have failed");
+        assert!(!detail.is_empty(), "panic detail rendered");
+        // ...capacity is released and the in-flight entry unpublished...
+        assert_eq!(shared.pending.load(Ordering::Relaxed), 0);
+        assert!(shared.inflight.lock().unwrap().is_empty());
+        assert_eq!(shared.computed.load(Ordering::Relaxed), 0);
+        // ...and the failure was NOT cached: a retry recomputes.
+        assert_eq!(shared.cache.load(key, "tiny").unwrap(), None);
+    }
+
+    #[test]
+    fn error_display_names_the_failed_cell() {
+        let e = ServeError::Cell {
+            workload: "asm-matmul".to_string(),
+            label: "both".to_string(),
+            detail: "index out of bounds".to_string(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "cell asm-matmul/both failed: index out of bounds"
+        );
+        let g = ServeError::Grid(SweepError::Shape {
+            expected: 4,
+            got: 3,
+        });
+        assert_eq!(
+            g.to_string(),
+            "grid shape mismatch: expected 4 cells, got 3"
+        );
+    }
 }

@@ -143,6 +143,8 @@ pub fn error_kind(e: &ServeError) -> &'static str {
         ServeError::Cache(_) => "cache",
         ServeError::Busy { .. } => "busy",
         ServeError::Timeout { .. } => "timeout",
+        ServeError::Cell { .. } => "cell",
+        ServeError::Grid(_) => "grid",
     }
 }
 

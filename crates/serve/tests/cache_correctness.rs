@@ -68,8 +68,8 @@ fn cold_then_warm_is_byte_identical_and_fully_cached() {
     assert_eq!(eng.computed_cells(), 4);
 
     // The served body is exactly what the batch path renders.
-    let grid = scenario.to_sweep().unwrap().run();
-    assert_eq!(cold.body, render_report(&scenario, &grid));
+    let grid = scenario.to_sweep().unwrap().run().unwrap();
+    assert_eq!(cold.body, render_report(&scenario, &grid).unwrap());
 
     let warm = eng.submit(&scenario, Format::Table).unwrap();
     assert_eq!(warm.cached, 4);

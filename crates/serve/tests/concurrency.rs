@@ -71,10 +71,10 @@ fn parallel_clients_match_serial_runs() {
     let bodies: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
 
     for (s, body) in scenarios.iter().zip(&bodies) {
-        let grid = s.to_sweep().unwrap().run();
+        let grid = s.to_sweep().unwrap().run().unwrap();
         assert_eq!(
             *body,
-            render_report(s, &grid),
+            render_report(s, &grid).unwrap(),
             "served {} == batch engine",
             s.name
         );
@@ -128,9 +128,12 @@ fn duplicate_variant_labels_share_one_computation() {
     assert_eq!(resp.cells, 2);
     assert_eq!(eng.computed_cells(), 1, "twin cells simulate once");
     // Both labelled columns render identical numbers.
-    let grid = scenario.to_sweep().unwrap().run();
-    assert_eq!(grid.get(0, "a").stats, grid.get(0, "b").stats);
-    assert_eq!(resp.body, render_report(&scenario, &grid));
+    let grid = scenario.to_sweep().unwrap().run().unwrap();
+    assert_eq!(
+        grid.get(0, "a").unwrap().stats,
+        grid.get(0, "b").unwrap().stats
+    );
+    assert_eq!(resp.body, render_report(&scenario, &grid).unwrap());
 }
 
 #[test]

@@ -71,8 +71,8 @@ fn tcp_end_to_end() {
         .unwrap();
     assert_eq!(cold.meta_field("cells"), Some(2));
     assert_eq!(cold.meta_field("computed"), Some(2));
-    let grid = scenario.to_sweep().unwrap().run();
-    assert_eq!(cold.body, render_report(&scenario, &grid));
+    let grid = scenario.to_sweep().unwrap().run().unwrap();
+    assert_eq!(cold.body, render_report(&scenario, &grid).unwrap());
 
     // Warm run on a second connection: fully cached, byte-identical.
     let mut conn2 = Connection::connect(&addr, 0).unwrap();
@@ -100,6 +100,35 @@ fn tcp_end_to_end() {
     // Shutdown stops the accept loop and joins cleanly.
     let bye = conn.shutdown().unwrap().unwrap();
     assert_eq!(bye.meta, "bye len=0");
+    handle.join().unwrap();
+}
+
+#[test]
+fn unknown_variant_is_one_err_line_and_daemon_keeps_serving() {
+    let dir = TempDir::new("unknown-variant");
+    let (addr, handle) = start_server("127.0.0.1:0", &dir);
+    let mut conn = Connection::connect(&addr, 5).unwrap();
+
+    // A variant naming a config preset that does not exist: the reply is
+    // exactly one typed `err` line — the daemon neither panics nor drops
+    // the connection.
+    let bad = "name = \"bad_variant\"\nwarmup = 500\nmeasure = 1500\n\
+               \n[variant.base]\npreset = \"hpca16\"\n\
+               \n[variant.doom]\npreset = \"no_such_preset\"\n";
+    let err = conn.run(bad, Format::Table).unwrap().unwrap_err();
+    assert!(err.starts_with("scenario: "), "got {err:?}");
+    assert!(!err.contains('\n'), "error replies are one line");
+
+    // The same connection immediately serves a real request — an
+    // assembled corpus kernel addressed through the text format.
+    let good = "name = \"after_err\"\nkind = \"asm\"\nkernel = \"quicksort\"\n\
+                warmup = 500\nmeasure = 1500\n\
+                \n[variant.base]\npreset = \"hpca16\"\n";
+    let ok = conn.run(good, Format::Table).unwrap().unwrap();
+    assert_eq!(ok.meta_field("cells"), Some(1));
+    assert!(ok.body.contains("asm-quicksort"), "{}", ok.body);
+
+    conn.shutdown().unwrap().unwrap();
     handle.join().unwrap();
 }
 

@@ -1,0 +1,191 @@
+//! The assembled real-program corpus: classic kernels written in the
+//! `regshare` assembly dialect ([`regshare_isa::asm`]) and checked in under
+//! `programs/*.asm`.
+//!
+//! Unlike the synthetic motif suite and the fuzz generator, these kernels
+//! have *real* loop-nest structure — data-dependent branches, address
+//! arithmetic, byte stores, an unpipelined divide — so register-sharing
+//! results measured on them rest on genuine control flow. Every kernel ends
+//! in a self-checking epilogue that leaves `1` in `r15` on success and then
+//! halts; the post-halt machine keeps yielding inert no-ops, so any
+//! warmup/measure window remains satisfiable.
+//!
+//! Kernels are registered as `asm-<name>` workloads (e.g. `asm-quicksort`),
+//! resolvable wherever suite names are: `--workloads` flags, scenario
+//! `workloads = [...]` lists, and the `kind = "asm"` scenario source.
+//!
+//! # Examples
+//!
+//! ```
+//! use regshare_workloads::find;
+//!
+//! let wl = find("asm-quicksort").unwrap();
+//! let program = wl.build();
+//! assert!(program.len() > 20);
+//! ```
+
+use crate::profile::{Workload, WorkloadClass, WorkloadSource};
+use regshare_isa::asm::{assemble, AsmError};
+use regshare_isa::Program;
+
+/// The embedded corpus: `(kernel name, assembly source)`, in a stable order.
+///
+/// Sources are compiled in via `include_str!`, so `asm-<name>` workloads
+/// resolve without any filesystem access.
+pub const CORPUS: [(&str, &str); 4] = [
+    ("quicksort", include_str!("../../../programs/quicksort.asm")),
+    ("matmul", include_str!("../../../programs/matmul.asm")),
+    (
+        "prime_sieve",
+        include_str!("../../../programs/prime_sieve.asm"),
+    ),
+    ("box_blur", include_str!("../../../programs/box_blur.asm")),
+];
+
+/// Workload-name prefix for assembled kernels.
+pub const NAME_PREFIX: &str = "asm-";
+
+/// One assembled-kernel workload: a short name plus the assembly source it
+/// was validated from.
+///
+/// Construction always assembles the source once, so a held `AsmSpec` is
+/// guaranteed to build.
+#[derive(Debug, Clone)]
+pub struct AsmSpec {
+    kernel: String,
+    src: String,
+}
+
+impl AsmSpec {
+    /// Looks up an embedded corpus kernel by its short name (`"quicksort"`).
+    pub fn new(kernel: &str) -> Option<AsmSpec> {
+        let (name, src) = CORPUS.iter().find(|(n, _)| *n == kernel)?;
+        // The corpus is pinned by the differential gate; a source that does
+        // not assemble is treated as unknown rather than panicking here.
+        assemble(src).ok()?;
+        Some(AsmSpec {
+            kernel: name.to_string(),
+            src: src.to_string(),
+        })
+    }
+
+    /// Wraps external assembly text (e.g. a scenario's `path = "…"` file),
+    /// assembling it once up front so errors surface at resolution time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AsmError`] if the source does not assemble.
+    pub fn from_source(
+        kernel: impl Into<String>,
+        src: impl Into<String>,
+    ) -> Result<AsmSpec, AsmError> {
+        let src = src.into();
+        assemble(&src)?;
+        Ok(AsmSpec {
+            kernel: kernel.into(),
+            src,
+        })
+    }
+
+    /// The kernel's short name (without the `asm-` prefix).
+    pub fn kernel(&self) -> &str {
+        &self.kernel
+    }
+
+    /// The assembly source text.
+    pub fn source(&self) -> &str {
+        &self.src
+    }
+
+    /// The registry name: `asm-<kernel>`.
+    pub fn name(&self) -> String {
+        format!("{NAME_PREFIX}{}", self.kernel)
+    }
+
+    /// Parses an `asm-<kernel>` registry name back into a spec; `None` if
+    /// the prefix is absent or the kernel is not in the embedded corpus.
+    pub fn parse_name(name: &str) -> Option<AsmSpec> {
+        AsmSpec::new(name.strip_prefix(NAME_PREFIX)?)
+    }
+
+    /// Assembles the kernel into an executable [`Program`].
+    pub fn build(&self) -> Program {
+        assemble(&self.src).expect("AsmSpec sources are assembled at construction")
+    }
+
+    /// Wraps the spec as a registry [`Workload`]. The corpus kernels are all
+    /// integer-dominated.
+    pub fn workload(&self) -> Workload {
+        Workload {
+            name: self.name(),
+            class: WorkloadClass::Int,
+            source: WorkloadSource::Asm(self.clone()),
+        }
+    }
+}
+
+/// All embedded corpus kernels as workloads, in [`CORPUS`] order.
+pub fn corpus_workloads() -> Vec<Workload> {
+    CORPUS
+        .iter()
+        .map(|(name, _)| {
+            AsmSpec::new(name)
+                .expect("embedded corpus kernels assemble")
+                .workload()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use regshare_isa::interp::Machine;
+    use std::sync::Arc;
+
+    #[test]
+    fn every_corpus_kernel_assembles() {
+        for (name, src) in CORPUS {
+            assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corpus_workloads_build_and_halt_with_success_verdict() {
+        for wl in corpus_workloads() {
+            let p = Arc::new(wl.build());
+            let mut m = Machine::new(p);
+            let mut halted = false;
+            for _ in 0..2_000_000u64 {
+                if m.is_halted() {
+                    halted = true;
+                    break;
+                }
+                m.step();
+            }
+            assert!(halted, "{} did not halt", wl.name);
+            assert_eq!(m.regs()[15], 1, "{} self-check failed", wl.name);
+        }
+    }
+
+    #[test]
+    fn registry_names_round_trip() {
+        let spec = AsmSpec::new("quicksort").unwrap();
+        assert_eq!(spec.name(), "asm-quicksort");
+        assert_eq!(
+            AsmSpec::parse_name("asm-quicksort").unwrap().kernel(),
+            "quicksort"
+        );
+        assert!(AsmSpec::parse_name("asm-doom").is_none());
+        assert!(AsmSpec::parse_name("quicksort").is_none());
+        assert!(AsmSpec::new("doom").is_none());
+    }
+
+    #[test]
+    fn from_source_validates_up_front() {
+        let ok = AsmSpec::from_source("tiny", "    nop\n    halt\n").unwrap();
+        assert_eq!(ok.build().len(), 2);
+        assert_eq!(ok.name(), "asm-tiny");
+        let err = AsmSpec::from_source("broken", "    bogus r1\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -34,11 +34,13 @@
 
 #![deny(missing_docs)]
 
+pub mod asm;
 pub mod fuzz;
 pub mod motifs;
 pub mod profile;
 pub mod rng;
 
+pub use asm::AsmSpec;
 pub use profile::{
     by_names, custom, find, mini, names, suite, try_by_names, Workload, WorkloadClass,
     WorkloadProfile, WorkloadSource,

@@ -111,14 +111,16 @@ impl Default for WorkloadProfile {
 }
 
 /// How a workload's program is produced: a hand-tuned motif profile (the
-/// 36-entry suite and [`custom`] workloads) or a seeded fuzz generator
-/// case ([`crate::fuzz`]).
+/// 36-entry suite and [`custom`] workloads), a seeded fuzz generator case
+/// ([`crate::fuzz`]), or an assembled real-program kernel ([`crate::asm`]).
 #[derive(Debug, Clone)]
 pub enum WorkloadSource {
     /// Motif parameters (the suite's parameterization).
     Motif(WorkloadProfile),
     /// A deterministic fuzz-generator case (`fuzz-<profile>-<seed>`).
     Fuzz(crate::fuzz::FuzzSpec),
+    /// An assembled kernel (`asm-<name>`, or external assembly text).
+    Asm(crate::asm::AsmSpec),
 }
 
 /// A named workload.
@@ -141,7 +143,7 @@ impl Workload {
     pub fn motif_profile(&self) -> Option<&WorkloadProfile> {
         match &self.source {
             WorkloadSource::Motif(p) => Some(p),
-            WorkloadSource::Fuzz(_) => None,
+            WorkloadSource::Fuzz(_) | WorkloadSource::Asm(_) => None,
         }
     }
 
@@ -151,6 +153,7 @@ impl Workload {
         let p = match &self.source {
             WorkloadSource::Motif(p) => p,
             WorkloadSource::Fuzz(spec) => return spec.build(),
+            WorkloadSource::Asm(spec) => return spec.build(),
         };
         let mut b = ProgramBuilder::new();
         let mut rng = Xorshift::new(p.seed);
@@ -509,14 +512,16 @@ pub fn suite() -> Vec<Workload> {
 }
 
 /// Looks up one workload by name: first the 36-entry suite, then the fuzz
-/// generator's `fuzz-<profile>-<seed>` naming scheme (builds the suite each
-/// call; batch lookups should use [`by_names`] / [`try_by_names`], which is
-/// how scenario files resolve their workload lists).
+/// generator's `fuzz-<profile>-<seed>` naming scheme, then the assembled
+/// corpus's `asm-<kernel>` names (builds the suite each call; batch lookups
+/// should use [`by_names`] / [`try_by_names`], which is how scenario files
+/// resolve their workload lists).
 pub fn find(name: &str) -> Option<Workload> {
     suite()
         .into_iter()
         .find(|w| w.name == name)
         .or_else(|| crate::fuzz::FuzzSpec::parse_name(name).map(|s| s.workload()))
+        .or_else(|| crate::asm::AsmSpec::parse_name(name).map(|s| s.workload()))
 }
 
 /// Every suite workload name, in suite order — the `--list-workloads`
@@ -548,8 +553,9 @@ pub fn by_names(names: &[&str]) -> Vec<Workload> {
 
 /// Like [`by_names`], but returns the first unknown name instead of
 /// panicking — scenario files surface it as a typed error. Resolves
-/// `fuzz-<profile>-<seed>` names through the fuzz generator registry, so
-/// a scenario's workload list may mix suite and generated programs.
+/// `fuzz-<profile>-<seed>` names through the fuzz generator registry and
+/// `asm-<kernel>` names through the assembled corpus, so a scenario's
+/// workload list may mix suite, generated and assembled programs.
 pub fn try_by_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Workload>, String> {
     let all = suite();
     names
@@ -560,6 +566,7 @@ pub fn try_by_names<S: AsRef<str>>(names: &[S]) -> Result<Vec<Workload>, String>
                 .find(|w| w.name == name)
                 .cloned()
                 .or_else(|| crate::fuzz::FuzzSpec::parse_name(name).map(|s| s.workload()))
+                .or_else(|| crate::asm::AsmSpec::parse_name(name).map(|s| s.workload()))
                 .ok_or_else(|| name.to_string())
         })
         .collect()

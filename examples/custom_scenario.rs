@@ -23,8 +23,12 @@ fn main() {
     // Validation is hard: unknown workloads, trackers or impossible
     // configurations would have failed `load`-then-`to_sweep` with a typed
     // ScenarioError instead of silently running nonsense.
-    let grid = scenario.to_sweep().expect("scenario validates").run();
-    print!("{}", render_report(&scenario, &grid));
+    let grid = scenario
+        .to_sweep()
+        .expect("scenario validates")
+        .run()
+        .expect("sweep completes");
+    print!("{}", render_report(&scenario, &grid).expect("own labels"));
 
     // --- 2. The programmatic route: extend the experiment in code. ---
     let mut extended = scenario.clone();
@@ -36,9 +40,13 @@ fn main() {
             .tracker_entries(32)
             .counter_bits(3),
     ));
-    let grid = extended.to_sweep().expect("still valid").run();
+    let grid = extended
+        .to_sweep()
+        .expect("still valid")
+        .run()
+        .expect("sweep completes");
     println!();
-    print!("{}", render_report(&extended, &grid));
+    print!("{}", render_report(&extended, &grid).expect("own labels"));
 
     // --- 3. Round trip: the extended experiment as checked-in text. ---
     println!("\n# extended scenario as .scenario text:\n");

@@ -1,0 +1,89 @@
+# box_blur — 3x3 mean filter over a 16x16 u64 image (interior cells only).
+#
+# The source image is generated in place (the simulated memory is not
+# zero-filled), each interior output cell is the integer mean of its nine
+# neighbours — exercising the unpipelined divider — and the epilogue folds
+# the blurred interior into a position-weighted checksum compared against a
+# precomputed constant. r15 = 1 on success, 0 on failure.
+
+.equ SRC 0x1000          # 256 * 8 bytes
+.equ DST 0x2000          # DST - SRC = 0x1000, used to relocate addresses
+.equ CHK 3200319         # sum over interior of DST[idx]*(idx+1)
+
+# ---- init: SRC[k] = (7k^2 + 13k + 5) & 255 ---------------------------------
+    li r9, SRC
+    li r10, DST
+    li r2, 0
+binit:
+    mul r6, r2, r2
+    mul r6, r6, 7
+    mul r7, r2, 13
+    add r6, r6, r7
+    add r6, r6, 5
+    and r6, r6, 255
+    shl r5, r2, 3
+    add r5, r5, r9
+    st r6, r5, 0
+    add r2, r2, 1
+    bne r2, 256, binit
+
+# ---- blur: DST[y][x] = mean of the 3x3 neighbourhood (row stride 128) ------
+    li r2, 1             # y
+yloop:
+    li r3, 1             # x
+xloop:
+    shl r5, r2, 4        # &SRC[y*16+x]
+    add r5, r5, r3
+    shl r5, r5, 3
+    add r5, r5, r9
+    ld r4, r5, -136      # row above
+    ld r6, r5, -128
+    add r4, r4, r6
+    ld r6, r5, -120
+    add r4, r4, r6
+    ld r6, r5, -8        # same row
+    add r4, r4, r6
+    ld r6, r5, 0
+    add r4, r4, r6
+    ld r6, r5, 8
+    add r4, r4, r6
+    ld r6, r5, 120       # row below
+    add r4, r4, r6
+    ld r6, r5, 128
+    add r4, r4, r6
+    ld r6, r5, 136
+    add r4, r4, r6
+    div r4, r4, 9
+    add r6, r5, 0x1000   # same cell in DST
+    st r4, r6, 0
+    add r3, r3, 1
+    bne r3, 15, xloop
+    add r2, r2, 1
+    bne r2, 15, yloop
+
+# ---- self-check: weighted checksum of the blurred interior -----------------
+    li r13, 0
+    li r2, 1             # y
+cy:
+    li r3, 1             # x
+cx:
+    shl r5, r2, 4        # idx = y*16+x
+    add r5, r5, r3
+    mov r7, r5
+    shl r5, r5, 3
+    add r5, r5, r10
+    ld r6, r5, 0
+    add r7, r7, 1
+    mul r6, r6, r7
+    add r13, r13, r6
+    add r3, r3, 1
+    bne r3, 15, cx
+    add r2, r2, 1
+    bne r2, 15, cy
+    li r14, CHK
+    bne r13, r14, fail
+    li r15, 1
+    halt
+fail:
+    li r15, 0
+    halt

@@ -1,0 +1,82 @@
+# matmul — 8x8 u64 matrix multiply with a weighted-checksum epilogue.
+#
+# A[k] = 3k+1 and B[k] = k*k+2 are generated in place (the simulated memory
+# is not zero-filled), C = A*B is computed with the classic i/j/k loop nest,
+# and the epilogue folds C into a position-weighted checksum compared against
+# a precomputed constant. r15 = 1 on success, 0 on failure.
+
+.equ A   0x1000
+.equ B   0x1400
+.equ C   0x1800
+.equ CHK 2960454016      # sum over k of C[k]*(k+1)
+
+# ---- init: A[k] = 3k+1, B[k] = k*k+2 ---------------------------------------
+    li r9, A
+    li r10, B
+    li r11, C
+    li r2, 0
+initm:
+    mul r6, r2, 3
+    add r6, r6, 1
+    shl r5, r2, 3
+    add r5, r5, r9
+    st r6, r5, 0         # A[k]
+    mul r6, r2, r2
+    add r6, r6, 2
+    shl r5, r2, 3
+    add r5, r5, r10
+    st r6, r5, 0         # B[k]
+    add r2, r2, 1
+    bne r2, 64, initm
+
+# ---- C[i][j] = sum over k of A[i][k] * B[k][j] -----------------------------
+    li r2, 0             # i
+iloop:
+    li r3, 0             # j
+jloop:
+    li r8, 0             # acc
+    li r4, 0             # k
+kloop:
+    shl r5, r2, 3        # &A[i*8+k]
+    add r5, r5, r4
+    shl r5, r5, 3
+    add r5, r5, r9
+    ld r6, r5, 0
+    shl r5, r4, 3        # &B[k*8+j]
+    add r5, r5, r3
+    shl r5, r5, 3
+    add r5, r5, r10
+    ld r7, r5, 0
+    mul r6, r6, r7
+    add r8, r8, r6
+    add r4, r4, 1
+    bne r4, 8, kloop
+    shl r5, r2, 3        # &C[i*8+j]
+    add r5, r5, r3
+    shl r5, r5, 3
+    add r5, r5, r11
+    st r8, r5, 0
+    add r3, r3, 1
+    bne r3, 8, jloop
+    add r2, r2, 1
+    bne r2, 8, iloop
+
+# ---- self-check: weighted checksum of C ------------------------------------
+    li r13, 0
+    li r2, 0
+csum:
+    shl r5, r2, 3
+    add r5, r5, r11
+    ld r6, r5, 0
+    add r7, r2, 1
+    mul r6, r6, r7
+    add r13, r13, r6
+    add r2, r2, 1
+    bne r2, 64, csum
+    li r14, CHK
+    bne r13, r14, fail
+    li r15, 1
+    halt
+fail:
+    li r15, 0
+    halt

@@ -1,0 +1,65 @@
+# prime_sieve — sieve of Eratosthenes over a 512-entry byte array.
+#
+# Every flag byte is written before the sieve runs (the simulated memory is
+# not zero-filled), composites are struck out with byte stores, and the
+# epilogue counts the surviving primes and sums them, comparing both against
+# known constants: pi(511) = 97 and the primes below 512 sum to 22548.
+# r15 = 1 on success, 0 on failure.
+
+.equ FLAGS 0x1000        # one byte per candidate
+.equ N     512
+.equ PSUM  22548         # sum of all primes below 512
+
+# ---- init: flag[0..1] = 0, flag[2..N) = 1 ----------------------------------
+    li r4, FLAGS
+    li r6, 0
+    stb r6, r4, 0
+    stb r6, r4, 1
+    li r2, 2
+    li r6, 1
+finit:
+    add r5, r4, r2
+    stb r6, r5, 0
+    add r2, r2, 1
+    bne r2, N, finit
+
+# ---- sieve: for each prime p, strike p*p, p*p+p, ... -----------------------
+    li r2, 2             # p
+sieve:
+    mul r3, r2, r2       # m = p*p
+    bge r3, N, count     # p*p >= N: sieving done
+    add r5, r4, r2
+    ldb r6, r5, 0
+    beq r6, 0, nextp     # p already composite
+inner:
+    add r5, r4, r3
+    li r6, 0
+    stb r6, r5, 0
+    add r3, r3, r2
+    blt r3, N, inner
+nextp:
+    add r2, r2, 1
+    jmp sieve
+
+# ---- self-check: count and sum the primes ----------------------------------
+count:
+    li r7, 0             # prime count
+    li r8, 0             # prime sum
+    li r2, 2
+cloop:
+    add r5, r4, r2
+    ldb r6, r5, 0
+    beq r6, 0, notp
+    add r7, r7, 1
+    add r8, r8, r2
+notp:
+    add r2, r2, 1
+    bne r2, N, cloop
+    bne r7, 97, fail     # pi(511)
+    li r9, PSUM
+    bne r8, r9, fail
+    li r15, 1
+    halt
+fail:
+    li r15, 0
+    halt

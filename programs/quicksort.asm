@@ -1,0 +1,88 @@
+# quicksort — iterative Lomuto quicksort over 64 pseudo-random u64 words.
+#
+# An LCG fills the array (the simulated memory is not zero-filled, so every
+# element is written before it is read), an explicit work stack at STK
+# replaces recursion, and the epilogue verifies both sortedness and sum
+# preservation. r15 = 1 on success, 0 on failure.
+
+.equ ARR 0x1000          # 64 * 8 bytes: 0x1000..0x1200
+.equ STK 0x3000          # work stack of (lo, hi) address pairs
+.equ N   64
+
+# ---- init: a[k] = lcg() >> 33, summing into r13 ----------------------------
+    li r11, ARR          # array base (kept for the check phase)
+    mov r2, r11          # write cursor
+    li r3, N
+    li r7, 1             # LCG state
+    li r13, 0            # sum of inputs
+init:
+    mul r7, r7, 6364136223846793005
+    add r7, r7, 1442695040888963407
+    shr r8, r7, 33
+    st r8, r2, 0
+    add r13, r13, r8
+    add r2, r2, 8
+    sub r3, r3, 1
+    bne r3, 0, init
+
+# ---- quicksort with an explicit range stack --------------------------------
+    li r12, ARR
+    add r12, r12, 504    # address of last element (ARR + 8*(N-1))
+    li r9, STK
+    st r11, r9, 0        # push initial range: lo = first
+    st r12, r9, 8        #                     hi = last
+    add r9, r9, 16
+qloop:
+    li r10, STK
+    beq r9, r10, check   # stack empty: sorting done
+    sub r9, r9, 16
+    ld r2, r9, 0         # lo (address)
+    ld r3, r9, 8         # hi (address)
+    bge r2, r3, qloop    # ranges of 0 or 1 elements need no work
+    ld r6, r3, 0         # pivot = *hi
+    mov r4, r2           # i = lo
+    mov r5, r2           # j = lo
+part:
+    ld r7, r5, 0
+    bge r7, r6, noswap   # *j >= pivot: leave in the high side
+    ld r8, r4, 0         # swap *i and *j
+    st r7, r4, 0
+    st r8, r5, 0
+    add r4, r4, 8
+noswap:
+    add r5, r5, 8
+    bne r5, r3, part
+    ld r7, r4, 0         # place the pivot: swap *i and *hi
+    ld r8, r3, 0
+    st r8, r4, 0
+    st r7, r3, 0
+    st r2, r9, 0         # push (lo, i-1)
+    sub r10, r4, 8
+    st r10, r9, 8
+    add r9, r9, 16
+    add r10, r4, 8       # push (i+1, hi)
+    st r10, r9, 0
+    st r3, r9, 8
+    add r9, r9, 16
+    jmp qloop
+
+# ---- self-check: ascending order and unchanged element sum -----------------
+check:
+    mov r2, r11
+    ld r7, r2, 0         # prev = a[0]
+    mov r14, r7          # running sum
+    li r3, 63            # remaining adjacent pairs
+chkloop:
+    add r2, r2, 8
+    ld r8, r2, 0
+    blt r8, r7, fail     # descending pair: not sorted
+    add r14, r14, r8
+    mov r7, r8
+    sub r3, r3, 1
+    bne r3, 0, chkloop
+    bne r14, r13, fail   # sum changed: not a permutation of the input
+    li r15, 1
+    halt
+fail:
+    li r15, 0
+    halt

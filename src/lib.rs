@@ -63,8 +63,8 @@
 //!     .variant("both", VariantSpec::preset("me_smb").isrb_entries(32))
 //!     .build()
 //!     .expect("validated scenario");
-//! let grid = scenario.to_sweep().expect("resolvable").run();
-//! assert!(grid.get(0, "both").ipc() > 0.0);
+//! let grid = scenario.to_sweep().expect("resolvable").run().expect("sweep completes");
+//! assert!(grid.get(0, "both").expect("declared label").ipc() > 0.0);
 //! // ...and the same experiment as a checked-in .scenario file:
 //! assert_eq!(Scenario::parse(&scenario.render()).unwrap(), scenario);
 //! ```
